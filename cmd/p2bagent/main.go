@@ -1,0 +1,116 @@
+// Command p2bagent simulates a fleet of P2B devices against a running
+// p2bnode: every simulated user fetches the current global model over HTTP,
+// runs its local interactions on the synthetic preference benchmark, and
+// participates in randomized reporting through the node's shuffler surface.
+//
+// Usage (with `p2bnode -addr :8080 -k 64 -arms 20 -d 10 -threshold 4` running):
+//
+//	p2bagent -node http://localhost:8080 -users 2000 -k 64 -arms 20 -d 10
+//
+// The -k/-arms/-d flags must match the node's model shapes; the encoder is
+// fitted locally from the public context distribution, mirroring a real
+// deployment where the encoder ships inside the app.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"p2b/internal/bandit"
+	"p2b/internal/encoding"
+	"p2b/internal/httpapi"
+	"p2b/internal/privacy"
+	"p2b/internal/rng"
+	"p2b/internal/synthetic"
+	"p2b/internal/transport"
+)
+
+func main() {
+	var (
+		node  = flag.String("node", "http://localhost:8080", "base URL of the p2bnode")
+		users = flag.Int("users", 1000, "number of simulated devices")
+		t     = flag.Int("T", 10, "local interactions per device")
+		p     = flag.Float64("p", 0.5, "participation probability")
+		d     = flag.Int("d", 10, "context dimension (must match the node)")
+		arms  = flag.Int("arms", 20, "number of actions (must match the node)")
+		k     = flag.Int("k", 64, "encoder code-space size (must match the node)")
+		seed  = flag.Uint64("seed", 1, "root random seed")
+		every = flag.Int("report-every", 500, "progress line frequency in users")
+	)
+	flag.Parse()
+
+	root := rng.New(*seed)
+	env, err := synthetic.New(synthetic.Config{D: *d, Arms: *arms, Beta: 0.1, Sigma: 0.1}, root.Split("env"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := encoding.FitKMeans(
+		env.SampleContexts(4096, root.Split("encoder-sample")),
+		*k, 50, 1e-6, root.Split("encoder-fit"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := httpapi.NewNodeClient(*node)
+	sampler := privacy.NewSampler(*p, root.Split("sampler"))
+
+	fmt.Printf("p2bagent: %d devices -> %s (epsilon per disclosure %.4f)\n",
+		*users, *node, privacy.Epsilon(*p))
+
+	var totalReward float64
+	var interactions, submitted int64
+	start := time.Now()
+	for u := 0; u < *users; u++ {
+		ur := root.SplitIndex("user", u)
+		state, err := client.FetchTabular()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2bagent: fetching model: %v\n", err)
+			os.Exit(1)
+		}
+		agent, err := bandit.NewTabularUCBFromState(state, ur.Split("agent"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2bagent: node model unusable: %v\n", err)
+			os.Exit(1)
+		}
+		session := env.User(u, ur.Split("session"))
+		history := make([]transport.Tuple, 0, *t)
+		for step := 0; step < *t; step++ {
+			x := session.Context(step)
+			y := enc.Encode(x)
+			a := agent.SelectCode(y)
+			reward := session.Reward(step, a)
+			agent.UpdateCode(y, a, reward)
+			totalReward += reward
+			interactions++
+			history = append(history, transport.Tuple{Code: y, Action: a, Reward: reward})
+		}
+		if sampler.Participates() {
+			tup := history[ur.Split("pick").IntN(len(history))]
+			err := client.Report(transport.Envelope{
+				Meta: transport.Metadata{
+					DeviceID: fmt.Sprintf("device-%08d", u),
+					SentAt:   time.Now().UnixNano(),
+				},
+				Tuple: tup,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "p2bagent: report failed: %v\n", err)
+				os.Exit(1)
+			}
+			submitted++
+		}
+		if *every > 0 && (u+1)%*every == 0 {
+			fmt.Printf("  %6d devices done, mean reward %.5f, %d tuples submitted\n",
+				u+1, totalReward/float64(interactions), submitted)
+		}
+	}
+	if err := client.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "p2bagent: flush failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("done in %v: %d devices, mean reward %.5f, %d tuples submitted (rate %.3f)\n",
+		time.Since(start).Round(time.Millisecond), *users,
+		totalReward/float64(interactions), submitted, float64(submitted)/float64(*users))
+}

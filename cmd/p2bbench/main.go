@@ -1,0 +1,71 @@
+// Command p2bbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	p2bbench -list
+//	p2bbench -experiment fig4 [-scale 1] [-seed 7] [-workers 8] [-csv]
+//	p2bbench -experiment all
+//
+// Scale 1 regenerates every figure in seconds at reduced population sizes;
+// the per-figure doc comments in internal/experiments state the scale that
+// reaches the paper's full sizes (e.g. -scale 100 for Figure 4's 10^6
+// users).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"p2b/internal/experiments"
+)
+
+func main() {
+	var (
+		name    = flag.String("experiment", "", "experiment id (see -list) or 'all'")
+		scale   = flag.Float64("scale", 1, "population scale factor (1 = seconds-fast, larger = closer to paper scale)")
+		seed    = flag.Uint64("seed", 20200302, "root random seed")
+		workers = flag.Int("workers", 8, "simulation worker goroutines")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, n := range experiments.Names() {
+			fmt.Printf("  %s\n", n)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "p2bbench: -experiment is required (use -list to see options)")
+		os.Exit(2)
+	}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+
+	names := []string{*name}
+	if *name == "all" {
+		names = experiments.Names()
+	}
+	for _, n := range names {
+		run, ok := experiments.Registry[n]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "p2bbench: unknown experiment %q (use -list)\n", n)
+			os.Exit(2)
+		}
+		start := time.Now()
+		res, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2bbench: %s failed: %v\n", n, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(res.CSV())
+		} else {
+			fmt.Print(res.Render())
+			fmt.Printf("\n(%s completed in %v at scale %g)\n\n", n, time.Since(start).Round(time.Millisecond), *scale)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+// Command p2bnode runs the P2B server-side components as a network
+// service: the trusted shuffler and the analyzer server, wired together in
+// one process and exposed over HTTP.
+//
+// Agents POST encoded reports to the shuffler surface and GET model
+// snapshots from the server surface:
+//
+//	POST /shuffler/report   {"meta":{...},"tuple":{"code":5,"action":1,"reward":1}}
+//	POST /shuffler/flush
+//	GET  /shuffler/stats
+//	GET  /server/model/tabular
+//	GET  /server/model/linucb
+//	POST /server/raw        (non-private baseline ingestion)
+//	GET  /server/stats
+//
+// Usage:
+//
+//	p2bnode -addr :8080 -k 1024 -arms 20 -d 10 -threshold 10 -batch 320
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"p2b/internal/httpapi"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		k         = flag.Int("k", 1024, "code-space size of the tabular model")
+		arms      = flag.Int("arms", 20, "number of actions")
+		d         = flag.Int("d", 10, "raw context dimension (baseline model)")
+		alpha     = flag.Float64("alpha", 1, "exploration parameter baked into snapshots")
+		threshold = flag.Int("threshold", 10, "crowd-blending threshold l")
+		batch     = flag.Int("batch", 0, "shuffler batch size (default 32*threshold)")
+		seed      = flag.Uint64("seed", 1, "seed for the shuffler's permutation stream")
+	)
+	flag.Parse()
+	if *batch == 0 {
+		*batch = 32 * *threshold
+		if *batch == 0 {
+			*batch = 256
+		}
+	}
+
+	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed})
+	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, srv, rng.New(*seed).Split("shuffler"))
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           httpapi.NewNodeHandler(shuf, srv),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("p2bnode listening on %s (k=%d arms=%d threshold=%d batch=%d)", *addr, *k, *arms, *threshold, *batch)
+	log.Fatal(httpSrv.ListenAndServe())
+}

@@ -1,0 +1,67 @@
+// Encoding visualization: reproduces the paper's Figure 2. The normalized
+// 3-dimensional vector space at precision q=1 contains exactly
+// n = C(12, 2) = 66 grid points; a k-means encoding with k=6 partitions
+// them into clusters whose minimum size is the crowd-blending parameter l.
+//
+// The program prints the triangular grid (each cell shows its cluster id)
+// and the cluster size histogram.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2b/internal/encoding"
+	"p2b/internal/rng"
+)
+
+func main() {
+	g, err := encoding.NewGridQuantizer(3, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("normalized vector space: d=3, q=1, cardinality n = %d (paper: 66)\n\n", g.Cardinality())
+
+	points := g.EnumerateAll(100)
+	km, err := encoding.FitKMeans(points, 6, 200, 1e-9, rng.New(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Lay the simplex out as a triangle: rows by x1 = 0.0 .. 1.0, columns
+	// by x2. x3 is implied (sizes of the circles in the paper's figure).
+	fmt.Println("cluster assignment over the simplex grid (rows: x1, cols: x2):")
+	fmt.Print("        x2:  ")
+	for c := 0; c <= 10; c++ {
+		fmt.Printf("%3.1f ", float64(c)/10)
+	}
+	fmt.Println()
+	for r := 0; r <= 10; r++ {
+		fmt.Printf("  x1=%3.1f     ", float64(r)/10)
+		for c := 0; c <= 10-r; c++ {
+			x := []float64{float64(r) / 10, float64(c) / 10, float64(10-r-c) / 10}
+			fmt.Printf("  %d ", km.Encode(x))
+		}
+		fmt.Println()
+	}
+
+	sizes := km.ClusterSizes(points)
+	fmt.Println("\ncluster sizes:")
+	total := 0
+	for c, n := range sizes {
+		fmt.Printf("  cluster %d: %2d points %s\n", c, n, bar(n))
+		total += n
+	}
+	fmt.Printf("  total: %d points\n", total)
+	fmt.Printf("\nminimum cluster size l = %d (paper's example: l = 9)\n", km.MinClusterSize(points))
+	fmt.Println("l is the crowd-blending parameter: the shuffler threshold must not exceed it")
+	fmt.Println("for this encoder if no tuple is to be wasted.")
+}
+
+func bar(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

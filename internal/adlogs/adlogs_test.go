@@ -1,0 +1,281 @@
+package adlogs
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+func smallLog(t *testing.T) *Log {
+	t.Helper()
+	cfg := CriteoLike(20000)
+	log, err := Generate(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rng.New(1)
+	bad := []Config{
+		{Records: 0, D: 10, Categories: 40, RawCats: 400, Clusters: 8},
+		{Records: 10, D: 1, Categories: 40, RawCats: 400, Clusters: 8},
+		{Records: 10, D: 10, Categories: 1, RawCats: 400, Clusters: 8},
+		{Records: 10, D: 10, Categories: 40, RawCats: 10, Clusters: 8},
+		{Records: 10, D: 10, Categories: 40, RawCats: 400, Clusters: 0},
+		{Records: 10, D: 10, Categories: 40, RawCats: 400, Clusters: 8, BaseCTR: 0.9, AffinityCTR: 0.9},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, r); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	log := smallLog(t)
+	if log.Categories != 40 {
+		t.Fatalf("categories %d", log.Categories)
+	}
+	if log.D() != 10 {
+		t.Fatalf("dimension %d", log.D())
+	}
+	// Top-K filtering discards some impressions but most survive with a
+	// skewed profile distribution.
+	if log.N() < 10000 {
+		t.Fatalf("only %d records survived top-K", log.N())
+	}
+	for i, rec := range log.Records {
+		if rec.Action < 0 || rec.Action >= 40 {
+			t.Fatalf("record %d action %d out of range", i, rec.Action)
+		}
+		sum := 0.0
+		for _, v := range rec.Context {
+			if v < 0 {
+				t.Fatalf("record %d has negative feature", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("record %d not normalized", i)
+		}
+	}
+}
+
+func TestLoggedPolicyIsSkewed(t *testing.T) {
+	log := smallLog(t)
+	counts := make([]int, 40)
+	for _, rec := range log.Records {
+		counts[rec.Action]++
+	}
+	// Popularity skew: max category should dominate min by a wide margin.
+	maxC, minC := 0, log.N()
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+		if c < minC {
+			minC = c
+		}
+	}
+	if maxC < 4*minC {
+		t.Fatalf("logging policy not skewed: max %d min %d", maxC, minC)
+	}
+}
+
+func TestCTRInPlausibleRange(t *testing.T) {
+	log := smallLog(t)
+	ctr := log.CTR()
+	// BaseCTR 0.03 plus relevance-driven affinity clicks: the Criteo
+	// Kaggle sample this mirrors has a ~26% positive rate, so accept
+	// (0.01, 0.35).
+	if ctr < 0.01 || ctr > 0.35 {
+		t.Fatalf("overall CTR %v implausible", ctr)
+	}
+}
+
+func TestClicksDependOnClusterAffinity(t *testing.T) {
+	// The nonlinearity the experiment needs: for a popular action, CTR
+	// conditioned on context cluster must vary. We probe it by comparing
+	// per-record CTR across contexts grouped by nearest-context pairs.
+	log := smallLog(t)
+	// Group records by action; for the most popular action compute CTR in
+	// two halves of the context space (split on the first coordinate's
+	// median). If clicks were linear in popularity only, the halves would
+	// match.
+	counts := make([]int, 40)
+	for _, rec := range log.Records {
+		counts[rec.Action]++
+	}
+	popular := 0
+	for a, c := range counts {
+		if c > counts[popular] {
+			popular = a
+		}
+	}
+	var xs []float64
+	for _, rec := range log.Records {
+		if rec.Action == popular {
+			xs = append(xs, rec.Context[0])
+		}
+	}
+	med := median(xs)
+	var loClicks, loN, hiClicks, hiN float64
+	for _, rec := range log.Records {
+		if rec.Action != popular {
+			continue
+		}
+		if rec.Context[0] < med {
+			loN++
+			if rec.Clicked {
+				loClicks++
+			}
+		} else {
+			hiN++
+			if rec.Clicked {
+				hiClicks++
+			}
+		}
+	}
+	if loN < 50 || hiN < 50 {
+		t.Skip("not enough samples for the popular action")
+	}
+	loCTR, hiCTR := loClicks/loN, hiClicks/hiN
+	if math.Abs(loCTR-hiCTR) < 0.005 {
+		t.Fatalf("click model looks context-independent: %v vs %v", loCTR, hiCTR)
+	}
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// Simple selection; fine for test sizes.
+	for i := 0; i < len(cp); i++ {
+		for j := i + 1; j < len(cp); j++ {
+			if cp[j] < cp[i] {
+				cp[i], cp[j] = cp[j], cp[i]
+			}
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestEnvContract(t *testing.T) {
+	log := smallLog(t)
+	env, err := NewEnv(log, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Dim() != 10 || env.Arms() != 40 {
+		t.Fatalf("env shape d=%d arms=%d", env.Dim(), env.Arms())
+	}
+	if env.Agents() != log.N()/300 {
+		t.Fatalf("agents %d", env.Agents())
+	}
+	u := env.User(0, rng.New(2))
+	rec := log.Records[0]
+	x := u.Context(0)
+	for i := range x {
+		if x[i] != rec.Context[i] {
+			t.Fatal("replay context mismatch")
+		}
+	}
+	// Reward rule: 1 iff matching logged action and clicked.
+	want := 0.0
+	if rec.Clicked {
+		want = 1
+	}
+	if got := u.Reward(0, rec.Action); got != want {
+		t.Fatalf("reward on logged action = %v, want %v", got, want)
+	}
+	other := (rec.Action + 1) % 40
+	if got := u.Reward(0, other); got != 0 {
+		t.Fatalf("reward on non-logged action = %v, want 0", got)
+	}
+}
+
+func TestEnvValidation(t *testing.T) {
+	log := smallLog(t)
+	if _, err := NewEnv(&Log{}, 10); err == nil {
+		t.Fatal("empty log accepted")
+	}
+	if _, err := NewEnv(log, 0); err == nil {
+		t.Fatal("perAgent=0 accepted")
+	}
+	if _, err := NewEnv(log, log.N()+1); err == nil {
+		t.Fatal("oversized perAgent accepted")
+	}
+}
+
+func TestEnvUsersAreDisjointSlices(t *testing.T) {
+	log := smallLog(t)
+	env, err := NewEnv(log, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u0 := env.User(0, rng.New(3))
+	u1 := env.User(1, rng.New(4))
+	// Agent 1's first record is the log's 100th record.
+	x := u1.Context(0)
+	for i := range x {
+		if x[i] != log.Records[100].Context[i] {
+			t.Fatal("agent slices not laid out consecutively")
+		}
+	}
+	// And distinct from agent 0's first record in general.
+	same := true
+	x0 := u0.Context(0)
+	for i := range x0 {
+		if x0[i] != x[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Log("warning: two agents drew identical contexts (possible but unlikely)")
+	}
+}
+
+func TestEnvUserIdsWrap(t *testing.T) {
+	log := smallLog(t)
+	env, err := NewEnv(log, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := env.Agents()
+	a := env.User(0, rng.New(5)).Context(0)
+	b := env.User(agents, rng.New(6)).Context(0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("user ids did not wrap modulo agent count")
+		}
+	}
+}
+
+func TestSampleContexts(t *testing.T) {
+	log := smallLog(t)
+	env, _ := NewEnv(log, 100)
+	xs := env.SampleContexts(25, rng.New(7))
+	if len(xs) != 25 {
+		t.Fatalf("sampled %d", len(xs))
+	}
+}
+
+func TestGenerationDeterministic(t *testing.T) {
+	a, err := Generate(CriteoLike(5000), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(CriteoLike(5000), rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != b.N() {
+		t.Fatalf("sizes differ: %d vs %d", a.N(), b.N())
+	}
+	for i := range a.Records {
+		if a.Records[i].Action != b.Records[i].Action || a.Records[i].Clicked != b.Records[i].Clicked {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

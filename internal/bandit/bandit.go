@@ -1,0 +1,178 @@
+// Package bandit implements the contextual bandit algorithms P2B runs on
+// user devices and on the server: LinUCB (Chu et al. 2011) over real-valued
+// contexts, a tabular UCB learner over encoded contexts (exactly LinUCB
+// specialised to one-hot inputs), and the context-free baselines used in the
+// ablation study (epsilon-greedy, UCB1, Thompson sampling, uniform random).
+//
+// All policies are deterministic given their rng.Rand stream, which makes
+// whole experiments reproducible from a root seed.
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"p2b/internal/mat"
+	"p2b/internal/rng"
+)
+
+// ContextPolicy is a contextual bandit over d-dimensional real contexts: it
+// selects one of Arms() actions for a context and learns from bandit
+// feedback (the reward of the chosen action only).
+type ContextPolicy interface {
+	// Select returns the action to play for context x.
+	Select(x []float64) int
+	// Update incorporates the observed reward for playing action in
+	// context x.
+	Update(x []float64, action int, reward float64)
+	// Arms returns the number of actions.
+	Arms() int
+}
+
+// CodePolicy is a bandit over discrete encoded contexts y in {0..K-1}. The
+// private P2B pipeline runs local agents directly on codes (paper §5.3).
+type CodePolicy interface {
+	// SelectCode returns the action to play for code y.
+	SelectCode(y int) int
+	// UpdateCode incorporates the observed reward for playing action on
+	// code y.
+	UpdateCode(y, action int, reward float64)
+	// Arms returns the number of actions.
+	Arms() int
+	// Codes returns the size of the code space.
+	Codes() int
+}
+
+// argmaxTieBreak returns the index of the maximum value, breaking ties
+// uniformly at random so that early rounds (all scores equal) explore.
+func argmaxTieBreak(scores []float64, r *rng.Rand) int {
+	best := scores[0]
+	count := 1
+	pick := 0
+	for i := 1; i < len(scores); i++ {
+		switch {
+		case scores[i] > best:
+			best, pick, count = scores[i], i, 1
+		case scores[i] == best:
+			count++
+			if r.IntN(count) == 0 {
+				pick = i
+			}
+		}
+	}
+	return pick
+}
+
+// LinUCB is the disjoint linear UCB algorithm: one ridge regression per arm
+// with an upper-confidence exploration bonus
+//
+//	p_a(x) = theta_a . x + alpha * sqrt(x^T A_a^{-1} x)
+//
+// where A_a = I + sum x x^T over the arm's observations and theta_a =
+// A_a^{-1} b_a. The inverse is maintained incrementally with
+// Sherman-Morrison updates, so Select and Update are O(arms d^2) and O(d^2).
+type LinUCB struct {
+	alpha float64
+	d     int
+	arms  int
+	ainv  []*mat.Dense
+	b     []mat.Vec
+	n     []int64 // per-arm observation counts, for introspection
+	r     *rng.Rand
+}
+
+// NewLinUCB returns a LinUCB policy over the given number of arms and
+// context dimension with exploration parameter alpha >= 0. The paper's
+// experiments use alpha = 1.
+func NewLinUCB(arms, d int, alpha float64, r *rng.Rand) *LinUCB {
+	if arms <= 0 || d <= 0 {
+		panic(fmt.Sprintf("bandit: NewLinUCB needs arms > 0 and d > 0, got %d, %d", arms, d))
+	}
+	if alpha < 0 {
+		panic("bandit: NewLinUCB needs alpha >= 0")
+	}
+	l := &LinUCB{
+		alpha: alpha,
+		d:     d,
+		arms:  arms,
+		ainv:  make([]*mat.Dense, arms),
+		b:     make([]mat.Vec, arms),
+		n:     make([]int64, arms),
+		r:     r,
+	}
+	for a := 0; a < arms; a++ {
+		l.ainv[a] = mat.Identity(d, 1) // (I)^{-1}
+		l.b[a] = mat.NewVec(d)
+	}
+	return l
+}
+
+// Arms returns the number of actions.
+func (l *LinUCB) Arms() int { return l.arms }
+
+// Dim returns the context dimension.
+func (l *LinUCB) Dim() int { return l.d }
+
+// Alpha returns the exploration parameter.
+func (l *LinUCB) Alpha() float64 { return l.alpha }
+
+// Pulls returns how many times the arm has been updated.
+func (l *LinUCB) Pulls(arm int) int64 { return l.n[arm] }
+
+// Select returns the arm with the highest upper confidence bound for x.
+func (l *LinUCB) Select(x []float64) int {
+	v := mat.Vec(x)
+	if len(v) != l.d {
+		panic(fmt.Sprintf("bandit: LinUCB context dim %d, want %d", len(v), l.d))
+	}
+	scores := make([]float64, l.arms)
+	for a := 0; a < l.arms; a++ {
+		scores[a] = l.Score(x, a)
+	}
+	return argmaxTieBreak(scores, l.r)
+}
+
+// Score returns the UCB score of one arm for context x, exposed for tests
+// and diagnostics.
+func (l *LinUCB) Score(x []float64, arm int) float64 {
+	v := mat.Vec(x)
+	av := l.ainv[arm].MulVec(v)        // A^{-1} x
+	theta := l.theta(arm)              // A^{-1} b
+	mean := theta.Dot(v)               // theta . x
+	width := l.alpha * sqrt(v.Dot(av)) // alpha sqrt(x^T A^{-1} x)
+	return mean + width
+}
+
+func (l *LinUCB) theta(arm int) mat.Vec {
+	return l.ainv[arm].MulVec(l.b[arm])
+}
+
+// Theta returns a copy of the arm's current coefficient estimate.
+func (l *LinUCB) Theta(arm int) []float64 { return l.theta(arm).Clone() }
+
+// Update performs the ridge regression update for the played arm.
+func (l *LinUCB) Update(x []float64, action int, reward float64) {
+	v := mat.Vec(x)
+	if len(v) != l.d {
+		panic(fmt.Sprintf("bandit: LinUCB context dim %d, want %d", len(v), l.d))
+	}
+	if action < 0 || action >= l.arms {
+		panic(fmt.Sprintf("bandit: LinUCB action %d out of range", action))
+	}
+	if err := mat.ShermanMorrison(l.ainv[action], v); err != nil {
+		// A is positive definite by construction, so this indicates NaN
+		// contexts; surface loudly rather than corrupting state.
+		panic("bandit: LinUCB update with degenerate context: " + err.Error())
+	}
+	l.b[action].AddScaled(reward, v)
+	l.n[action]++
+}
+
+// sqrt guards against tiny negative values from floating point cancellation
+// in the quadratic form.
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}

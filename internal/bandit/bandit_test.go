@@ -1,0 +1,228 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+// linEnv is a simple linear reward environment for sanity tests: arm a's
+// expected reward is w_a . x.
+type linEnv struct {
+	w [][]float64
+	r *rng.Rand
+}
+
+func newLinEnv(arms, d int, r *rng.Rand) *linEnv {
+	e := &linEnv{r: r}
+	for a := 0; a < arms; a++ {
+		w := make([]float64, d)
+		for i := range w {
+			w[i] = r.Float64()
+		}
+		e.w = append(e.w, w)
+	}
+	return e
+}
+
+func (e *linEnv) context(d int) []float64 { return e.r.Simplex(d) }
+
+func (e *linEnv) mean(x []float64, a int) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * e.w[a][i]
+	}
+	return s
+}
+
+func (e *linEnv) best(x []float64) int {
+	best := 0
+	for a := 1; a < len(e.w); a++ {
+		if e.mean(x, a) > e.mean(x, best) {
+			best = a
+		}
+	}
+	return best
+}
+
+func TestNewLinUCBValidation(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		arms, d int
+		alpha   float64
+	}{
+		{0, 3, 1}, {3, 0, 1}, {3, 3, -0.1},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			NewLinUCB(c.arms, c.d, c.alpha, r)
+		}()
+	}
+}
+
+func TestLinUCBShapes(t *testing.T) {
+	l := NewLinUCB(5, 3, 1, rng.New(2))
+	if l.Arms() != 5 || l.Dim() != 3 || l.Alpha() != 1 {
+		t.Fatal("accessor mismatch")
+	}
+	if len(l.Theta(0)) != 3 {
+		t.Fatal("theta shape wrong")
+	}
+}
+
+func TestLinUCBFreshScoresEqualWidth(t *testing.T) {
+	// With no data, theta = 0 and A = I, so every arm's score is
+	// alpha * ||x||.
+	l := NewLinUCB(4, 3, 2, rng.New(3))
+	x := []float64{0.2, 0.3, 0.5}
+	norm := math.Sqrt(0.2*0.2 + 0.3*0.3 + 0.5*0.5)
+	for a := 0; a < 4; a++ {
+		got := l.Score(x, a)
+		want := 2 * norm
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("fresh score arm %d = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestLinUCBUpdateShiftsPreference(t *testing.T) {
+	l := NewLinUCB(2, 2, 0.1, rng.New(4))
+	x := []float64{1, 0}
+	// Arm 0 gets reward 1 repeatedly; it must end up preferred at x.
+	for i := 0; i < 50; i++ {
+		l.Update(x, 0, 1)
+		l.Update(x, 1, 0)
+	}
+	if l.Score(x, 0) <= l.Score(x, 1) {
+		t.Fatalf("arm 0 score %v should beat arm 1 score %v", l.Score(x, 0), l.Score(x, 1))
+	}
+	if l.Select(x) != 0 {
+		t.Fatal("Select should pick the rewarded arm")
+	}
+	if l.Pulls(0) != 50 || l.Pulls(1) != 50 {
+		t.Fatalf("pull counts %d, %d", l.Pulls(0), l.Pulls(1))
+	}
+}
+
+func TestLinUCBConfidenceShrinks(t *testing.T) {
+	l := NewLinUCB(1, 2, 1, rng.New(5))
+	x := []float64{0.5, 0.5}
+	width := func() float64 {
+		// theta is zero as long as rewards are zero, so score == width.
+		return l.Score(x, 0)
+	}
+	w0 := width()
+	l.Update(x, 0, 0)
+	w1 := width()
+	for i := 0; i < 20; i++ {
+		l.Update(x, 0, 0)
+	}
+	w2 := width()
+	if !(w0 > w1 && w1 > w2) {
+		t.Fatalf("confidence width should shrink: %v, %v, %v", w0, w1, w2)
+	}
+}
+
+func TestLinUCBLearnsLinearEnvironment(t *testing.T) {
+	r := rng.New(6)
+	env := newLinEnv(4, 5, r.Split("env"))
+	agent := NewLinUCB(4, 5, 0.5, r.Split("agent"))
+	random := NewRandom(4, r.Split("random"))
+
+	train := 3000
+	for i := 0; i < train; i++ {
+		x := env.context(5)
+		a := agent.Select(x)
+		agent.Update(x, a, env.mean(x, a)+r.Norm(0, 0.05))
+	}
+	// Evaluate greedy accuracy against the true best arm.
+	hits, randomHits := 0, 0
+	const eval = 1000
+	for i := 0; i < eval; i++ {
+		x := env.context(5)
+		if agent.Select(x) == env.best(x) {
+			hits++
+		}
+		if random.Select(x) == env.best(x) {
+			randomHits++
+		}
+	}
+	if hits <= randomHits*2 {
+		t.Fatalf("LinUCB hits %d should dominate random hits %d", hits, randomHits)
+	}
+}
+
+func TestLinUCBDeterministicUnderSeed(t *testing.T) {
+	run := func() []int {
+		r := rng.New(42)
+		env := newLinEnv(3, 4, r.Split("env"))
+		agent := NewLinUCB(3, 4, 1, r.Split("agent"))
+		actions := make([]int, 200)
+		for i := range actions {
+			x := env.context(4)
+			a := agent.Select(x)
+			actions[i] = a
+			agent.Update(x, a, env.mean(x, a))
+		}
+		return actions
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at step %d", i)
+		}
+	}
+}
+
+func TestLinUCBPanicsOnBadInput(t *testing.T) {
+	l := NewLinUCB(2, 3, 1, rng.New(7))
+	cases := []func(){
+		func() { l.Select([]float64{1, 2}) },
+		func() { l.Update([]float64{1, 2}, 0, 1) },
+		func() { l.Update([]float64{1, 2, 3}, 5, 1) },
+		func() { l.Update([]float64{1, 2, 3}, -1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestArgmaxTieBreakUniform(t *testing.T) {
+	r := rng.New(8)
+	scores := []float64{1, 1, 1}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[argmaxTieBreak(scores, r)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Fatalf("tie-break not uniform: counts[%d] = %v", i, frac)
+		}
+	}
+}
+
+func TestArgmaxTieBreakPicksMax(t *testing.T) {
+	r := rng.New(9)
+	if argmaxTieBreak([]float64{0, 5, 3}, r) != 1 {
+		t.Fatal("argmax wrong")
+	}
+	if argmaxTieBreak([]float64{7}, r) != 0 {
+		t.Fatal("singleton argmax wrong")
+	}
+}

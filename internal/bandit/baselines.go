@@ -1,0 +1,226 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"p2b/internal/rng"
+)
+
+// Random selects actions uniformly at random, ignoring context and rewards.
+// It is the floor any learning policy must beat.
+type Random struct {
+	arms int
+	r    *rng.Rand
+}
+
+// NewRandom returns a uniform random policy.
+func NewRandom(arms int, r *rng.Rand) *Random {
+	if arms <= 0 {
+		panic("bandit: NewRandom needs arms > 0")
+	}
+	return &Random{arms: arms, r: r}
+}
+
+// Arms returns the number of actions.
+func (p *Random) Arms() int { return p.arms }
+
+// Select returns a uniformly random action.
+func (p *Random) Select(x []float64) int { return p.r.IntN(p.arms) }
+
+// Update is a no-op: the random policy does not learn.
+func (p *Random) Update(x []float64, action int, reward float64) {}
+
+// Codes reports a single shared code: Random is context-free.
+func (p *Random) Codes() int { return 1 }
+
+// SelectCode returns a uniformly random action.
+func (p *Random) SelectCode(y int) int { return p.r.IntN(p.arms) }
+
+// UpdateCode is a no-op.
+func (p *Random) UpdateCode(y, action int, reward float64) {}
+
+// EpsilonGreedy is a tabular epsilon-greedy policy over encoded contexts:
+// with probability eps it explores uniformly, otherwise it plays the
+// empirically best arm for the code.
+type EpsilonGreedy struct {
+	eps   float64
+	k     int
+	arms  int
+	count []float64
+	sum   []float64
+	r     *rng.Rand
+}
+
+// NewEpsilonGreedy returns an epsilon-greedy policy over k codes. eps must
+// lie in [0, 1].
+func NewEpsilonGreedy(k, arms int, eps float64, r *rng.Rand) *EpsilonGreedy {
+	if k <= 0 || arms <= 0 {
+		panic("bandit: NewEpsilonGreedy needs k > 0 and arms > 0")
+	}
+	if eps < 0 || eps > 1 {
+		panic("bandit: NewEpsilonGreedy needs eps in [0, 1]")
+	}
+	return &EpsilonGreedy{eps: eps, k: k, arms: arms,
+		count: make([]float64, k*arms), sum: make([]float64, k*arms), r: r}
+}
+
+// Arms returns the number of actions.
+func (p *EpsilonGreedy) Arms() int { return p.arms }
+
+// Codes returns the size of the code space.
+func (p *EpsilonGreedy) Codes() int { return p.k }
+
+// SelectCode explores with probability eps, otherwise exploits the best
+// empirical mean for the code.
+func (p *EpsilonGreedy) SelectCode(y int) int {
+	if y < 0 || y >= p.k {
+		panic(fmt.Sprintf("bandit: code %d out of range", y))
+	}
+	if p.r.Bernoulli(p.eps) {
+		return p.r.IntN(p.arms)
+	}
+	base := y * p.arms
+	scores := make([]float64, p.arms)
+	for a := 0; a < p.arms; a++ {
+		n := p.count[base+a]
+		if n == 0 {
+			scores[a] = math.Inf(1) // optimistic: try untouched arms first
+		} else {
+			scores[a] = p.sum[base+a] / n
+		}
+	}
+	return argmaxTieBreak(scores, p.r)
+}
+
+// UpdateCode incorporates an observed reward for (code, action).
+func (p *EpsilonGreedy) UpdateCode(y, action int, reward float64) {
+	if y < 0 || y >= p.k {
+		panic(fmt.Sprintf("bandit: code %d out of range", y))
+	}
+	i := y*p.arms + action
+	p.count[i]++
+	p.sum[i] += reward
+}
+
+// UCB1 is the classic context-free UCB1 policy (Auer et al. 2002), included
+// as the no-context baseline in the ablation study.
+type UCB1 struct {
+	arms  int
+	count []float64
+	sum   []float64
+	total float64
+	r     *rng.Rand
+}
+
+// NewUCB1 returns a UCB1 policy.
+func NewUCB1(arms int, r *rng.Rand) *UCB1 {
+	if arms <= 0 {
+		panic("bandit: NewUCB1 needs arms > 0")
+	}
+	return &UCB1{arms: arms, count: make([]float64, arms), sum: make([]float64, arms), r: r}
+}
+
+// Arms returns the number of actions.
+func (p *UCB1) Arms() int { return p.arms }
+
+// Codes reports a single shared code: UCB1 is context-free.
+func (p *UCB1) Codes() int { return 1 }
+
+// SelectCode ignores the code and plays the UCB1 arm.
+func (p *UCB1) SelectCode(y int) int { return p.Select(nil) }
+
+// UpdateCode ignores the code and performs the UCB1 update.
+func (p *UCB1) UpdateCode(y, action int, reward float64) { p.Update(nil, action, reward) }
+
+// Select returns the arm maximising mean + sqrt(2 ln t / n), playing each
+// arm once first.
+func (p *UCB1) Select(x []float64) int {
+	scores := make([]float64, p.arms)
+	for a := 0; a < p.arms; a++ {
+		if p.count[a] == 0 {
+			scores[a] = math.Inf(1)
+			continue
+		}
+		scores[a] = p.sum[a]/p.count[a] + math.Sqrt(2*math.Log(math.Max(p.total, 1))/p.count[a])
+	}
+	return argmaxTieBreak(scores, p.r)
+}
+
+// Update incorporates an observed reward.
+func (p *UCB1) Update(x []float64, action int, reward float64) {
+	p.count[action]++
+	p.sum[action] += reward
+	p.total++
+}
+
+// Thompson is a tabular Thompson-sampling policy with Beta posteriors per
+// (code, arm). Rewards in [0, 1] update the pseudo-counts fractionally
+// (Agrawal & Goyal's Bernoulli-lift trick applied deterministically).
+type Thompson struct {
+	k     int
+	arms  int
+	alpha []float64 // success pseudo-counts, [y*arms + a]
+	beta  []float64 // failure pseudo-counts
+	r     *rng.Rand
+}
+
+// NewThompson returns a Thompson-sampling policy over k codes with uniform
+// Beta(1, 1) priors.
+func NewThompson(k, arms int, r *rng.Rand) *Thompson {
+	if k <= 0 || arms <= 0 {
+		panic("bandit: NewThompson needs k > 0 and arms > 0")
+	}
+	n := k * arms
+	t := &Thompson{k: k, arms: arms, alpha: make([]float64, n), beta: make([]float64, n), r: r}
+	for i := range t.alpha {
+		t.alpha[i], t.beta[i] = 1, 1
+	}
+	return t
+}
+
+// Arms returns the number of actions.
+func (p *Thompson) Arms() int { return p.arms }
+
+// Codes returns the size of the code space.
+func (p *Thompson) Codes() int { return p.k }
+
+// SelectCode samples each arm's posterior and plays the argmax.
+func (p *Thompson) SelectCode(y int) int {
+	if y < 0 || y >= p.k {
+		panic(fmt.Sprintf("bandit: code %d out of range", y))
+	}
+	base := y * p.arms
+	scores := make([]float64, p.arms)
+	for a := 0; a < p.arms; a++ {
+		scores[a] = p.betaSample(p.alpha[base+a], p.beta[base+a])
+	}
+	return argmaxTieBreak(scores, p.r)
+}
+
+// UpdateCode adds reward to the success count and 1-reward to the failure
+// count, clamping reward into [0, 1].
+func (p *Thompson) UpdateCode(y, action int, reward float64) {
+	if y < 0 || y >= p.k {
+		panic(fmt.Sprintf("bandit: code %d out of range", y))
+	}
+	if reward < 0 {
+		reward = 0
+	}
+	if reward > 1 {
+		reward = 1
+	}
+	i := y*p.arms + action
+	p.alpha[i] += reward
+	p.beta[i] += 1 - reward
+}
+
+// betaSample draws from Beta(a, b) via two Gamma draws.
+func (p *Thompson) betaSample(a, b float64) float64 {
+	x := p.r.Gamma(a)
+	y := p.r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}

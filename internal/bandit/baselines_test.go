@@ -1,0 +1,218 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+// bernoulliArms simulates a code-free environment where arm a pays 1 with
+// probability means[a].
+func playCodePolicy(p CodePolicy, means []float64, steps int, r *rng.Rand) float64 {
+	total := 0.0
+	for i := 0; i < steps; i++ {
+		a := p.SelectCode(0)
+		reward := 0.0
+		if r.Bernoulli(means[a]) {
+			reward = 1
+		}
+		p.UpdateCode(0, a, reward)
+		total += reward
+	}
+	return total / float64(steps)
+}
+
+func TestRandomUniform(t *testing.T) {
+	r := rng.New(1)
+	p := NewRandom(4, r)
+	if p.Arms() != 4 || p.Codes() != 1 {
+		t.Fatal("accessors wrong")
+	}
+	counts := make([]int, 4)
+	for i := 0; i < 40000; i++ {
+		counts[p.Select(nil)]++
+	}
+	for a, c := range counts {
+		if math.Abs(float64(c)/40000-0.25) > 0.02 {
+			t.Fatalf("Random not uniform: arm %d freq %v", a, float64(c)/40000)
+		}
+	}
+	// Update must be a no-op.
+	p.Update(nil, 0, 1)
+	p.UpdateCode(0, 0, 1)
+}
+
+func TestRandomPanicsOnBadArms(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRandom(0) did not panic")
+		}
+	}()
+	NewRandom(0, rng.New(1))
+}
+
+func TestEpsilonGreedyExploitsBestArm(t *testing.T) {
+	r := rng.New(2)
+	p := NewEpsilonGreedy(1, 3, 0.1, r.Split("agent"))
+	mean := playCodePolicy(p, []float64{0.1, 0.8, 0.3}, 3000, r.Split("env"))
+	// Should get close to 0.8 * 0.9 + small exploration terms.
+	if mean < 0.6 {
+		t.Fatalf("epsilon-greedy mean reward %v too low", mean)
+	}
+}
+
+func TestEpsilonGreedyPerCode(t *testing.T) {
+	r := rng.New(3)
+	p := NewEpsilonGreedy(2, 2, 0, r)
+	// Train each code with its matching arm rewarded.
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		a := p.SelectCode(y)
+		reward := 0.0
+		if a == y {
+			reward = 1
+		}
+		p.UpdateCode(y, a, reward)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		if p.SelectCode(y) == y {
+			hits++
+		}
+	}
+	if hits < 95 {
+		t.Fatalf("eps=0 greedy failed to exploit: %d/100", hits)
+	}
+}
+
+func TestEpsilonGreedyValidation(t *testing.T) {
+	r := rng.New(4)
+	cases := []func(){
+		func() { NewEpsilonGreedy(0, 2, 0.1, r) },
+		func() { NewEpsilonGreedy(2, 0, 0.1, r) },
+		func() { NewEpsilonGreedy(2, 2, -0.1, r) },
+		func() { NewEpsilonGreedy(2, 2, 1.1, r) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUCB1PlaysEachArmOnce(t *testing.T) {
+	r := rng.New(5)
+	p := NewUCB1(5, r)
+	seen := map[int]bool{}
+	for i := 0; i < 5; i++ {
+		a := p.Select(nil)
+		if seen[a] {
+			t.Fatalf("arm %d replayed before all arms tried", a)
+		}
+		seen[a] = true
+		p.Update(nil, a, 0.5)
+	}
+}
+
+func TestUCB1FindsBestArm(t *testing.T) {
+	r := rng.New(6)
+	p := NewUCB1(3, r.Split("agent"))
+	mean := playCodePolicy(p, []float64{0.2, 0.5, 0.9}, 3000, r.Split("env"))
+	if mean < 0.7 {
+		t.Fatalf("UCB1 mean reward %v too low", mean)
+	}
+}
+
+func TestThompsonFindsBestArm(t *testing.T) {
+	r := rng.New(7)
+	p := NewThompson(1, 3, r.Split("agent"))
+	mean := playCodePolicy(p, []float64{0.2, 0.5, 0.9}, 3000, r.Split("env"))
+	if mean < 0.7 {
+		t.Fatalf("Thompson mean reward %v too low", mean)
+	}
+}
+
+func TestThompsonClampsRewards(t *testing.T) {
+	p := NewThompson(1, 2, rng.New(8))
+	p.UpdateCode(0, 0, 5)  // clamped to 1
+	p.UpdateCode(0, 1, -5) // clamped to 0
+	// After clamping, alpha[0] = 2, beta[0] = 1 and alpha[1] = 1, beta[1] = 2.
+	// Sample means should favour arm 0.
+	wins := 0
+	for i := 0; i < 1000; i++ {
+		if p.SelectCode(0) == 0 {
+			wins++
+		}
+	}
+	if wins < 550 {
+		t.Fatalf("clamped Thompson should favour arm 0: %d/1000", wins)
+	}
+}
+
+func TestThompsonPerCodeIndependence(t *testing.T) {
+	p := NewThompson(2, 2, rng.New(9))
+	for i := 0; i < 300; i++ {
+		p.UpdateCode(0, 0, 1)
+		p.UpdateCode(0, 1, 0)
+	}
+	// Code 1 is untouched: choices should stay close to uniform.
+	c0 := 0
+	for i := 0; i < 2000; i++ {
+		if p.SelectCode(1) == 0 {
+			c0++
+		}
+	}
+	if math.Abs(float64(c0)/2000-0.5) > 0.1 {
+		t.Fatalf("untrained code biased: %v", float64(c0)/2000)
+	}
+}
+
+func TestContextFreeAdapters(t *testing.T) {
+	r := rng.New(10)
+	u := NewUCB1(2, r)
+	if u.Codes() != 1 {
+		t.Fatal("UCB1 Codes should be 1")
+	}
+	a := u.SelectCode(0)
+	u.UpdateCode(0, a, 1)
+	if u.count[a] != 1 {
+		t.Fatal("UpdateCode did not forward")
+	}
+}
+
+func TestCodePolicyInterfaceCompliance(t *testing.T) {
+	r := rng.New(11)
+	var policies = []CodePolicy{
+		NewTabularUCB(2, 2, 1, r),
+		NewEpsilonGreedy(2, 2, 0.1, r),
+		NewThompson(2, 2, r),
+		NewUCB1(2, r),
+		NewRandom(2, r),
+	}
+	for i, p := range policies {
+		a := p.SelectCode(0)
+		if a < 0 || a >= p.Arms() {
+			t.Fatalf("policy %d selected out-of-range action %d", i, a)
+		}
+		p.UpdateCode(0, a, 0.5)
+	}
+}
+
+var (
+	_ ContextPolicy = (*LinUCB)(nil)
+	_ ContextPolicy = (*Random)(nil)
+	_ ContextPolicy = (*UCB1)(nil)
+	_ ContextPolicy = OneHot{}
+	_ CodePolicy    = (*TabularUCB)(nil)
+	_ CodePolicy    = (*EpsilonGreedy)(nil)
+	_ CodePolicy    = (*Thompson)(nil)
+	_ CodePolicy    = (*UCB1)(nil)
+	_ CodePolicy    = (*Random)(nil)
+)

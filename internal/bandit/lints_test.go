@@ -1,0 +1,107 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+func TestLinThompsonValidation(t *testing.T) {
+	r := rng.New(1)
+	cases := []func(){
+		func() { NewLinThompson(0, 2, 1, r) },
+		func() { NewLinThompson(2, 0, 1, r) },
+		func() { NewLinThompson(2, 2, -1, r) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinThompsonGreedyWhenVZero(t *testing.T) {
+	p := NewLinThompson(2, 2, 0, rng.New(2))
+	x := []float64{1, 0}
+	for i := 0; i < 30; i++ {
+		p.Update(x, 0, 1)
+		p.Update(x, 1, 0)
+	}
+	// With v=0 selection is deterministic on the ridge estimate.
+	for i := 0; i < 20; i++ {
+		if p.Select(x) != 0 {
+			t.Fatal("greedy LinThompson should always pick the rewarded arm")
+		}
+	}
+}
+
+func TestLinThompsonExploresWhenVPositive(t *testing.T) {
+	p := NewLinThompson(2, 2, 1, rng.New(3))
+	x := []float64{0.5, 0.5}
+	// With no data both arms are symmetric; selections should be split.
+	counts := [2]int{}
+	for i := 0; i < 2000; i++ {
+		counts[p.Select(x)]++
+	}
+	frac := float64(counts[0]) / 2000
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("posterior sampling not symmetric: %v", frac)
+	}
+}
+
+func TestLinThompsonLearnsLinearEnvironment(t *testing.T) {
+	r := rng.New(4)
+	env := newLinEnv(4, 5, r.Split("env"))
+	agent := NewLinThompson(4, 5, 0.3, r.Split("agent"))
+	for i := 0; i < 3000; i++ {
+		x := env.context(5)
+		a := agent.Select(x)
+		agent.Update(x, a, env.mean(x, a)+r.Norm(0, 0.05))
+	}
+	hits := 0
+	const eval = 1000
+	for i := 0; i < eval; i++ {
+		x := env.context(5)
+		if agent.Select(x) == env.best(x) {
+			hits++
+		}
+	}
+	// Random would hit ~250; require clear learning.
+	if hits < 500 {
+		t.Fatalf("LinThompson hits %d/1000, want > 500", hits)
+	}
+}
+
+func TestLinThompsonPanicsOnBadInput(t *testing.T) {
+	p := NewLinThompson(2, 3, 1, rng.New(5))
+	cases := []func(){
+		func() { p.Select([]float64{1}) },
+		func() { p.Update([]float64{1}, 0, 1) },
+		func() { p.Update([]float64{1, 2, 3}, 9, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLinThompsonAccessors(t *testing.T) {
+	p := NewLinThompson(3, 4, 0.5, rng.New(6))
+	if p.Arms() != 3 || p.Dim() != 4 {
+		t.Fatal("accessors wrong")
+	}
+}
+
+var _ ContextPolicy = (*LinThompson)(nil)

@@ -1,0 +1,103 @@
+package bandit
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"p2b/internal/mat"
+	"p2b/internal/rng"
+)
+
+// LinUCBState is a serializable snapshot of a LinUCB policy. The server
+// distributes these to warm-start new agents in the non-private pipeline.
+type LinUCBState struct {
+	Alpha float64     `json:"alpha"`
+	D     int         `json:"d"`
+	Arms  int         `json:"arms"`
+	AInv  [][]float64 `json:"a_inv"` // row-major per arm
+	B     [][]float64 `json:"b"`
+	N     []int64     `json:"n"`
+}
+
+// State returns a deep-copied snapshot of the policy.
+func (l *LinUCB) State() *LinUCBState {
+	s := &LinUCBState{
+		Alpha: l.alpha,
+		D:     l.d,
+		Arms:  l.arms,
+		AInv:  make([][]float64, l.arms),
+		B:     make([][]float64, l.arms),
+		N:     append([]int64(nil), l.n...),
+	}
+	for a := 0; a < l.arms; a++ {
+		s.AInv[a] = append([]float64(nil), l.ainv[a].Data...)
+		s.B[a] = append([]float64(nil), l.b[a]...)
+	}
+	return s
+}
+
+// NewLinUCBFromState reconstructs a policy from a snapshot, drawing
+// tie-break randomness from r. The state is deep-copied, so the new policy
+// and later uses of the snapshot are independent.
+func NewLinUCBFromState(s *LinUCBState, r *rng.Rand) (*LinUCB, error) {
+	if s.D <= 0 || s.Arms <= 0 {
+		return nil, fmt.Errorf("bandit: invalid LinUCB state shape d=%d arms=%d", s.D, s.Arms)
+	}
+	if len(s.AInv) != s.Arms || len(s.B) != s.Arms {
+		return nil, fmt.Errorf("bandit: LinUCB state arm count mismatch")
+	}
+	l := NewLinUCB(s.Arms, s.D, s.Alpha, r)
+	for a := 0; a < s.Arms; a++ {
+		if len(s.AInv[a]) != s.D*s.D || len(s.B[a]) != s.D {
+			return nil, fmt.Errorf("bandit: LinUCB state arm %d has wrong shape", a)
+		}
+		copy(l.ainv[a].Data, s.AInv[a])
+		l.b[a] = append(mat.Vec(nil), s.B[a]...)
+	}
+	if len(s.N) == s.Arms {
+		copy(l.n, s.N)
+	}
+	return l, nil
+}
+
+// MarshalJSON implements json.Marshaler via the snapshot form.
+func (l *LinUCB) MarshalJSON() ([]byte, error) { return json.Marshal(l.State()) }
+
+// TabularState is a serializable snapshot of a TabularUCB policy. The
+// server distributes these to warm-start agents in the private pipeline.
+type TabularState struct {
+	Alpha float64   `json:"alpha"`
+	K     int       `json:"k"`
+	Arms  int       `json:"arms"`
+	Count []float64 `json:"count"`
+	Sum   []float64 `json:"sum"`
+}
+
+// State returns a deep-copied snapshot of the policy.
+func (t *TabularUCB) State() *TabularState {
+	return &TabularState{
+		Alpha: t.alpha,
+		K:     t.k,
+		Arms:  t.arms,
+		Count: append([]float64(nil), t.count...),
+		Sum:   append([]float64(nil), t.sum...),
+	}
+}
+
+// NewTabularUCBFromState reconstructs a policy from a snapshot, drawing
+// tie-break randomness from r.
+func NewTabularUCBFromState(s *TabularState, r *rng.Rand) (*TabularUCB, error) {
+	if s.K <= 0 || s.Arms <= 0 {
+		return nil, fmt.Errorf("bandit: invalid tabular state shape k=%d arms=%d", s.K, s.Arms)
+	}
+	if len(s.Count) != s.K*s.Arms || len(s.Sum) != s.K*s.Arms {
+		return nil, fmt.Errorf("bandit: tabular state size mismatch")
+	}
+	t := NewTabularUCB(s.K, s.Arms, s.Alpha, r)
+	copy(t.count, s.Count)
+	copy(t.sum, s.Sum)
+	return t, nil
+}
+
+// MarshalJSON implements json.Marshaler via the snapshot form.
+func (t *TabularUCB) MarshalJSON() ([]byte, error) { return json.Marshal(t.State()) }

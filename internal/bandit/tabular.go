@@ -1,0 +1,144 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"p2b/internal/rng"
+)
+
+// TabularUCB is LinUCB specialised to one-hot contexts over a code space of
+// size K. Because one-hot updates keep the per-arm design matrix diagonal,
+// the general algorithm collapses to per-(code, arm) statistics:
+//
+//	mean(y, a)  = S_{y,a} / (1 + N_{y,a})
+//	score(y, a) = mean + alpha / sqrt(1 + N_{y,a})
+//
+// which is exactly the LinUCB score for context e_y (property-tested in
+// tabular_test.go). Select and Update are O(arms) and O(1), so millions of
+// simulated private agents are cheap.
+type TabularUCB struct {
+	alpha float64
+	k     int
+	arms  int
+	count []float64 // N, indexed [y*arms + a]
+	sum   []float64 // S, indexed [y*arms + a]
+	r     *rng.Rand
+}
+
+// NewTabularUCB returns a tabular UCB policy over k codes and the given
+// number of arms with exploration parameter alpha >= 0.
+func NewTabularUCB(k, arms int, alpha float64, r *rng.Rand) *TabularUCB {
+	if k <= 0 || arms <= 0 {
+		panic(fmt.Sprintf("bandit: NewTabularUCB needs k > 0 and arms > 0, got %d, %d", k, arms))
+	}
+	if alpha < 0 {
+		panic("bandit: NewTabularUCB needs alpha >= 0")
+	}
+	return &TabularUCB{
+		alpha: alpha,
+		k:     k,
+		arms:  arms,
+		count: make([]float64, k*arms),
+		sum:   make([]float64, k*arms),
+		r:     r,
+	}
+}
+
+// Arms returns the number of actions.
+func (t *TabularUCB) Arms() int { return t.arms }
+
+// Codes returns the size of the code space.
+func (t *TabularUCB) Codes() int { return t.k }
+
+// Alpha returns the exploration parameter.
+func (t *TabularUCB) Alpha() float64 { return t.alpha }
+
+func (t *TabularUCB) checkCode(y int) {
+	if y < 0 || y >= t.k {
+		panic(fmt.Sprintf("bandit: code %d out of range [0, %d)", y, t.k))
+	}
+}
+
+// ScoreCode returns the UCB score of one arm for code y.
+func (t *TabularUCB) ScoreCode(y, arm int) float64 {
+	t.checkCode(y)
+	i := y*t.arms + arm
+	n := t.count[i]
+	mean := t.sum[i] / (1 + n)
+	return mean + t.alpha/math.Sqrt(1+n)
+}
+
+// SelectCode returns the arm with the highest UCB score for code y.
+func (t *TabularUCB) SelectCode(y int) int {
+	t.checkCode(y)
+	scores := make([]float64, t.arms)
+	base := y * t.arms
+	for a := 0; a < t.arms; a++ {
+		n := t.count[base+a]
+		scores[a] = t.sum[base+a]/(1+n) + t.alpha/math.Sqrt(1+n)
+	}
+	return argmaxTieBreak(scores, t.r)
+}
+
+// UpdateCode incorporates an observed reward for (code, action).
+func (t *TabularUCB) UpdateCode(y, action int, reward float64) {
+	t.checkCode(y)
+	if action < 0 || action >= t.arms {
+		panic(fmt.Sprintf("bandit: action %d out of range", action))
+	}
+	i := y*t.arms + action
+	t.count[i]++
+	t.sum[i] += reward
+}
+
+// Observations returns the total number of updates across all cells.
+func (t *TabularUCB) Observations() float64 {
+	total := 0.0
+	for _, n := range t.count {
+		total += n
+	}
+	return total
+}
+
+// Merge adds the statistics of other into t. The server uses this to fold
+// shuffled batches into the global model and agents use it to warm-start
+// from a snapshot.
+func (t *TabularUCB) Merge(other *TabularUCB) {
+	if t.k != other.k || t.arms != other.arms {
+		panic(fmt.Sprintf("bandit: Merge shape mismatch (%d,%d) vs (%d,%d)", t.k, t.arms, other.k, other.arms))
+	}
+	for i := range t.count {
+		t.count[i] += other.count[i]
+		t.sum[i] += other.sum[i]
+	}
+}
+
+// OneHot adapts a TabularUCB to the ContextPolicy interface by interpreting
+// the argmax entry of the context as the code. It exists so the tabular fast
+// path can be tested head-to-head against dense LinUCB on identical one-hot
+// streams.
+type OneHot struct {
+	T *TabularUCB
+}
+
+// Arms returns the number of actions.
+func (o OneHot) Arms() int { return o.T.Arms() }
+
+// Select decodes the one-hot context and delegates to the tabular policy.
+func (o OneHot) Select(x []float64) int { return o.T.SelectCode(hotIndex(x)) }
+
+// Update decodes the one-hot context and delegates to the tabular policy.
+func (o OneHot) Update(x []float64, action int, reward float64) {
+	o.T.UpdateCode(hotIndex(x), action, reward)
+}
+
+func hotIndex(x []float64) int {
+	best := 0
+	for i, v := range x {
+		if v > x[best] {
+			best = i
+		}
+	}
+	return best
+}

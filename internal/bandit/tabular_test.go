@@ -1,0 +1,265 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2b/internal/rng"
+)
+
+func TestTabularUCBValidation(t *testing.T) {
+	r := rng.New(1)
+	cases := []struct {
+		k, arms int
+		alpha   float64
+	}{
+		{0, 2, 1}, {2, 0, 1}, {2, 2, -1},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			NewTabularUCB(c.k, c.arms, c.alpha, r)
+		}()
+	}
+}
+
+func TestTabularUCBScoreFormula(t *testing.T) {
+	tb := NewTabularUCB(2, 2, 1.5, rng.New(2))
+	// Fresh cell: mean 0, width alpha.
+	if got := tb.ScoreCode(0, 0); got != 1.5 {
+		t.Fatalf("fresh score = %v, want 1.5", got)
+	}
+	tb.UpdateCode(0, 0, 1)
+	// One observation of reward 1: mean 1/2, width 1.5/sqrt(2).
+	want := 0.5 + 1.5/math.Sqrt(2)
+	if got := tb.ScoreCode(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score after one update = %v, want %v", got, want)
+	}
+	// Other cells untouched.
+	if got := tb.ScoreCode(1, 0); got != 1.5 {
+		t.Fatalf("unrelated cell changed: %v", got)
+	}
+}
+
+// TestTabularEquivalentToLinUCBOneHot is the core structural property: the
+// tabular learner must agree with dense LinUCB run on one-hot contexts,
+// both in scores and (given identical tie-break streams) in action choices.
+func TestTabularEquivalentToLinUCBOneHot(t *testing.T) {
+	const k, arms = 4, 3
+	alpha := 1.0
+	// Identical tie-break streams for both policies.
+	lin := NewLinUCB(arms, k, alpha, rng.New(99))
+	tab := NewTabularUCB(k, arms, alpha, rng.New(99))
+
+	data := rng.New(3)
+	oneHot := func(y int) []float64 {
+		x := make([]float64, k)
+		x[y] = 1
+		return x
+	}
+	for step := 0; step < 500; step++ {
+		y := data.IntN(k)
+		// Scores must match exactly (up to float error).
+		for a := 0; a < arms; a++ {
+			ls := lin.Score(oneHot(y), a)
+			ts := tab.ScoreCode(y, a)
+			if math.Abs(ls-ts) > 1e-9 {
+				t.Fatalf("step %d: score mismatch arm %d: linucb %v vs tabular %v", step, a, ls, ts)
+			}
+		}
+		la := lin.Select(oneHot(y))
+		ta := tab.SelectCode(y)
+		if la != ta {
+			t.Fatalf("step %d: action mismatch %d vs %d", step, la, ta)
+		}
+		r := data.Float64()
+		lin.Update(oneHot(y), la, r)
+		tab.UpdateCode(y, ta, r)
+	}
+}
+
+func TestTabularEquivalenceProperty(t *testing.T) {
+	// Randomized instances of the same equivalence.
+	if err := quick.Check(func(seed uint16, steps uint8) bool {
+		k := 2 + int(seed%5)
+		arms := 2 + int(seed%3)
+		lin := NewLinUCB(arms, k, 0.7, rng.New(uint64(seed)))
+		tab := NewTabularUCB(k, arms, 0.7, rng.New(uint64(seed)))
+		data := rng.New(uint64(seed) + 1000)
+		for s := 0; s < int(steps%64)+1; s++ {
+			y := data.IntN(k)
+			x := make([]float64, k)
+			x[y] = 1
+			for a := 0; a < arms; a++ {
+				if math.Abs(lin.Score(x, a)-tab.ScoreCode(y, a)) > 1e-9 {
+					return false
+				}
+			}
+			a := lin.Select(x)
+			if a != tab.SelectCode(y) {
+				return false
+			}
+			r := data.Float64()
+			lin.Update(x, a, r)
+			tab.UpdateCode(y, a, r)
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTabularMerge(t *testing.T) {
+	a := NewTabularUCB(2, 2, 1, rng.New(4))
+	b := NewTabularUCB(2, 2, 1, rng.New(5))
+	a.UpdateCode(0, 0, 1)
+	b.UpdateCode(0, 0, 0.5)
+	b.UpdateCode(1, 1, 1)
+	a.Merge(b)
+	// Cell (0,0): 2 observations summing 1.5 -> mean 1.5/3 = 0.5.
+	want := 0.5 + 1/math.Sqrt(3)
+	if got := a.ScoreCode(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merged score = %v, want %v", got, want)
+	}
+	if a.Observations() != 3 {
+		t.Fatalf("merged observations = %v, want 3", a.Observations())
+	}
+}
+
+func TestTabularMergeShapeMismatchPanics(t *testing.T) {
+	a := NewTabularUCB(2, 2, 1, rng.New(6))
+	b := NewTabularUCB(3, 2, 1, rng.New(7))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestTabularCodeRangePanics(t *testing.T) {
+	tb := NewTabularUCB(2, 2, 1, rng.New(8))
+	cases := []func(){
+		func() { tb.SelectCode(-1) },
+		func() { tb.SelectCode(2) },
+		func() { tb.UpdateCode(5, 0, 1) },
+		func() { tb.UpdateCode(0, 3, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTabularLearnsPerCodePreference(t *testing.T) {
+	r := rng.New(9)
+	tb := NewTabularUCB(2, 2, 0.3, r)
+	// Code 0 rewards arm 0; code 1 rewards arm 1.
+	for i := 0; i < 400; i++ {
+		y := i % 2
+		a := tb.SelectCode(y)
+		reward := 0.0
+		if a == y {
+			reward = 1
+		}
+		tb.UpdateCode(y, a, reward)
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		y := i % 2
+		if tb.SelectCode(y) == y {
+			hits++
+		}
+	}
+	if hits < 90 {
+		t.Fatalf("tabular UCB failed to learn per-code preference: %d/100", hits)
+	}
+}
+
+func TestOneHotAdapter(t *testing.T) {
+	tb := NewTabularUCB(3, 2, 1, rng.New(10))
+	o := OneHot{T: tb}
+	if o.Arms() != 2 {
+		t.Fatal("adapter arms wrong")
+	}
+	x := []float64{0, 1, 0}
+	a := o.Select(x)
+	o.Update(x, a, 1)
+	if tb.Observations() != 1 {
+		t.Fatal("adapter did not forward update")
+	}
+	// The update must have landed on code 1.
+	if tb.ScoreCode(0, a) == tb.ScoreCode(1, a) {
+		t.Fatal("update landed on wrong code")
+	}
+}
+
+func TestStateRoundTripTabular(t *testing.T) {
+	tb := NewTabularUCB(3, 2, 0.5, rng.New(11))
+	tb.UpdateCode(1, 0, 0.7)
+	tb.UpdateCode(2, 1, 0.2)
+	s := tb.State()
+	clone, err := NewTabularUCBFromState(s, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < 3; y++ {
+		for a := 0; a < 2; a++ {
+			if math.Abs(tb.ScoreCode(y, a)-clone.ScoreCode(y, a)) > 1e-12 {
+				t.Fatalf("restored score differs at (%d,%d)", y, a)
+			}
+		}
+	}
+	// Snapshot is a deep copy: mutating the clone must not touch the source.
+	clone.UpdateCode(0, 0, 1)
+	if tb.Observations() != 2 {
+		t.Fatal("snapshot aliases the original")
+	}
+}
+
+func TestStateRoundTripLinUCB(t *testing.T) {
+	l := NewLinUCB(2, 3, 1, rng.New(13))
+	x := []float64{0.2, 0.3, 0.5}
+	l.Update(x, 0, 0.9)
+	l.Update(x, 1, 0.1)
+	s := l.State()
+	clone, err := NewLinUCBFromState(s, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		if math.Abs(l.Score(x, a)-clone.Score(x, a)) > 1e-12 {
+			t.Fatalf("restored LinUCB score differs at arm %d", a)
+		}
+	}
+	clone.Update(x, 0, 1)
+	if l.Pulls(0) != 1 {
+		t.Fatal("LinUCB snapshot aliases the original")
+	}
+}
+
+func TestStateValidation(t *testing.T) {
+	if _, err := NewTabularUCBFromState(&TabularState{K: 0, Arms: 2}, rng.New(1)); err == nil {
+		t.Fatal("bad tabular state accepted")
+	}
+	if _, err := NewTabularUCBFromState(&TabularState{K: 2, Arms: 2, Count: []float64{1}, Sum: []float64{1}}, rng.New(1)); err == nil {
+		t.Fatal("short tabular state accepted")
+	}
+	if _, err := NewLinUCBFromState(&LinUCBState{D: 0, Arms: 1}, rng.New(1)); err == nil {
+		t.Fatal("bad linucb state accepted")
+	}
+	if _, err := NewLinUCBFromState(&LinUCBState{D: 2, Arms: 1, AInv: [][]float64{{1}}, B: [][]float64{{1, 0}}}, rng.New(1)); err == nil {
+		t.Fatal("short linucb state accepted")
+	}
+}

@@ -1,0 +1,556 @@
+// Package core wires P2B together: local bandit agents, the context
+// encoder, randomized participation, the shuffler and the analyzer server
+// (paper §3, Figure 1). It provides the population simulator every
+// experiment in the evaluation runs on.
+//
+// A System is configured with one of three modes, matching the paper's
+// §5 comparison:
+//
+//   - Cold: each agent learns only from its own interactions. Full privacy,
+//     no sharing, cold-start behaviour.
+//   - WarmNonPrivate: agents ship every raw (context, action, reward) tuple
+//     to the server and warm-start from the server's LinUCB model. No
+//     privacy.
+//   - WarmPrivate: the P2B pipeline. Agents operate on encoded contexts,
+//     warm-start from the server's tabular model, and with probability P
+//     submit a single encoded tuple through the shuffler.
+//
+// Simulated users run concurrently; every user draws its randomness from a
+// substream keyed by user id, so per-user trajectories are reproducible
+// regardless of goroutine scheduling (aggregate results are exactly
+// reproducible with Workers=1 and statistically stable otherwise).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"p2b/internal/bandit"
+	"p2b/internal/encoding"
+	"p2b/internal/privacy"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/stats"
+	"p2b/internal/transport"
+)
+
+// Mode selects which of the paper's three regimes a System runs.
+type Mode int
+
+const (
+	// Cold runs standalone local agents with no communication.
+	Cold Mode = iota
+	// WarmNonPrivate shares raw contexts with the server.
+	WarmNonPrivate
+	// WarmPrivate runs the P2B pipeline: encode, sample, shuffle, aggregate.
+	WarmPrivate
+)
+
+// String returns the mode's name as used in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case Cold:
+		return "cold"
+	case WarmNonPrivate:
+		return "warm-nonprivate"
+	case WarmPrivate:
+		return "warm-private"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Environment is a bandit workload: it describes the context space and
+// action set and creates per-user interaction sessions. The synthetic,
+// multi-label and ad-log substrates all implement it.
+type Environment interface {
+	// Dim returns the context dimension.
+	Dim() int
+	// Arms returns the number of actions.
+	Arms() int
+	// User creates the interaction session of the given user. The session
+	// may only be used by the calling goroutine.
+	User(id int, r *rng.Rand) UserSession
+	// SampleContexts draws n contexts from the environment's context
+	// distribution. P2B fits the shared encoder on such a public sample.
+	SampleContexts(n int, r *rng.Rand) [][]float64
+}
+
+// UserSession yields one user's contexts and bandit feedback.
+type UserSession interface {
+	// Context returns the context of interaction t (t = 0, 1, ...).
+	Context(t int) []float64
+	// Reward returns the reward for playing action at interaction t.
+	Reward(t, action int) float64
+}
+
+// Learner selects the hypothesis class of warm-private agents. The paper
+// states that "private agents use the encoded value as the context" (§5.3)
+// without fixing the representation; both natural readings are implemented
+// and ablated (see DESIGN.md):
+type Learner int
+
+const (
+	// LearnerTabular keeps per-(code, action) statistics — LinUCB over
+	// one-hot codes. It can represent arbitrary per-cluster structure but
+	// needs on the order of K*Arms observations, so it suits small code
+	// spaces (the paper's real-data experiments, k = 2^5..2^7).
+	LearnerTabular Learner = iota
+	// LearnerCentroid runs LinUCB over the code's decoded representative
+	// (the cluster centroid). It pools observations across codes through
+	// the linear model, so it stays sample-efficient at large K (the
+	// paper's synthetic experiments, k = 2^10). Requires an encoder that
+	// implements Decode.
+	LearnerCentroid
+)
+
+// String names the learner for tables and logs.
+func (l Learner) String() string {
+	switch l {
+	case LearnerTabular:
+		return "tabular"
+	case LearnerCentroid:
+		return "centroid"
+	default:
+		return fmt.Sprintf("learner(%d)", int(l))
+	}
+}
+
+// Config parameterizes a System. Zero values fall back to the paper's
+// defaults where one exists.
+type Config struct {
+	Mode Mode
+	// T is the number of local interactions per user (paper: 10-300
+	// depending on experiment).
+	T int
+	// P is the participation probability of the randomized reporting step.
+	// The paper fixes P = 0.5 for epsilon = ln 2.
+	P float64
+	// Alpha is the UCB exploration parameter (paper: 1).
+	Alpha float64
+	// K is the encoder code space size (private mode). Ignored when an
+	// explicit encoder is supplied.
+	K int
+	// Threshold is the shuffler's crowd-blending threshold l (paper: 10
+	// for the real-data experiments; small populations need a smaller l,
+	// which the paper notes can always be matched to the threshold).
+	Threshold int
+	// BatchSize is the shuffler batch size. It defaults to
+	// max(256, 4*Threshold*K): a code's expected frequency in a batch is
+	// BatchSize/K, which must comfortably clear the threshold or the
+	// thresholding step consumes everything.
+	BatchSize int
+	// PrivateLearner selects the warm-private agents' hypothesis class
+	// (default LearnerTabular).
+	PrivateLearner Learner
+	// ReportWindow divides a session into windows of this many
+	// interactions, each giving one independent Bernoulli(P) participation
+	// opportunity (one tuple sampled from the window). 0 means a single
+	// opportunity over the whole session — the paper's single-disclosure
+	// regime (§6). With w = T/ReportWindow windows the accountant reports
+	// the composed budget w*P*epsilon in expectation; the paper's
+	// composition remark prices r disclosures at r*epsilon.
+	ReportWindow int
+	// EncoderSample is how many public contexts the k-means encoder is
+	// fitted on when no encoder is supplied (default 4096).
+	EncoderSample int
+	// Workers bounds simulation concurrency (default 1: fully
+	// deterministic).
+	Workers int
+	// Seed is the root seed all randomness derives from.
+	Seed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.T == 0 {
+		c.T = 10
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.K == 0 {
+		c.K = 1 << 5
+	}
+	if c.EncoderSample == 0 {
+		c.EncoderSample = 4096
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+}
+
+func (c *Config) validate() error {
+	if c.T < 1 {
+		return errors.New("core: T must be >= 1")
+	}
+	if c.P < 0 || c.P >= 1 {
+		return fmt.Errorf("core: participation probability %v outside [0, 1)", c.P)
+	}
+	if c.Alpha < 0 {
+		return errors.New("core: Alpha must be >= 0")
+	}
+	if c.Threshold < 0 {
+		return errors.New("core: Threshold must be >= 0")
+	}
+	if c.Workers < 1 {
+		return errors.New("core: Workers must be >= 1")
+	}
+	if c.Mode != Cold && c.Mode != WarmNonPrivate && c.Mode != WarmPrivate {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.PrivateLearner != LearnerTabular && c.PrivateLearner != LearnerCentroid {
+		return fmt.Errorf("core: unknown private learner %d", int(c.PrivateLearner))
+	}
+	if c.ReportWindow < 0 {
+		return errors.New("core: ReportWindow must be >= 0")
+	}
+	return nil
+}
+
+// System is one configured P2B deployment over an environment.
+type System struct {
+	cfg  Config
+	env  Environment
+	enc  encoding.Encoder
+	srv  *server.Server
+	shuf *shuffler.Shuffler
+	acct *privacy.Accountant
+	root *rng.Rand
+
+	submitted atomic.Int64 // tuples sent into the shuffler
+	usersRun  atomic.Int64
+}
+
+// NewSystem builds a system over env. enc may be nil, in which case a
+// k-means encoder with cfg.K codes is fitted on a public context sample
+// (only the private mode uses it).
+func NewSystem(cfg Config, env Environment, enc encoding.Encoder) (*System, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if env.Dim() < 1 || env.Arms() < 1 {
+		return nil, fmt.Errorf("core: environment has invalid shape d=%d arms=%d", env.Dim(), env.Arms())
+	}
+	root := rng.New(cfg.Seed)
+	if enc == nil {
+		sample := env.SampleContexts(cfg.EncoderSample, root.Split("encoder-sample"))
+		var err error
+		enc, err = encoding.FitKMeans(sample, cfg.K, 50, 1e-6, root.Split("encoder-fit"))
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting encoder: %w", err)
+		}
+	}
+	if cfg.BatchSize == 0 {
+		// A batch must hold enough tuples that an average code's frequency
+		// (BatchSize / K) clears the crowd-blending threshold with margin.
+		cfg.BatchSize = 4 * cfg.Threshold * enc.K()
+		if cfg.BatchSize < 256 {
+			cfg.BatchSize = 256
+		}
+	}
+	var decoder server.Decoder
+	if d, ok := enc.(encoding.Decoder); ok {
+		decoder = d
+	}
+	if cfg.Mode == WarmPrivate && cfg.PrivateLearner == LearnerCentroid && decoder == nil {
+		return nil, errors.New("core: the centroid learner requires an encoder that implements Decode")
+	}
+	srv := server.New(server.Config{
+		K:       enc.K(),
+		Arms:    env.Arms(),
+		D:       env.Dim(),
+		Alpha:   cfg.Alpha,
+		Seed:    cfg.Seed,
+		Decoder: decoder,
+	})
+	shuf := shuffler.New(shuffler.Config{
+		BatchSize: cfg.BatchSize,
+		Threshold: cfg.Threshold,
+	}, srv, root.Split("shuffler"))
+	return &System{
+		cfg:  cfg,
+		env:  env,
+		enc:  enc,
+		srv:  srv,
+		shuf: shuf,
+		acct: privacy.NewAccountant(privacy.Epsilon(cfg.P)),
+		root: root,
+	}, nil
+}
+
+// Config returns the system's configuration (with defaults filled).
+func (s *System) Config() Config { return s.cfg }
+
+// Encoder returns the shared context encoder.
+func (s *System) Encoder() encoding.Encoder { return s.enc }
+
+// Server returns the analyzer server, for inspection.
+func (s *System) Server() *server.Server { return s.srv }
+
+// Shuffler returns the shuffler, for inspection.
+func (s *System) Shuffler() *shuffler.Shuffler { return s.shuf }
+
+// Accountant returns the privacy budget accountant.
+func (s *System) Accountant() *privacy.Accountant { return s.acct }
+
+// Epsilon returns the per-disclosure differential privacy guarantee of the
+// deployment: Equation 3's epsilon for the private mode, 0 for Cold (no
+// data ever leaves the device), and +Inf for the non-private baseline.
+func (s *System) Epsilon() float64 {
+	switch s.cfg.Mode {
+	case Cold:
+		return 0
+	case WarmPrivate:
+		return privacy.Epsilon(s.cfg.P)
+	default:
+		return math.Inf(1)
+	}
+}
+
+// RunResult aggregates the rewards of a batch of simulated users.
+type RunResult struct {
+	// Overall pools every interaction's reward.
+	Overall stats.Running
+	// ByStep[t] pools the rewards observed at local interaction t across
+	// users; prefix means of it give "accuracy after n local interactions"
+	// curves (Figures 6 and 7).
+	ByStep []stats.Running
+}
+
+// merge folds other into r.
+func (r *RunResult) merge(other RunResult) {
+	r.Overall.Merge(other.Overall)
+	if len(r.ByStep) < len(other.ByStep) {
+		grown := make([]stats.Running, len(other.ByStep))
+		copy(grown, r.ByStep)
+		r.ByStep = grown
+	}
+	for t := range other.ByStep {
+		r.ByStep[t].Merge(other.ByStep[t])
+	}
+}
+
+// PrefixMean returns the mean reward over the first n local interactions,
+// i.e. the paper's accuracy/CTR after n interactions.
+func (r *RunResult) PrefixMean(n int) float64 {
+	if n > len(r.ByStep) {
+		n = len(r.ByStep)
+	}
+	var agg stats.Running
+	for t := 0; t < n; t++ {
+		agg.Merge(r.ByStep[t])
+	}
+	return agg.Mean()
+}
+
+// RunUsers simulates the given user ids with the configured number of
+// workers. When participate is true, users feed the data collection
+// pipeline according to the system's mode; evaluation cohorts pass false so
+// measurement never contaminates the global model.
+func (s *System) RunUsers(ids []int, participate bool) RunResult {
+	workers := s.cfg.Workers
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	if workers <= 1 {
+		var res RunResult
+		for _, id := range ids {
+			one := s.runUser(id, participate)
+			res.merge(one)
+		}
+		return res
+	}
+	var (
+		mu    sync.Mutex
+		total RunResult
+		wg    sync.WaitGroup
+		next  atomic.Int64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local RunResult
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					break
+				}
+				one := s.runUser(ids[i], participate)
+				local.merge(one)
+			}
+			mu.Lock()
+			total.merge(local)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// RunRange simulates users with ids in [start, start+n).
+func (s *System) RunRange(start, n int, participate bool) RunResult {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = start + i
+	}
+	return s.RunUsers(ids, participate)
+}
+
+// runUser simulates one user's T local interactions and (optionally) its
+// participation in data collection. It returns the user's reward profile.
+func (s *System) runUser(id int, participate bool) RunResult {
+	r := s.root.SplitIndex("user", id)
+	session := s.env.User(id, r.Split("session"))
+	res := RunResult{ByStep: make([]stats.Running, s.cfg.T)}
+	s.usersRun.Add(1)
+
+	switch s.cfg.Mode {
+	case Cold:
+		agent := bandit.NewLinUCB(s.env.Arms(), s.env.Dim(), s.cfg.Alpha, r.Split("agent"))
+		for t := 0; t < s.cfg.T; t++ {
+			x := session.Context(t)
+			a := agent.Select(x)
+			reward := session.Reward(t, a)
+			agent.Update(x, a, reward)
+			res.Overall.Add(reward)
+			res.ByStep[t].Add(reward)
+		}
+
+	case WarmNonPrivate:
+		agent, err := bandit.NewLinUCBFromState(s.srv.LinUCBSnapshot(), r.Split("agent"))
+		if err != nil {
+			panic("core: server produced invalid LinUCB snapshot: " + err.Error())
+		}
+		raws := make([]transport.RawTuple, 0, s.cfg.T)
+		for t := 0; t < s.cfg.T; t++ {
+			x := session.Context(t)
+			a := agent.Select(x)
+			reward := session.Reward(t, a)
+			agent.Update(x, a, reward)
+			res.Overall.Add(reward)
+			res.ByStep[t].Add(reward)
+			raws = append(raws, transport.RawTuple{Context: x, Action: a, Reward: reward})
+		}
+		if participate {
+			// The baseline follows the same randomized reporting protocol
+			// as P2B — per window, with probability P, one sampled tuple —
+			// but transmits the context in its original form. This keeps
+			// the data volumes of the two warm regimes identical, so their
+			// gap isolates the cost of encoding + privacy rather than of
+			// sample count; it is the only reading under which the paper's
+			// few-percent gaps are reachable.
+			s.reportRaw(raws, r)
+		}
+
+	case WarmPrivate:
+		// Both learners observe only the encoded context; they differ in
+		// how they generalize across codes (see Learner docs).
+		var selectAction func(y int) int
+		var updateAgent func(y, a int, reward float64)
+		switch s.cfg.PrivateLearner {
+		case LearnerCentroid:
+			agent, err := bandit.NewLinUCBFromState(s.srv.CentroidSnapshot(), r.Split("agent"))
+			if err != nil {
+				panic("core: server produced invalid centroid snapshot: " + err.Error())
+			}
+			dec := s.enc.(encoding.Decoder) // checked in NewSystem
+			selectAction = func(y int) int { return agent.Select(dec.Decode(y)) }
+			updateAgent = func(y, a int, reward float64) { agent.Update(dec.Decode(y), a, reward) }
+		default:
+			agent, err := bandit.NewTabularUCBFromState(s.srv.TabularSnapshot(), r.Split("agent"))
+			if err != nil {
+				panic("core: server produced invalid tabular snapshot: " + err.Error())
+			}
+			selectAction = agent.SelectCode
+			updateAgent = agent.UpdateCode
+		}
+		history := make([]transport.Tuple, 0, s.cfg.T)
+		for t := 0; t < s.cfg.T; t++ {
+			x := session.Context(t)
+			y := s.enc.Encode(x)
+			a := selectAction(y)
+			reward := session.Reward(t, a)
+			updateAgent(y, a, reward)
+			res.Overall.Add(reward)
+			res.ByStep[t].Add(reward)
+			history = append(history, transport.Tuple{Code: y, Action: a, Reward: reward})
+		}
+		if participate {
+			s.report(id, history, r)
+		}
+	}
+	return res
+}
+
+// reportRaw mirrors report for the non-private baseline: the same window
+// and Bernoulli(P) schedule, but raw tuples straight to the server.
+func (s *System) reportRaw(history []transport.RawTuple, r *rng.Rand) {
+	window := s.cfg.ReportWindow
+	if window <= 0 || window > len(history) {
+		window = len(history)
+	}
+	for w, start := 0, 0; start < len(history); w, start = w+1, start+window {
+		end := start + window
+		if end > len(history) {
+			end = len(history)
+		}
+		wr := r.SplitIndex("participate", w)
+		if !wr.Bernoulli(s.cfg.P) {
+			continue
+		}
+		raw := history[start+wr.IntN(end-start)]
+		if err := s.srv.IngestRaw(raw); err != nil {
+			panic("core: raw ingestion rejected: " + err.Error())
+		}
+	}
+}
+
+// report runs the randomized data reporting step over the user's history:
+// one independent Bernoulli(P) opportunity per report window (or one for
+// the whole session when ReportWindow is 0), each disclosing a single
+// uniformly chosen tuple from its window.
+func (s *System) report(id int, history []transport.Tuple, r *rng.Rand) {
+	window := s.cfg.ReportWindow
+	if window <= 0 || window > len(history) {
+		window = len(history)
+	}
+	device := fmt.Sprintf("device-%08d", id)
+	for w, start := 0, 0; start < len(history); w, start = w+1, start+window {
+		end := start + window
+		if end > len(history) {
+			end = len(history)
+		}
+		wr := r.SplitIndex("participate", w)
+		if !wr.Bernoulli(s.cfg.P) {
+			continue
+		}
+		tup := history[start+wr.IntN(end-start)]
+		s.shuf.Submit(transport.Envelope{
+			Meta: transport.Metadata{
+				DeviceID: device,
+				Addr:     fmt.Sprintf("10.%d.%d.%d:443", id>>16&0xff, id>>8&0xff, id&0xff),
+				SentAt:   int64(id)*1_000_003 + int64(w) + 1,
+			},
+			Tuple: tup,
+		})
+		s.acct.Record(device)
+		s.submitted.Add(1)
+	}
+}
+
+// Flush pushes any pending shuffler buffer through thresholding to the
+// server. Call between population rounds so a measurement sees all data
+// collected so far.
+func (s *System) Flush() { s.shuf.Flush() }
+
+// Submitted returns how many tuples users have sent into the shuffler.
+func (s *System) Submitted() int64 { return s.submitted.Load() }
+
+// UsersRun returns how many user sessions have been simulated.
+func (s *System) UsersRun() int64 { return s.usersRun.Load() }

@@ -1,0 +1,292 @@
+// Package encoding implements P2B's context encoders: functions that map a
+// normalized d-dimensional context vector to a discrete code in {0..k-1}
+// before transmission (paper §3.2).
+//
+// Three families are provided:
+//
+//   - GridQuantizer: the paper's fixed-precision representation. Contexts
+//     are rounded to q decimal digits on the probability simplex; the set of
+//     representable points is finite with cardinality n = C(10^q + d - 1,
+//     d - 1) (Equation 1, the stars-and-bars count), and every grid point is
+//     assigned its combinatorial rank as its code.
+//   - KMeans: the clustering encoder used in the paper's experiments, with
+//     both Lloyd and mini-batch (Sculley 2010) fitting.
+//   - LSH: random-hyperplane locality-sensitive hashing (Aghasaryan et al.
+//     2013), included for the encoder ablation.
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// Encoder maps a context vector to a code in {0, ..., K()-1}.
+type Encoder interface {
+	// Encode returns the code of x.
+	Encode(x []float64) int
+	// K returns the size of the code space.
+	K() int
+}
+
+// Decoder maps a code back to a representative context vector (the cluster
+// centroid or grid point). Encoders that support it enable the
+// centroid-LinUCB private learner; LSH does not (hyperplane cells have no
+// stored representative).
+type Decoder interface {
+	// Decode returns the representative context of the code.
+	Decode(code int) []float64
+}
+
+// ErrTooLarge is returned when a grid's cardinality does not fit the int
+// code space.
+var ErrTooLarge = errors.New("encoding: grid cardinality exceeds the supported code space")
+
+// GridQuantizer rounds normalized contexts to a fixed precision of q
+// decimal digits and codes each grid point by its lexicographic rank among
+// the weak compositions of 10^q into d parts.
+type GridQuantizer struct {
+	d     int
+	q     int
+	scale int       // 10^q
+	binom [][]int64 // Pascal's triangle, binom[n][k]
+	n     int64     // cardinality
+}
+
+// NewGridQuantizer returns a quantizer for d-dimensional simplex vectors at
+// precision q decimal digits. It returns ErrTooLarge if the cardinality
+// C(10^q + d - 1, d - 1) exceeds int64 (the full grid code space is only
+// practical for small d and q; larger spaces use the clustering encoders).
+func NewGridQuantizer(d, q int) (*GridQuantizer, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("encoding: NewGridQuantizer needs d >= 1, got %d", d)
+	}
+	if q < 1 || q > 9 {
+		return nil, fmt.Errorf("encoding: NewGridQuantizer needs 1 <= q <= 9, got %d", q)
+	}
+	scale := 1
+	for i := 0; i < q; i++ {
+		scale *= 10
+	}
+	g := &GridQuantizer{d: d, q: q, scale: scale}
+	if err := g.buildBinom(scale + d); err != nil {
+		return nil, err
+	}
+	g.n = g.compositions(scale, d)
+	if g.n < 0 {
+		return nil, ErrTooLarge
+	}
+	return g, nil
+}
+
+// buildBinom fills Pascal's triangle up to row max, storing -1 for entries
+// that overflow int64.
+func (g *GridQuantizer) buildBinom(max int) error {
+	limit := new(big.Int).SetInt64(math.MaxInt64)
+	g.binom = make([][]int64, max+1)
+	row := make([]*big.Int, max+1)
+	for n := 0; n <= max; n++ {
+		g.binom[n] = make([]int64, n+1)
+		newRow := make([]*big.Int, max+1)
+		for k := 0; k <= n; k++ {
+			var v *big.Int
+			if k == 0 || k == n {
+				v = big.NewInt(1)
+			} else {
+				v = new(big.Int).Add(row[k-1], row[k])
+			}
+			newRow[k] = v
+			if v.Cmp(limit) > 0 {
+				g.binom[n][k] = -1
+			} else {
+				g.binom[n][k] = v.Int64()
+			}
+		}
+		row = newRow
+	}
+	// Cardinality overflow is reported by the caller via compositions().
+	return nil
+}
+
+// compositions returns the number of weak compositions of s into m parts,
+// C(s + m - 1, m - 1), or -1 on overflow.
+func (g *GridQuantizer) compositions(s, m int) int64 {
+	if m == 0 {
+		if s == 0 {
+			return 1
+		}
+		return 0
+	}
+	n := s + m - 1
+	k := m - 1
+	if n < 0 || n >= len(g.binom) || k > n {
+		return 0
+	}
+	return g.binom[n][k]
+}
+
+// D returns the context dimension.
+func (g *GridQuantizer) D() int { return g.d }
+
+// Q returns the precision in decimal digits.
+func (g *GridQuantizer) Q() int { return g.q }
+
+// Cardinality returns n = C(10^q + d - 1, d - 1), the number of grid points
+// (Equation 1 of the paper).
+func (g *GridQuantizer) Cardinality() int64 { return g.n }
+
+// K returns the code space size (the cardinality).
+func (g *GridQuantizer) K() int { return int(g.n) }
+
+// Quantize rounds x onto the grid: a non-negative integer composition of
+// 10^q with one part per dimension. Rounding uses the largest-remainder
+// method so the parts always sum exactly to 10^q. The input is normalized
+// defensively; a zero or degenerate vector maps to the uniform composition.
+func (g *GridQuantizer) Quantize(x []float64) []int {
+	if len(x) != g.d {
+		panic(fmt.Sprintf("encoding: Quantize dimension %d, want %d", len(x), g.d))
+	}
+	sum := 0.0
+	for _, v := range x {
+		if v > 0 && !math.IsInf(v, 0) && !math.IsNaN(v) {
+			sum += v
+		}
+	}
+	comp := make([]int, g.d)
+	if sum <= 0 {
+		// Degenerate input: spread uniformly, remainder to leading parts.
+		base := g.scale / g.d
+		rem := g.scale - base*g.d
+		for i := range comp {
+			comp[i] = base
+			if i < rem {
+				comp[i]++
+			}
+		}
+		return comp
+	}
+	type fracIdx struct {
+		frac float64
+		idx  int
+	}
+	fracs := make([]fracIdx, g.d)
+	total := 0
+	for i, v := range x {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			v = 0
+		}
+		scaled := v / sum * float64(g.scale)
+		fl := math.Floor(scaled)
+		comp[i] = int(fl)
+		total += comp[i]
+		fracs[i] = fracIdx{frac: scaled - fl, idx: i}
+	}
+	// Distribute the remaining mass to the largest fractional parts;
+	// ties broken by index for determinism.
+	rem := g.scale - total
+	for r := 0; r < rem; r++ {
+		best := -1
+		for i := range fracs {
+			if best == -1 || fracs[i].frac > fracs[best].frac ||
+				(fracs[i].frac == fracs[best].frac && fracs[i].idx < fracs[best].idx) {
+				best = i
+			}
+		}
+		comp[fracs[best].idx]++
+		fracs[best].frac = -1
+	}
+	return comp
+}
+
+// Rank returns the lexicographic rank of the composition among all weak
+// compositions of 10^q into d parts. It panics if comp has the wrong shape
+// or sum.
+func (g *GridQuantizer) Rank(comp []int) int64 {
+	if len(comp) != g.d {
+		panic(fmt.Sprintf("encoding: Rank dimension %d, want %d", len(comp), g.d))
+	}
+	remaining := g.scale
+	var rank int64
+	for i := 0; i < g.d-1; i++ {
+		c := comp[i]
+		if c < 0 || c > remaining {
+			panic(fmt.Sprintf("encoding: Rank composition entry %d out of range", i))
+		}
+		m := g.d - i
+		// Compositions whose part i is smaller than c:
+		// W(remaining, m) - W(remaining - c, m).
+		rank += g.compositions(remaining, m) - g.compositions(remaining-c, m)
+		remaining -= c
+	}
+	if comp[g.d-1] != remaining {
+		panic("encoding: Rank composition does not sum to 10^q")
+	}
+	return rank
+}
+
+// Unrank returns the composition with the given lexicographic rank. It
+// panics if rank is out of [0, Cardinality()).
+func (g *GridQuantizer) Unrank(rank int64) []int {
+	if rank < 0 || rank >= g.n {
+		panic(fmt.Sprintf("encoding: Unrank rank %d out of range [0, %d)", rank, g.n))
+	}
+	comp := make([]int, g.d)
+	remaining := g.scale
+	for i := 0; i < g.d-1; i++ {
+		m := g.d - i
+		for v := 0; ; v++ {
+			cnt := g.compositions(remaining-v, m-1)
+			if rank < cnt {
+				comp[i] = v
+				remaining -= v
+				break
+			}
+			rank -= cnt
+		}
+	}
+	comp[g.d-1] = remaining
+	return comp
+}
+
+// Encode quantizes x and returns the grid point's rank as its code.
+func (g *GridQuantizer) Encode(x []float64) int {
+	return int(g.Rank(g.Quantize(x)))
+}
+
+// Decode returns the grid point (a normalized vector) for a code, the
+// center of the code's cell.
+func (g *GridQuantizer) Decode(code int) []float64 {
+	comp := g.Unrank(int64(code))
+	out := make([]float64, g.d)
+	for i, c := range comp {
+		out[i] = float64(c) / float64(g.scale)
+	}
+	return out
+}
+
+// EnumerateAll returns every grid point as a normalized vector, in rank
+// order. Useful for small spaces only (e.g. the paper's Figure 2 example
+// with d=3, q=1 and 66 points); it panics if the cardinality exceeds limit.
+func (g *GridQuantizer) EnumerateAll(limit int) [][]float64 {
+	if g.n > int64(limit) {
+		panic(fmt.Sprintf("encoding: EnumerateAll over %d points exceeds limit %d", g.n, limit))
+	}
+	out := make([][]float64, g.n)
+	for i := int64(0); i < g.n; i++ {
+		out[i] = g.Decode(int(i))
+	}
+	return out
+}
+
+// Cardinality returns C(10^q + d - 1, d - 1) as a big integer, valid for
+// any d and q. This is Equation 1 without the int64 restriction.
+func Cardinality(d, q int) *big.Int {
+	scale := big.NewInt(1)
+	ten := big.NewInt(10)
+	for i := 0; i < q; i++ {
+		scale.Mul(scale, ten)
+	}
+	n := new(big.Int).Add(scale, big.NewInt(int64(d-1)))
+	return new(big.Int).Binomial(n.Int64(), int64(d-1))
+}

@@ -1,0 +1,309 @@
+package encoding
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2b/internal/rng"
+)
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGridQuantizer(0, 1); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewGridQuantizer(3, 0); err == nil {
+		t.Fatal("q=0 accepted")
+	}
+	if _, err := NewGridQuantizer(3, 10); err == nil {
+		t.Fatal("q=10 accepted")
+	}
+}
+
+func TestCardinalityPaperExample(t *testing.T) {
+	// Figure 2: d=3, q=1 gives n = C(12, 2) = 66.
+	g, err := NewGridQuantizer(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Cardinality() != 66 {
+		t.Fatalf("Cardinality(d=3, q=1) = %d, want 66", g.Cardinality())
+	}
+	if g.K() != 66 {
+		t.Fatalf("K = %d, want 66", g.K())
+	}
+}
+
+func TestCardinalityEquationOne(t *testing.T) {
+	// Independent check against Equation 1 for several shapes.
+	cases := []struct {
+		d, q int
+		want int64
+	}{
+		{2, 1, 11},   // C(11, 1)
+		{3, 1, 66},   // C(12, 2)
+		{4, 1, 286},  // C(13, 3)
+		{3, 2, 5151}, // C(102, 2)
+		{5, 1, 1001}, // C(14, 4)
+	}
+	for _, c := range cases {
+		g, err := NewGridQuantizer(c.d, c.q)
+		if err != nil {
+			t.Fatalf("d=%d q=%d: %v", c.d, c.q, err)
+		}
+		if g.Cardinality() != c.want {
+			t.Fatalf("Cardinality(d=%d, q=%d) = %d, want %d", c.d, c.q, g.Cardinality(), c.want)
+		}
+		// The big.Int helper must agree.
+		if Cardinality(c.d, c.q).Int64() != c.want {
+			t.Fatalf("big Cardinality(d=%d, q=%d) mismatch", c.d, c.q)
+		}
+	}
+}
+
+func TestGridCardinalityOverflowRejected(t *testing.T) {
+	// d=40, q=3 has astronomically many grid points.
+	if _, err := NewGridQuantizer(40, 3); err == nil {
+		t.Fatal("huge grid accepted")
+	}
+}
+
+func TestQuantizeSumsToScale(t *testing.T) {
+	g, err := NewGridQuantizer(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	for i := 0; i < 1000; i++ {
+		x := r.Simplex(4)
+		comp := g.Quantize(x)
+		sum := 0
+		for _, c := range comp {
+			if c < 0 {
+				t.Fatalf("negative part: %v", comp)
+			}
+			sum += c
+		}
+		if sum != 10 {
+			t.Fatalf("composition sums to %d, want 10: %v from %v", sum, comp, x)
+		}
+	}
+}
+
+func TestQuantizeExactGridPointsFixed(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	comp := g.Quantize([]float64{0.2, 0.3, 0.5})
+	if comp[0] != 2 || comp[1] != 3 || comp[2] != 5 {
+		t.Fatalf("exact grid point misquantized: %v", comp)
+	}
+}
+
+func TestQuantizeDegenerateInput(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	for _, x := range [][]float64{
+		{0, 0, 0},
+		{math.NaN(), math.NaN(), math.NaN()},
+		{math.Inf(1), 1, 1},
+		{-1, -1, -1},
+	} {
+		comp := g.Quantize(x)
+		sum := 0
+		for _, c := range comp {
+			if c < 0 {
+				t.Fatalf("negative part for %v: %v", x, comp)
+			}
+			sum += c
+		}
+		if sum != 10 {
+			t.Fatalf("degenerate input %v quantized to sum %d", x, sum)
+		}
+	}
+}
+
+func TestQuantizeUnnormalizedInput(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	a := g.Quantize([]float64{2, 3, 5})
+	b := g.Quantize([]float64{0.2, 0.3, 0.5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scaling changed quantization: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRankUnrankRoundTrip(t *testing.T) {
+	g, err := NewGridQuantizer(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Cardinality()
+	seen := make(map[int64]bool, n)
+	for rank := int64(0); rank < n; rank++ {
+		comp := g.Unrank(rank)
+		back := g.Rank(comp)
+		if back != rank {
+			t.Fatalf("Rank(Unrank(%d)) = %d", rank, back)
+		}
+		if seen[back] {
+			t.Fatalf("duplicate rank %d", back)
+		}
+		seen[back] = true
+		sum := 0
+		for _, c := range comp {
+			sum += c
+		}
+		if sum != 10 {
+			t.Fatalf("Unrank(%d) sums to %d", rank, sum)
+		}
+	}
+}
+
+func TestRankLexicographicOrder(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	prev := g.Unrank(0)
+	for rank := int64(1); rank < g.Cardinality(); rank++ {
+		cur := g.Unrank(rank)
+		if !lexLess(prev, cur) {
+			t.Fatalf("rank %d (%v) not lexicographically after %v", rank, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestRankPanics(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	cases := [][]int{
+		{1, 2},     // wrong length
+		{-1, 5, 6}, // negative entry
+		{5, 5, 5},  // wrong sum
+	}
+	for i, comp := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			g.Rank(comp)
+		}()
+	}
+}
+
+func TestUnrankPanicsOutOfRange(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	for _, rank := range []int64{-1, 66} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Unrank(%d) did not panic", rank)
+				}
+			}()
+			g.Unrank(rank)
+		}()
+	}
+}
+
+func TestEncodeDecodeConsistency(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	r := rng.New(2)
+	for i := 0; i < 500; i++ {
+		x := r.Simplex(3)
+		code := g.Encode(x)
+		if code < 0 || code >= g.K() {
+			t.Fatalf("code %d out of range", code)
+		}
+		// Decoding the code and re-encoding must be a fixed point.
+		y := g.Decode(code)
+		if g.Encode(y) != code {
+			t.Fatalf("Encode(Decode(%d)) = %d", code, g.Encode(y))
+		}
+	}
+}
+
+func TestEncodeIdempotentProperty(t *testing.T) {
+	g, _ := NewGridQuantizer(5, 1)
+	if err := quick.Check(func(seed uint16) bool {
+		x := rng.New(uint64(seed)).Simplex(5)
+		code := g.Encode(x)
+		return g.Encode(g.Decode(code)) == code
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnumerateAllPaperFigure(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	pts := g.EnumerateAll(100)
+	if len(pts) != 66 {
+		t.Fatalf("enumerated %d points, want 66", len(pts))
+	}
+	for i, p := range pts {
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("point %d not normalized: %v", i, p)
+		}
+	}
+}
+
+func TestEnumerateAllLimit(t *testing.T) {
+	g, _ := NewGridQuantizer(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnumerateAll over limit did not panic")
+		}
+	}()
+	g.EnumerateAll(10)
+}
+
+func TestNeighborsShareCodesMoreThanFarPoints(t *testing.T) {
+	// The spatial property motivating the encoding: nearby contexts should
+	// collide far more often than distant ones.
+	g, _ := NewGridQuantizer(3, 1)
+	r := rng.New(3)
+	nearSame, farSame := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x := r.Simplex(3)
+		// A small perturbation projected back to the simplex.
+		y := perturbSimplex(x, 0.01, r)
+		z := r.Simplex(3)
+		if g.Encode(x) == g.Encode(y) {
+			nearSame++
+		}
+		if g.Encode(x) == g.Encode(z) {
+			farSame++
+		}
+	}
+	if nearSame <= farSame*2 {
+		t.Fatalf("locality broken: near collisions %d, far collisions %d", nearSame, farSame)
+	}
+}
+
+func perturbSimplex(x []float64, scale float64, r *rng.Rand) []float64 {
+	y := make([]float64, len(x))
+	sum := 0.0
+	for i, v := range x {
+		y[i] = math.Max(0, v+r.Norm(0, scale))
+		sum += y[i]
+	}
+	if sum == 0 {
+		copy(y, x)
+		return y
+	}
+	for i := range y {
+		y[i] /= sum
+	}
+	return y
+}

@@ -1,0 +1,275 @@
+package encoding
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"p2b/internal/rng"
+)
+
+// KMeans is the clustering encoder the paper evaluates: contexts are
+// assigned the index of their nearest centroid. The centroids are fitted on
+// a public sample of the context distribution and shipped to agents, so
+// encoding at inference time is O(k d) — the complexity the paper quotes
+// for the on-device overhead.
+type KMeans struct {
+	centroids [][]float64
+	d         int
+}
+
+// K returns the number of centroids (the code space size).
+func (m *KMeans) K() int { return len(m.centroids) }
+
+// D returns the context dimension.
+func (m *KMeans) D() int { return m.d }
+
+// Centroid returns a copy of centroid i.
+func (m *KMeans) Centroid(i int) []float64 {
+	return append([]float64(nil), m.centroids[i]...)
+}
+
+// Decode returns the representative context of a code — its centroid. It
+// makes KMeans a Decoder so centroid-learner agents and the server can map
+// transmitted codes back into the context space.
+func (m *KMeans) Decode(code int) []float64 { return m.Centroid(code) }
+
+// Encode returns the index of the nearest centroid by Euclidean distance,
+// with ties resolved to the lowest index.
+func (m *KMeans) Encode(x []float64) int {
+	if len(x) != m.d {
+		panic(fmt.Sprintf("encoding: KMeans Encode dimension %d, want %d", len(x), m.d))
+	}
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range m.centroids {
+		d := dist2(x, c)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Inertia returns the total squared distance of each point to its assigned
+// centroid, the quantity Lloyd iterations monotonically decrease.
+func (m *KMeans) Inertia(data [][]float64) float64 {
+	total := 0.0
+	for _, x := range data {
+		total += dist2(x, m.centroids[m.Encode(x)])
+	}
+	return total
+}
+
+// ClusterSizes returns how many points of data land in each code. The
+// minimum entry over non-empty clusters is the crowd-blending parameter l
+// for a sub-optimal encoder (paper §4).
+func (m *KMeans) ClusterSizes(data [][]float64) []int {
+	sizes := make([]int, m.K())
+	for _, x := range data {
+		sizes[m.Encode(x)]++
+	}
+	return sizes
+}
+
+// MinClusterSize returns the size of the smallest non-empty cluster of
+// data, i.e. the effective crowd-blending l. It returns 0 for empty data.
+func (m *KMeans) MinClusterSize(data [][]float64) int {
+	min := 0
+	for _, s := range m.ClusterSizes(data) {
+		if s == 0 {
+			continue
+		}
+		if min == 0 || s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// kmeansPlusPlusInit chooses k initial centroids with the k-means++
+// D^2-weighting scheme.
+func kmeansPlusPlusInit(data [][]float64, k int, r *rng.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := data[r.IntN(len(data))]
+	centroids = append(centroids, append([]float64(nil), first...))
+	dists := make([]float64, len(data))
+	for i, x := range data {
+		dists[i] = dist2(x, centroids[0])
+	}
+	for len(centroids) < k {
+		total := 0.0
+		for _, d := range dists {
+			total += d
+		}
+		var next []float64
+		if total <= 0 {
+			// All points coincide with existing centroids; pick uniformly.
+			next = data[r.IntN(len(data))]
+		} else {
+			u := r.Float64() * total
+			acc := 0.0
+			idx := len(data) - 1
+			for i, d := range dists {
+				acc += d
+				if u < acc {
+					idx = i
+					break
+				}
+			}
+			next = data[idx]
+		}
+		c := append([]float64(nil), next...)
+		centroids = append(centroids, c)
+		for i, x := range data {
+			if d := dist2(x, c); d < dists[i] {
+				dists[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// FitKMeans runs Lloyd's algorithm with k-means++ initialization until the
+// centroid movement drops below tol or maxIter iterations pass. It returns
+// an error on empty data or k < 1; if k exceeds the number of points the
+// extra centroids duplicate existing points (their clusters stay empty).
+func FitKMeans(data [][]float64, k, maxIter int, tol float64, r *rng.Rand) (*KMeans, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("encoding: FitKMeans on empty data")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("encoding: FitKMeans needs k >= 1, got %d", k)
+	}
+	d := len(data[0])
+	for i, x := range data {
+		if len(x) != d {
+			return nil, fmt.Errorf("encoding: FitKMeans point %d has dimension %d, want %d", i, len(x), d)
+		}
+	}
+	m := &KMeans{centroids: kmeansPlusPlusInit(data, k, r), d: d}
+	assign := make([]int, len(data))
+	for iter := 0; iter < maxIter; iter++ {
+		// Assignment step.
+		for i, x := range data {
+			assign[i] = m.Encode(x)
+		}
+		// Update step.
+		sums := make([][]float64, k)
+		counts := make([]int, k)
+		for i := range sums {
+			sums[i] = make([]float64, d)
+		}
+		for i, x := range data {
+			a := assign[i]
+			counts[a]++
+			for j, v := range x {
+				sums[a][j] += v
+			}
+		}
+		moved := 0.0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at the point farthest from its
+				// centroid to split the largest-error region.
+				far, farDist := 0, -1.0
+				for i, x := range data {
+					if dd := dist2(x, m.centroids[assign[i]]); dd > farDist {
+						far, farDist = i, dd
+					}
+				}
+				moved += math.Sqrt(dist2(m.centroids[c], data[far]))
+				m.centroids[c] = append([]float64(nil), data[far]...)
+				continue
+			}
+			next := make([]float64, d)
+			for j := range next {
+				next[j] = sums[c][j] / float64(counts[c])
+			}
+			moved += math.Sqrt(dist2(m.centroids[c], next))
+			m.centroids[c] = next
+		}
+		if moved < tol {
+			break
+		}
+	}
+	return m, nil
+}
+
+// FitMiniBatchKMeans implements web-scale mini-batch k-means (Sculley,
+// WWW 2010): each iteration samples a batch, assigns it, and moves each
+// centroid toward its batch members with a per-centroid learning rate
+// 1/count. Initialization is k-means++ on a bounded sample.
+func FitMiniBatchKMeans(data [][]float64, k, batchSize, iterations int, r *rng.Rand) (*KMeans, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("encoding: FitMiniBatchKMeans on empty data")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("encoding: FitMiniBatchKMeans needs k >= 1, got %d", k)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("encoding: FitMiniBatchKMeans needs batchSize >= 1, got %d", batchSize)
+	}
+	d := len(data[0])
+	initSample := data
+	if len(initSample) > 10*k {
+		idx := r.SampleWithoutReplacement(len(data), 10*k)
+		initSample = make([][]float64, len(idx))
+		for i, j := range idx {
+			initSample[i] = data[j]
+		}
+	}
+	m := &KMeans{centroids: kmeansPlusPlusInit(initSample, k, r), d: d}
+	counts := make([]float64, k)
+	for iter := 0; iter < iterations; iter++ {
+		for b := 0; b < batchSize; b++ {
+			x := data[r.IntN(len(data))]
+			c := m.Encode(x)
+			counts[c]++
+			eta := 1 / counts[c]
+			cent := m.centroids[c]
+			for j, v := range x {
+				cent[j] = (1-eta)*cent[j] + eta*v
+			}
+		}
+	}
+	return m, nil
+}
+
+// kmeansJSON is the serialized form of a KMeans encoder.
+type kmeansJSON struct {
+	D         int         `json:"d"`
+	Centroids [][]float64 `json:"centroids"`
+}
+
+// MarshalJSON serializes the fitted encoder so it can be shipped to agents.
+func (m *KMeans) MarshalJSON() ([]byte, error) {
+	return json.Marshal(kmeansJSON{D: m.d, Centroids: m.centroids})
+}
+
+// UnmarshalJSON restores a fitted encoder.
+func (m *KMeans) UnmarshalJSON(b []byte) error {
+	var j kmeansJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if len(j.Centroids) == 0 {
+		return fmt.Errorf("encoding: KMeans JSON has no centroids")
+	}
+	for i, c := range j.Centroids {
+		if len(c) != j.D {
+			return fmt.Errorf("encoding: KMeans JSON centroid %d has dimension %d, want %d", i, len(c), j.D)
+		}
+	}
+	m.d = j.D
+	m.centroids = j.Centroids
+	return nil
+}

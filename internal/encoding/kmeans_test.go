@@ -1,0 +1,375 @@
+package encoding
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+// clusteredData generates points around nc well-separated simplex corners.
+func clusteredData(nc, perCluster, d int, r *rng.Rand) ([][]float64, []int) {
+	data := make([][]float64, 0, nc*perCluster)
+	labels := make([]int, 0, nc*perCluster)
+	for c := 0; c < nc; c++ {
+		center := make([]float64, d)
+		center[c%d] = 1
+		for i := 0; i < perCluster; i++ {
+			p := make([]float64, d)
+			sum := 0.0
+			for j := range p {
+				p[j] = math.Max(0, center[j]+r.Norm(0, 0.05))
+				sum += p[j]
+			}
+			for j := range p {
+				p[j] /= sum
+			}
+			data = append(data, p)
+			labels = append(labels, c)
+		}
+	}
+	return data, labels
+}
+
+func TestFitKMeansValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := FitKMeans(nil, 2, 10, 1e-6, r); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := FitKMeans([][]float64{{1, 0}}, 0, 10, 1e-6, r); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitKMeans([][]float64{{1, 0}, {1}}, 1, 10, 1e-6, r); err == nil {
+		t.Fatal("ragged data accepted")
+	}
+}
+
+func TestFitKMeansRecoversClusters(t *testing.T) {
+	r := rng.New(2)
+	data, labels := clusteredData(3, 100, 3, r.Split("data"))
+	m, err := FitKMeans(data, 3, 50, 1e-9, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 3 || m.D() != 3 {
+		t.Fatalf("shape K=%d D=%d", m.K(), m.D())
+	}
+	// All points with the same true label must share a code, and distinct
+	// labels must get distinct codes (clusters are well separated).
+	codeOf := map[int]int{}
+	for i, x := range data {
+		code := m.Encode(x)
+		if prev, ok := codeOf[labels[i]]; ok {
+			if prev != code {
+				t.Fatalf("label %d split across codes %d and %d", labels[i], prev, code)
+			}
+		} else {
+			codeOf[labels[i]] = code
+		}
+	}
+	if len(codeOf) != 3 {
+		t.Fatalf("expected 3 distinct codes, got %v", codeOf)
+	}
+}
+
+func TestKMeansEncodeNearestCentroid(t *testing.T) {
+	m := &KMeans{d: 2, centroids: [][]float64{{0, 0}, {1, 1}}}
+	if m.Encode([]float64{0.1, 0.1}) != 0 {
+		t.Fatal("nearest centroid wrong")
+	}
+	if m.Encode([]float64{0.9, 0.8}) != 1 {
+		t.Fatal("nearest centroid wrong")
+	}
+	// Exact tie resolves to the lowest index.
+	if m.Encode([]float64{0.5, 0.5}) != 0 {
+		t.Fatal("tie should resolve to lowest index")
+	}
+}
+
+func TestKMeansEncodeDimPanics(t *testing.T) {
+	m := &KMeans{d: 2, centroids: [][]float64{{0, 0}}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dimension mismatch did not panic")
+		}
+	}()
+	m.Encode([]float64{1})
+}
+
+func TestInertiaDecreasesWithMoreCentroids(t *testing.T) {
+	r := rng.New(3)
+	data, _ := clusteredData(4, 50, 4, r.Split("data"))
+	m1, err := FitKMeans(data, 1, 50, 1e-9, r.Split("fit1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m4, err := FitKMeans(data, 4, 50, 1e-9, r.Split("fit4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.Inertia(data) >= m1.Inertia(data) {
+		t.Fatalf("inertia should drop with k: k=1 %v vs k=4 %v", m1.Inertia(data), m4.Inertia(data))
+	}
+}
+
+func TestClusterSizesAndMin(t *testing.T) {
+	m := &KMeans{d: 1, centroids: [][]float64{{0}, {1}, {10}}}
+	data := [][]float64{{0.1}, {0.2}, {0.9}, {1.1}, {0.95}}
+	sizes := m.ClusterSizes(data)
+	if sizes[0] != 2 || sizes[1] != 3 || sizes[2] != 0 {
+		t.Fatalf("sizes = %v", sizes)
+	}
+	// Min over non-empty clusters.
+	if m.MinClusterSize(data) != 2 {
+		t.Fatalf("MinClusterSize = %d, want 2", m.MinClusterSize(data))
+	}
+	if m.MinClusterSize(nil) != 0 {
+		t.Fatal("MinClusterSize of empty data should be 0")
+	}
+}
+
+func TestFitKMeansMoreCentroidsThanPoints(t *testing.T) {
+	r := rng.New(4)
+	data := [][]float64{{0, 1}, {1, 0}}
+	m, err := FitKMeans(data, 5, 10, 1e-9, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 5 {
+		t.Fatalf("K = %d", m.K())
+	}
+	// Every point must still encode somewhere valid.
+	for _, x := range data {
+		c := m.Encode(x)
+		if c < 0 || c >= 5 {
+			t.Fatalf("code %d out of range", c)
+		}
+	}
+}
+
+func TestMiniBatchKMeansClusters(t *testing.T) {
+	r := rng.New(5)
+	data, labels := clusteredData(3, 200, 3, r.Split("data"))
+	m, err := FitMiniBatchKMeans(data, 3, 32, 200, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mini-batch is approximate: check that the dominant code per label is
+	// overwhelmingly consistent and codes differ across labels.
+	dominant := map[int]int{}
+	agree := 0
+	counts := map[[2]int]int{}
+	for i, x := range data {
+		counts[[2]int{labels[i], m.Encode(x)}]++
+	}
+	for label := 0; label < 3; label++ {
+		best, bestN := -1, 0
+		for code := 0; code < 3; code++ {
+			if n := counts[[2]int{label, code}]; n > bestN {
+				best, bestN = code, n
+			}
+		}
+		dominant[label] = best
+		agree += bestN
+	}
+	if float64(agree)/float64(len(data)) < 0.9 {
+		t.Fatalf("mini-batch purity %v too low", float64(agree)/float64(len(data)))
+	}
+	if dominant[0] == dominant[1] || dominant[1] == dominant[2] || dominant[0] == dominant[2] {
+		t.Fatalf("labels collapsed onto codes: %v", dominant)
+	}
+}
+
+func TestMiniBatchValidation(t *testing.T) {
+	r := rng.New(6)
+	if _, err := FitMiniBatchKMeans(nil, 2, 8, 10, r); err == nil {
+		t.Fatal("empty data accepted")
+	}
+	if _, err := FitMiniBatchKMeans([][]float64{{1}}, 0, 8, 10, r); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := FitMiniBatchKMeans([][]float64{{1}}, 1, 0, 10, r); err == nil {
+		t.Fatal("batchSize=0 accepted")
+	}
+}
+
+func TestKMeansJSONRoundTrip(t *testing.T) {
+	r := rng.New(7)
+	data, _ := clusteredData(2, 50, 3, r.Split("data"))
+	m, err := FitKMeans(data, 2, 50, 1e-9, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored KMeans
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.K() != m.K() || restored.D() != m.D() {
+		t.Fatal("restored shape differs")
+	}
+	for _, x := range data {
+		if restored.Encode(x) != m.Encode(x) {
+			t.Fatal("restored encoder disagrees")
+		}
+	}
+}
+
+func TestKMeansJSONValidation(t *testing.T) {
+	var m KMeans
+	if err := json.Unmarshal([]byte(`{"d":2,"centroids":[]}`), &m); err == nil {
+		t.Fatal("no centroids accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"d":2,"centroids":[[1]]}`), &m); err == nil {
+		t.Fatal("ragged centroid accepted")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &m); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestCentroidReturnsCopy(t *testing.T) {
+	m := &KMeans{d: 1, centroids: [][]float64{{5}}}
+	c := m.Centroid(0)
+	c[0] = 99
+	if m.centroids[0][0] != 5 {
+		t.Fatal("Centroid leaked internal state")
+	}
+}
+
+func TestLSHBasics(t *testing.T) {
+	r := rng.New(8)
+	l, err := NewLSH(3, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.K() != 16 || l.D() != 3 {
+		t.Fatalf("K=%d D=%d", l.K(), l.D())
+	}
+	x := r.Simplex(3)
+	c := l.Encode(x)
+	if c < 0 || c >= 16 {
+		t.Fatalf("code %d out of range", c)
+	}
+	if l.Encode(x) != c {
+		t.Fatal("LSH not deterministic")
+	}
+}
+
+func TestLSHValidation(t *testing.T) {
+	r := rng.New(9)
+	if _, err := NewLSH(0, 2, r); err == nil {
+		t.Fatal("d=0 accepted")
+	}
+	if _, err := NewLSH(3, 0, r); err == nil {
+		t.Fatal("bits=0 accepted")
+	}
+	if _, err := NewLSH(3, 31, r); err == nil {
+		t.Fatal("bits=31 accepted")
+	}
+}
+
+func TestLSHLocality(t *testing.T) {
+	r := rng.New(10)
+	l, err := NewLSH(5, 6, r.Split("lsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, far := 0, 0
+	const trials = 2000
+	for i := 0; i < trials; i++ {
+		x := r.Simplex(5)
+		y := perturbSimplex(x, 0.005, r)
+		z := r.Simplex(5)
+		if l.Encode(x) == l.Encode(y) {
+			near++
+		}
+		if l.Encode(x) == l.Encode(z) {
+			far++
+		}
+	}
+	if near <= far {
+		t.Fatalf("LSH locality broken: near %d, far %d", near, far)
+	}
+}
+
+func TestLSHSplitsSpace(t *testing.T) {
+	r := rng.New(11)
+	l, err := NewLSH(4, 4, r.Split("lsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		seen[l.Encode(r.Simplex(4))] = true
+	}
+	// Offset-at-centroid hyperplanes must actually partition the simplex.
+	if len(seen) < 4 {
+		t.Fatalf("LSH used only %d codes", len(seen))
+	}
+}
+
+func TestLSHJSONRoundTrip(t *testing.T) {
+	r := rng.New(12)
+	l, err := NewLSH(4, 5, r.Split("lsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored LSH
+	if err := json.Unmarshal(blob, &restored); err != nil {
+		t.Fatal(err)
+	}
+	if restored.K() != l.K() || restored.D() != l.D() {
+		t.Fatal("restored LSH shape differs")
+	}
+	for i := 0; i < 200; i++ {
+		x := r.Simplex(4)
+		if restored.Encode(x) != l.Encode(x) {
+			t.Fatal("restored LSH disagrees")
+		}
+	}
+}
+
+func TestLSHJSONValidation(t *testing.T) {
+	var l LSH
+	bad := []string{
+		`{"d":0,"planes":[],"offsets":[]}`,
+		`{"d":2,"planes":[[1,2]],"offsets":[]}`,
+		`{"d":2,"planes":[[1]],"offsets":[0]}`,
+		`{broken`,
+	}
+	for i, blob := range bad {
+		if err := json.Unmarshal([]byte(blob), &l); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestKMeansDecodeIsCentroid(t *testing.T) {
+	m := &KMeans{d: 2, centroids: [][]float64{{0.25, 0.75}, {0.5, 0.5}}}
+	got := m.Decode(1)
+	if got[0] != 0.5 || got[1] != 0.5 {
+		t.Fatalf("Decode = %v", got)
+	}
+	// Decode returns a copy.
+	got[0] = 99
+	if m.centroids[1][0] != 0.5 {
+		t.Fatal("Decode aliases the centroid")
+	}
+}
+
+var (
+	_ Encoder = (*GridQuantizer)(nil)
+	_ Encoder = (*KMeans)(nil)
+	_ Encoder = (*LSH)(nil)
+	_ Decoder = (*GridQuantizer)(nil)
+	_ Decoder = (*KMeans)(nil)
+)

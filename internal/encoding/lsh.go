@@ -1,0 +1,103 @@
+package encoding
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"p2b/internal/rng"
+)
+
+// LSH is a random-hyperplane locality-sensitive hashing encoder: the code
+// of x is the bit pattern of sign(w_i . x - t_i) over `bits` random
+// hyperplanes, giving a code space of size 2^bits. Nearby contexts share
+// codes with high probability, which is the property the P2B encoding step
+// needs; the paper cites LSH (Aghasaryan et al. 2013) as an alternative to
+// clustering, and this implementation backs the encoder ablation bench.
+type LSH struct {
+	planes  [][]float64
+	offsets []float64
+	d       int
+}
+
+// NewLSH builds an encoder over d-dimensional contexts with the given
+// number of hyperplane bits (1 <= bits <= 30). Hyperplane normals are
+// standard Gaussian; offsets are chosen so that hyperplanes cut through the
+// simplex interior (each threshold is the plane's value at the simplex
+// centroid).
+func NewLSH(d, bits int, r *rng.Rand) (*LSH, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("encoding: NewLSH needs d >= 1, got %d", d)
+	}
+	if bits < 1 || bits > 30 {
+		return nil, fmt.Errorf("encoding: NewLSH needs 1 <= bits <= 30, got %d", bits)
+	}
+	l := &LSH{d: d, planes: make([][]float64, bits), offsets: make([]float64, bits)}
+	for i := 0; i < bits; i++ {
+		w := r.NormVec(d, 1)
+		l.planes[i] = w
+		// Value of the plane at the simplex centroid (1/d, ..., 1/d).
+		mean := 0.0
+		for _, v := range w {
+			mean += v
+		}
+		l.offsets[i] = mean / float64(d)
+	}
+	return l, nil
+}
+
+// K returns the code space size, 2^bits.
+func (l *LSH) K() int { return 1 << len(l.planes) }
+
+// D returns the context dimension.
+func (l *LSH) D() int { return l.d }
+
+// Encode returns the hyperplane sign pattern of x as an integer code.
+func (l *LSH) Encode(x []float64) int {
+	if len(x) != l.d {
+		panic(fmt.Sprintf("encoding: LSH Encode dimension %d, want %d", len(x), l.d))
+	}
+	code := 0
+	for i, w := range l.planes {
+		dot := 0.0
+		for j, v := range w {
+			dot += v * x[j]
+		}
+		if dot > l.offsets[i] {
+			code |= 1 << i
+		}
+	}
+	return code
+}
+
+// lshJSON is the serialized form of an LSH encoder.
+type lshJSON struct {
+	D       int         `json:"d"`
+	Planes  [][]float64 `json:"planes"`
+	Offsets []float64   `json:"offsets"`
+}
+
+// MarshalJSON serializes the encoder so it can ship with the app like the
+// k-means encoder does.
+func (l *LSH) MarshalJSON() ([]byte, error) {
+	return json.Marshal(lshJSON{D: l.d, Planes: l.planes, Offsets: l.offsets})
+}
+
+// UnmarshalJSON restores a serialized encoder.
+func (l *LSH) UnmarshalJSON(b []byte) error {
+	var j lshJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	if j.D < 1 || len(j.Planes) == 0 || len(j.Planes) != len(j.Offsets) {
+		return fmt.Errorf("encoding: LSH JSON has invalid shape")
+	}
+	for i, w := range j.Planes {
+		if len(w) != j.D {
+			return fmt.Errorf("encoding: LSH JSON plane %d has dimension %d, want %d", i, len(w), j.D)
+		}
+	}
+	l.d = j.D
+	l.planes = j.Planes
+	l.offsets = j.Offsets
+	return nil
+}

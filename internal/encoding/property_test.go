@@ -1,0 +1,102 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2b/internal/rng"
+)
+
+// TestPropertyRankBijection: across grid shapes, Unrank is a bijection onto
+// compositions and Rank inverts it on a sampled subset.
+func TestPropertyRankBijection(t *testing.T) {
+	if err := quick.Check(func(dRaw, seed uint8) bool {
+		d := 2 + int(dRaw%4) // d in 2..5 keeps the space small
+		g, err := NewGridQuantizer(d, 1)
+		if err != nil {
+			return false
+		}
+		r := rng.New(uint64(seed))
+		for probe := 0; probe < 20; probe++ {
+			rank := int64(r.IntN(int(g.Cardinality())))
+			if g.Rank(g.Unrank(rank)) != rank {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQuantizeStableUnderScaling: the quantizer normalizes, so
+// positive rescaling never changes the code.
+func TestPropertyQuantizeStableUnderScaling(t *testing.T) {
+	g, err := NewGridQuantizer(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(seed uint16, scaleRaw uint8) bool {
+		r := rng.New(uint64(seed))
+		x := r.Simplex(4)
+		scale := 0.1 + float64(scaleRaw)/16
+		y := make([]float64, len(x))
+		for i, v := range x {
+			y[i] = v * scale
+		}
+		return g.Encode(x) == g.Encode(y)
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyKMeansEncodeInRange: any fitted encoder maps any simplex
+// point into [0, K).
+func TestPropertyKMeansEncodeInRange(t *testing.T) {
+	r := rng.New(99)
+	data := make([][]float64, 256)
+	for i := range data {
+		data[i] = r.Simplex(5)
+	}
+	km, err := FitKMeans(data, 9, 20, 1e-6, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(seed uint16) bool {
+		x := rng.New(uint64(seed)).Simplex(5)
+		c := km.Encode(x)
+		return c >= 0 && c < km.K()
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDecodeEncodeFixedPoint: for decodable encoders, decoding a
+// code and re-encoding returns the same code (centroids are their own
+// nearest centroid; grid points are their own cell).
+func TestPropertyDecodeEncodeFixedPoint(t *testing.T) {
+	r := rng.New(100)
+	data := make([][]float64, 300)
+	for i := range data {
+		data[i] = r.Simplex(4)
+	}
+	km, err := FitKMeans(data, 8, 30, 1e-9, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for code := 0; code < km.K(); code++ {
+		if got := km.Encode(km.Decode(code)); got != code {
+			t.Fatalf("kmeans Encode(Decode(%d)) = %d", code, got)
+		}
+	}
+	g, err := NewGridQuantizer(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 50; probe++ {
+		code := r.IntN(g.K())
+		if got := g.Encode(g.Decode(code)); got != code {
+			t.Fatalf("grid Encode(Decode(%d)) = %d", code, got)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"p2b/internal/encoding"
+	"p2b/internal/privacy"
+	"p2b/internal/rng"
+	"p2b/internal/stats"
+)
+
+// Figure2 reproduces the paper's encoding illustration: the d=3, q=1
+// normalized vector space has exactly 66 grid points (Equation 1), and a
+// k-means encoding with k=6 clusters partitions it with a minimum cluster
+// size of about 9 — the crowd-blending l of the example. Scale has no
+// effect (the space is fixed by d and q).
+func Figure2(opts Options) (*Result, error) {
+	opts.fill()
+	g, err := encoding.NewGridQuantizer(3, 1)
+	if err != nil {
+		return nil, err
+	}
+	points := g.EnumerateAll(100)
+	km, err := encoding.FitKMeans(points, 6, 100, 1e-9, rng.New(opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	sizes := km.ClusterSizes(points)
+	tab := &stats.Table{XLabel: "cluster"}
+	s := &stats.Series{Name: "size"}
+	for c, n := range sizes {
+		s.Append(float64(c), float64(n), 0)
+	}
+	tab.Series = []*stats.Series{s}
+	return &Result{
+		Name:        "Figure 2",
+		Description: "Encoding of the d=3, q=1 normalized vector space (n=66 grid points) into k=6 clusters.",
+		Tables:      []*stats.Table{tab},
+		Notes: []string{
+			fmt.Sprintf("grid cardinality n = %d (paper: 66)", g.Cardinality()),
+			fmt.Sprintf("minimum cluster size l = %d (paper example: 9)", km.MinClusterSize(points)),
+		},
+	}, nil
+}
+
+// Figure3 reproduces the analytic curve of epsilon as a function of the
+// participation probability p (Equation 3), plus the delta bound for a few
+// crowd sizes. Scale has no effect.
+func Figure3(opts Options) (*Result, error) {
+	opts.fill()
+	eps := &stats.Series{Name: "epsilon"}
+	for p := 0.05; p < 0.96; p += 0.05 {
+		eps.Append(round2(p), privacy.Epsilon(round2(p)), 0)
+	}
+	tabEps := &stats.Table{XLabel: "p", Series: []*stats.Series{eps}}
+
+	tabDelta := &stats.Table{XLabel: "l"}
+	for _, p := range []float64{0.25, 0.5, 0.75} {
+		s := &stats.Series{Name: fmt.Sprintf("delta(p=%.2f)", p)}
+		for _, l := range []int{1, 5, 10, 20, 50, 100} {
+			s.Append(float64(l), privacy.Delta(l, p, privacy.DefaultOmega), 0)
+		}
+		tabDelta.Series = append(tabDelta.Series, s)
+	}
+	return &Result{
+		Name:        "Figure 3",
+		Description: "Differential privacy epsilon as a function of participation probability p (Equation 3), and the delta bound exp(-l(1-p)^2).",
+		Tables:      []*stats.Table{tabEps, tabDelta},
+		Notes: []string{
+			fmt.Sprintf("epsilon at p=0.5 is %.6f (paper: ~0.693)", privacy.Epsilon(0.5)),
+			fmt.Sprintf("p for epsilon=1.0 is %.4f (inverse map)", privacy.ParticipationForEpsilon(1.0)),
+		},
+	}, nil
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,175 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHash32Deterministic(t *testing.T) {
+	if Hash32("abc") != Hash32("abc") {
+		t.Fatal("Hash32 not deterministic")
+	}
+	if Hash32("abc") == Hash32("abd") {
+		t.Fatal("Hash32 collision on trivially different inputs")
+	}
+}
+
+func TestBucketRange(t *testing.T) {
+	if err := quick.Check(func(field, value string, n uint8) bool {
+		nn := int(n%64) + 1
+		b := Bucket(field, value, nn)
+		return b >= 0 && b < nn
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBucketFieldSeparation(t *testing.T) {
+	// The same value in different fields should not systematically collide.
+	same := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		v := fmt.Sprintf("v%d", i)
+		if Bucket("f1", v, 1024) == Bucket("f2", v, 1024) {
+			same++
+		}
+	}
+	// Expected collision rate is about 1/1024.
+	if same > 10 {
+		t.Fatalf("field separation broken: %d/%d collisions", same, trials)
+	}
+}
+
+func TestBucketPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bucket(n=0) did not panic")
+		}
+	}()
+	Bucket("f", "v", 0)
+}
+
+func TestBucketUniformity(t *testing.T) {
+	const n = 64
+	const draws = 64000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[Bucket("field", fmt.Sprintf("value-%d", i), n)]++
+	}
+	// Chi-square against uniform; 63 dof, crude bound at 120.
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 120 {
+		t.Fatalf("bucket distribution non-uniform: chi2 = %v", chi2)
+	}
+}
+
+func TestSignBalanced(t *testing.T) {
+	pos := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		s := Sign("f", fmt.Sprintf("v%d", i))
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %v", s)
+		}
+		if s == 1 {
+			pos++
+		}
+	}
+	frac := float64(pos) / trials
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("Sign imbalanced: %v positive", frac)
+	}
+}
+
+func TestVectorizeWidthAndDeterminism(t *testing.T) {
+	f := map[string]string{"c1": "a", "c2": "b", "c3": "c"}
+	v1 := Vectorize(f, 16)
+	v2 := Vectorize(f, 16)
+	if len(v1) != 16 {
+		t.Fatalf("width %d", len(v1))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("Vectorize not deterministic")
+		}
+	}
+	// Total mass is the number of features up to sign cancellations.
+	mass := 0.0
+	for _, x := range v1 {
+		mass += math.Abs(x)
+	}
+	if mass == 0 || mass > 3 {
+		t.Fatalf("unexpected mass %v", mass)
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	a := Combine([]string{"x", "y"})
+	b := Combine([]string{"y", "x"})
+	if a == b {
+		t.Fatal("Combine should be order sensitive")
+	}
+	if Combine([]string{"x", "y"}) != a {
+		t.Fatal("Combine not deterministic")
+	}
+}
+
+func TestCombineSeparatorPreventsGluing(t *testing.T) {
+	if Combine([]string{"ab", "c"}) == Combine([]string{"a", "bc"}) {
+		t.Fatal("Combine glued adjacent values")
+	}
+}
+
+func TestTopKLabels(t *testing.T) {
+	codes := []uint32{7, 7, 7, 3, 3, 9}
+	top := NewTopK(codes, 2)
+	if top.K() != 2 {
+		t.Fatalf("K = %d", top.K())
+	}
+	if top.Label(7) != 0 {
+		t.Fatalf("most frequent code label = %d, want 0", top.Label(7))
+	}
+	if top.Label(3) != 1 {
+		t.Fatalf("second code label = %d, want 1", top.Label(3))
+	}
+	if top.Label(9) != -1 {
+		t.Fatalf("out-of-top code label = %d, want -1", top.Label(9))
+	}
+	if top.Label(1234) != -1 {
+		t.Fatal("unseen code should map to -1")
+	}
+}
+
+func TestTopKFewerCodesThanK(t *testing.T) {
+	top := NewTopK([]uint32{5, 5, 6}, 10)
+	if top.K() != 10 {
+		t.Fatalf("K = %d", top.K())
+	}
+	if top.Label(5) != 0 || top.Label(6) != 1 {
+		t.Fatal("labels wrong when codes < k")
+	}
+}
+
+func TestTopKTieBreakDeterministic(t *testing.T) {
+	// Equal counts: lower code wins.
+	top := NewTopK([]uint32{10, 2, 10, 2}, 2)
+	if top.Label(2) != 0 || top.Label(10) != 1 {
+		t.Fatalf("tie break wrong: label(2)=%d label(10)=%d", top.Label(2), top.Label(10))
+	}
+}
+
+func TestTopKPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTopK(k=0) did not panic")
+		}
+	}()
+	NewTopK([]uint32{1}, 0)
+}

@@ -1,0 +1,230 @@
+// Package httpapi exposes the shuffler and server over HTTP so that P2B
+// components can run as separate processes, and provides the agent-side
+// client. The wire format is JSON over the following routes:
+//
+//	shuffler:  POST /report         one transport.Envelope
+//	           POST /flush          force the pending batch through
+//	           GET  /stats          shuffler.Stats
+//	server:    GET  /model/tabular  bandit.TabularState
+//	           GET  /model/linucb   bandit.LinUCBState
+//	           POST /raw            one transport.RawTuple (baseline path)
+//	           GET  /stats          server.Stats
+//
+// When an incoming report carries no source address the shuffler handler
+// stamps the connection's RemoteAddr into the envelope metadata before
+// submission: the shuffler must prove it can scrub real network metadata,
+// not just whatever polite clients chose to send.
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"p2b/internal/bandit"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/transport"
+)
+
+const maxBodyBytes = 1 << 20 // 1 MiB is generous for any single report
+
+// NewNodeHandler mounts a shuffler and a server on one mux under the
+// /shuffler/ and /server/ prefixes, plus a /healthz probe — the layout
+// cmd/p2bnode serves and cmd/p2bagent speaks to.
+func NewNodeHandler(shuf *shuffler.Shuffler, srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", NewShufflerHandler(shuf)))
+	mux.Handle("/server/", http.StripPrefix("/server", NewServerHandler(srv)))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// NewNodeClient returns a client whose shuffler and server URLs point at a
+// single node handler.
+func NewNodeClient(nodeURL string) *Client {
+	return NewClient(nodeURL+"/shuffler", nodeURL+"/server")
+}
+
+// NewShufflerHandler returns the HTTP surface of a shuffler.
+func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var e transport.Envelope
+		if err := decodeJSON(r, &e); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if e.Meta.Addr == "" {
+			e.Meta.Addr = r.RemoteAddr
+		}
+		if e.Meta.SentAt == 0 {
+			e.Meta.SentAt = time.Now().UnixNano()
+		}
+		s.Submit(e)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s.Flush()
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+// NewServerHandler returns the HTTP surface of the analyzer server.
+func NewServerHandler(s *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/model/tabular", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.TabularSnapshot())
+	})
+	mux.HandleFunc("/model/linucb", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.LinUCBSnapshot())
+	})
+	mux.HandleFunc("/raw", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var t transport.RawTuple
+		if err := decodeJSON(r, &t); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.IngestRaw(t); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpapi: bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Client is the agent-side HTTP client. ShufflerURL and ServerURL are the
+// base URLs of the two services; either may be empty if unused.
+type Client struct {
+	ShufflerURL string
+	ServerURL   string
+	HTTP        *http.Client
+}
+
+// NewClient returns a client with a conservative default timeout.
+func NewClient(shufflerURL, serverURL string) *Client {
+	return &Client{
+		ShufflerURL: shufflerURL,
+		ServerURL:   serverURL,
+		HTTP:        &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+// Report submits one envelope to the shuffler.
+func (c *Client) Report(e transport.Envelope) error {
+	return c.post(c.ShufflerURL+"/report", e, http.StatusAccepted)
+}
+
+// Flush asks the shuffler to process its pending batch immediately.
+func (c *Client) Flush() error {
+	return c.post(c.ShufflerURL+"/flush", nil, http.StatusNoContent)
+}
+
+// SendRaw submits one raw observation to the server (baseline path).
+func (c *Client) SendRaw(t transport.RawTuple) error {
+	return c.post(c.ServerURL+"/raw", t, http.StatusAccepted)
+}
+
+// FetchTabular downloads the current global tabular model.
+func (c *Client) FetchTabular() (*bandit.TabularState, error) {
+	var s bandit.TabularState
+	if err := c.get(c.ServerURL+"/model/tabular", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// FetchLinUCB downloads the current global LinUCB model.
+func (c *Client) FetchLinUCB() (*bandit.LinUCBState, error) {
+	var s bandit.LinUCBState
+	if err := c.get(c.ServerURL+"/model/linucb", &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (c *Client) post(url string, v any, wantStatus int) error {
+	var body io.Reader
+	if v != nil {
+		blob, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("httpapi: marshal: %w", err)
+		}
+		body = bytes.NewReader(blob)
+	}
+	resp, err := c.httpClient().Post(url, "application/json", body)
+	if err != nil {
+		return fmt.Errorf("httpapi: post %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("httpapi: post %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+func (c *Client) get(url string, v any) error {
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return fmt.Errorf("httpapi: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("httpapi: get %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("httpapi: decode %s: %w", url, err)
+	}
+	return nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,362 @@
+// Package mat implements the small dense linear algebra kernel that LinUCB
+// needs: vectors, square matrices, Cholesky solves, Gauss-Jordan inversion
+// and Sherman-Morrison rank-1 inverse updates.
+//
+// The package is deliberately minimal — the bandit workloads only ever touch
+// symmetric positive-definite design matrices of modest dimension, so a
+// row-major []float64 representation with straightforward loops is both
+// simple and fast enough.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or inversion encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// Vec is a dense column vector.
+type Vec []float64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Dot returns the inner product of v and w. It panics on length mismatch.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dot dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * w[i]
+	}
+	return s
+}
+
+// AddScaled adds alpha*w to v in place.
+func (v Vec) AddScaled(alpha float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Scale multiplies v by alpha in place.
+func (v Vec) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Dist2 returns the squared Euclidean distance between v and w.
+func (v Vec) Dist2(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("mat: Dist2 dimension mismatch %d vs %d", len(v), len(w)))
+	}
+	s := 0.0
+	for i, x := range v {
+		d := x - w[i]
+		s += d * d
+	}
+	return s
+}
+
+// Sum returns the sum of the entries of v.
+func (v Vec) Sum() float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Normalize scales v in place so its entries sum to 1, returning false if
+// the sum is zero or not finite. Used to put raw contexts on the simplex.
+func (v Vec) Normalize() bool {
+	s := v.Sum()
+	if s == 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return false
+	}
+	v.Scale(1 / s)
+	return true
+}
+
+// Dense is a square matrix stored in row-major order.
+type Dense struct {
+	N    int
+	Data []float64
+}
+
+// NewDense returns an N x N zero matrix.
+func NewDense(n int) *Dense {
+	return &Dense{N: n, Data: make([]float64, n*n)}
+}
+
+// Identity returns scale times the N x N identity matrix.
+func Identity(n int, scale float64) *Dense {
+	m := NewDense(n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = scale
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.Data[i*m.N+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	out := NewDense(m.N)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec returns m * x as a new vector.
+func (m *Dense) MulVec(x Vec) Vec {
+	if len(x) != m.N {
+		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.N))
+	}
+	out := NewVec(m.N)
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AddOuter adds scale * (u u^T) to m in place. This is the LinUCB design
+// matrix update A += x x^T.
+func (m *Dense) AddOuter(u Vec, scale float64) {
+	if len(u) != m.N {
+		panic(fmt.Sprintf("mat: AddOuter dimension mismatch %d vs %d", len(u), m.N))
+	}
+	for i := 0; i < m.N; i++ {
+		ui := scale * u[i]
+		row := m.Data[i*m.N : (i+1)*m.N]
+		for j, uj := range u {
+			row[j] += ui * uj
+		}
+	}
+}
+
+// QuadForm returns x^T m x.
+func (m *Dense) QuadForm(x Vec) float64 { return x.Dot(m.MulVec(x)) }
+
+// Add adds other to m in place.
+func (m *Dense) Add(other *Dense) {
+	if m.N != other.N {
+		panic(fmt.Sprintf("mat: Add dimension mismatch %d vs %d", m.N, other.N))
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+}
+
+// Sub subtracts other from m in place.
+func (m *Dense) Sub(other *Dense) {
+	if m.N != other.N {
+		panic(fmt.Sprintf("mat: Sub dimension mismatch %d vs %d", m.N, other.N))
+	}
+	for i := range m.Data {
+		m.Data[i] -= other.Data[i]
+	}
+}
+
+// Mul returns the matrix product m * other as a new matrix.
+func (m *Dense) Mul(other *Dense) *Dense {
+	if m.N != other.N {
+		panic(fmt.Sprintf("mat: Mul dimension mismatch %d vs %d", m.N, other.N))
+	}
+	n := m.N
+	out := NewDense(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			a := m.Data[i*n+k]
+			if a == 0 {
+				continue
+			}
+			orow := other.Data[k*n : (k+1)*n]
+			dst := out.Data[i*n : (i+1)*n]
+			for j, b := range orow {
+				dst[j] += a * b
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference between m
+// and other, a convenience for tests and convergence checks.
+func (m *Dense) MaxAbsDiff(other *Dense) float64 {
+	if m.N != other.N {
+		panic(fmt.Sprintf("mat: MaxAbsDiff dimension mismatch %d vs %d", m.N, other.N))
+	}
+	max := 0.0
+	for i, v := range m.Data {
+		d := math.Abs(v - other.Data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Cholesky computes the lower-triangular factor L with m = L L^T. It returns
+// ErrSingular if m is not (numerically) positive definite.
+func (m *Dense) Cholesky() (*Dense, error) {
+	n := m.N
+	l := NewDense(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// CholeskySolve solves m x = b for symmetric positive-definite m.
+func (m *Dense) CholeskySolve(b Vec) (Vec, error) {
+	if len(b) != m.N {
+		panic(fmt.Sprintf("mat: CholeskySolve dimension mismatch %d vs %d", len(b), m.N))
+	}
+	l, err := m.Cholesky()
+	if err != nil {
+		return nil, err
+	}
+	n := m.N
+	// Forward substitution: L y = b.
+	y := NewVec(n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Back substitution: L^T x = y.
+	x := NewVec(n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// Inverse returns m^{-1} computed by Gauss-Jordan elimination with partial
+// pivoting. It is the reference implementation the Sherman-Morrison fast
+// path is verified against.
+func (m *Dense) Inverse() (*Dense, error) {
+	n := m.N
+	a := m.Clone()
+	inv := Identity(n, 1)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-14 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			swapRows(a, col, pivot)
+			swapRows(inv, col, pivot)
+		}
+		// Normalize pivot row.
+		p := a.At(col, col)
+		for j := 0; j < n; j++ {
+			a.Set(col, j, a.At(col, j)/p)
+			inv.Set(col, j, inv.At(col, j)/p)
+		}
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				a.Set(r, j, a.At(r, j)-f*a.At(col, j))
+				inv.Set(r, j, inv.At(r, j)-f*inv.At(col, j))
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *Dense, i, j int) {
+	ri := m.Data[i*m.N : (i+1)*m.N]
+	rj := m.Data[j*m.N : (j+1)*m.N]
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+// ShermanMorrison updates inv, assumed to hold (A)^{-1}, to hold
+// (A + u u^T)^{-1} in place using the Sherman-Morrison identity:
+//
+//	(A + uu^T)^{-1} = A^{-1} - (A^{-1} u)(u^T A^{-1}) / (1 + u^T A^{-1} u)
+//
+// It returns ErrSingular if the denominator is (numerically) zero, which for
+// positive-definite A cannot happen.
+func ShermanMorrison(inv *Dense, u Vec) error {
+	if len(u) != inv.N {
+		panic(fmt.Sprintf("mat: ShermanMorrison dimension mismatch %d vs %d", len(u), inv.N))
+	}
+	au := inv.MulVec(u) // A^{-1} u; by symmetry also (u^T A^{-1})^T
+	denom := 1 + u.Dot(au)
+	if math.Abs(denom) < 1e-14 || math.IsNaN(denom) {
+		return ErrSingular
+	}
+	n := inv.N
+	f := 1 / denom
+	for i := 0; i < n; i++ {
+		ai := au[i] * f
+		row := inv.Data[i*n : (i+1)*n]
+		for j, aj := range au {
+			row[j] -= ai * aj
+		}
+	}
+	return nil
+}

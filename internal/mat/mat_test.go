@@ -1,0 +1,274 @@
+package mat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"p2b/internal/rng"
+)
+
+func randSPD(r *rng.Rand, n int) *Dense {
+	// A = B B^T + I is symmetric positive definite.
+	b := NewDense(n)
+	for i := range b.Data {
+		b.Data[i] = r.Norm(0, 1)
+	}
+	a := Identity(n, 1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += b.At(i, k) * b.At(j, k)
+			}
+			a.Set(i, j, a.At(i, j)+s)
+		}
+	}
+	return a
+}
+
+func randVec(r *rng.Rand, n int) Vec {
+	v := NewVec(n)
+	for i := range v {
+		v[i] = r.Norm(0, 1)
+	}
+	return v
+}
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestVecDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched Dot")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecAddScaled(t *testing.T) {
+	v := Vec{1, 2}
+	v.AddScaled(2, Vec{3, 4})
+	if v[0] != 7 || v[1] != 10 {
+		t.Fatalf("AddScaled = %v", v)
+	}
+}
+
+func TestVecNormalize(t *testing.T) {
+	v := Vec{1, 3}
+	if !v.Normalize() {
+		t.Fatal("Normalize failed")
+	}
+	if math.Abs(v.Sum()-1) > 1e-12 {
+		t.Fatalf("normalized sum %v", v.Sum())
+	}
+	z := Vec{0, 0}
+	if z.Normalize() {
+		t.Fatal("Normalize of zero vector should fail")
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	w := v.Clone()
+	w[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestVecDist2(t *testing.T) {
+	if got := (Vec{0, 0}).Dist2(Vec{3, 4}); got != 25 {
+		t.Fatalf("Dist2 = %v, want 25", got)
+	}
+}
+
+func TestIdentityMulVec(t *testing.T) {
+	m := Identity(3, 2)
+	x := Vec{1, 2, 3}
+	got := m.MulVec(x)
+	for i := range x {
+		if got[i] != 2*x[i] {
+			t.Fatalf("Identity(3,2)*x = %v", got)
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewDense(2)
+	m.AddOuter(Vec{1, 2}, 1)
+	want := []float64{1, 2, 2, 4}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("AddOuter = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestInverseIdentityProperty(t *testing.T) {
+	r := rng.New(1)
+	for n := 1; n <= 8; n++ {
+		a := randSPD(r, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatalf("Inverse(%d): %v", n, err)
+		}
+		prod := a.Mul(inv)
+		if d := prod.MaxAbsDiff(Identity(n, 1)); d > 1e-8 {
+			t.Fatalf("A*A^{-1} differs from I by %v at n=%d", d, n)
+		}
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	m := NewDense(2) // all zeros
+	if _, err := m.Inverse(); err != ErrSingular {
+		t.Fatalf("Inverse of zero matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskySolveMatchesInverse(t *testing.T) {
+	r := rng.New(2)
+	for n := 1; n <= 8; n++ {
+		a := randSPD(r, n)
+		b := randVec(r, n)
+		x, err := a.CholeskySolve(b)
+		if err != nil {
+			t.Fatalf("CholeskySolve(%d): %v", n, err)
+		}
+		back := a.MulVec(x)
+		for i := range b {
+			if math.Abs(back[i]-b[i]) > 1e-8 {
+				t.Fatalf("Ax != b at n=%d: %v vs %v", n, back, b)
+			}
+		}
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	m := NewDense(2)
+	m.Set(0, 0, -1)
+	m.Set(1, 1, 1)
+	if _, err := m.Cholesky(); err != ErrSingular {
+		t.Fatalf("Cholesky of indefinite matrix: err = %v, want ErrSingular", err)
+	}
+}
+
+func TestShermanMorrisonMatchesDirectInverse(t *testing.T) {
+	r := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.IntN(8)
+		a := randSPD(r, n)
+		inv, err := a.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := randVec(r, n)
+		// Fast path.
+		if err := ShermanMorrison(inv, u); err != nil {
+			t.Fatalf("ShermanMorrison: %v", err)
+		}
+		// Reference: invert A + u u^T directly.
+		a.AddOuter(u, 1)
+		want, err := a.Inverse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := inv.MaxAbsDiff(want); d > 1e-7 {
+			t.Fatalf("ShermanMorrison differs from direct inverse by %v (n=%d)", d, n)
+		}
+	}
+}
+
+func TestShermanMorrisonRepeatedStaysAccurate(t *testing.T) {
+	r := rng.New(4)
+	n := 6
+	a := Identity(n, 1)
+	inv := Identity(n, 1)
+	for step := 0; step < 200; step++ {
+		u := randVec(r, n)
+		a.AddOuter(u, 1)
+		if err := ShermanMorrison(inv, u); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	want, err := a.Inverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inv.MaxAbsDiff(want); d > 1e-6 {
+		t.Fatalf("after 200 rank-1 updates drift is %v", d)
+	}
+}
+
+func TestQuadFormPositive(t *testing.T) {
+	r := rng.New(5)
+	if err := quick.Check(func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := 1 + rr.IntN(6)
+		a := randSPD(rr, n)
+		x := randVec(rr, n)
+		if x.Norm2() == 0 {
+			return true
+		}
+		return a.QuadForm(x) > 0
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestMulAssociatesWithMulVec(t *testing.T) {
+	r := rng.New(6)
+	n := 5
+	a := randSPD(r, n)
+	b := randSPD(r, n)
+	x := randVec(r, n)
+	left := a.Mul(b).MulVec(x)
+	right := a.MulVec(b.MulVec(x))
+	for i := range left {
+		if math.Abs(left[i]-right[i]) > 1e-9 {
+			t.Fatalf("(AB)x != A(Bx): %v vs %v", left, right)
+		}
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Identity(2, 1)
+	b := Identity(2, 3)
+	a.Add(b)
+	if a.At(0, 0) != 4 {
+		t.Fatalf("Add: %v", a.Data)
+	}
+	a.Sub(b)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("Sub: %v", a.Data)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	m := Identity(2, 1)
+	cases := []func(){
+		func() { m.MulVec(Vec{1}) },
+		func() { m.AddOuter(Vec{1}, 1) },
+		func() { m.Add(Identity(3, 1)) },
+		func() { _ = ShermanMorrison(m, Vec{1, 2, 3}) },
+		func() { _, _ = m.CholeskySolve(Vec{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

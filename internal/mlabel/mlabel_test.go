@@ -1,0 +1,286 @@
+package mlabel
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+func smallDataset(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := Config{N: 2000, D: 8, Labels: 10, Clusters: 5, MinLabels: 1, MaxLabels: 3,
+		Noise: 0.05, LabelSkew: 0.8, Affinity: 8}
+	ds, err := Generate(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestGenerateValidation(t *testing.T) {
+	r := rng.New(1)
+	bad := []Config{
+		{N: 0, D: 8, Labels: 10, Clusters: 5, MinLabels: 1, MaxLabels: 2},
+		{N: 10, D: 1, Labels: 10, Clusters: 5, MinLabels: 1, MaxLabels: 2},
+		{N: 10, D: 8, Labels: 1, Clusters: 5, MinLabels: 1, MaxLabels: 1},
+		{N: 10, D: 8, Labels: 10, Clusters: 0, MinLabels: 1, MaxLabels: 2},
+		{N: 10, D: 8, Labels: 10, Clusters: 5, MinLabels: 0, MaxLabels: 2},
+		{N: 10, D: 8, Labels: 10, Clusters: 5, MinLabels: 3, MaxLabels: 2},
+		{N: 10, D: 8, Labels: 10, Clusters: 5, MinLabels: 1, MaxLabels: 11},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, r); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	ds := smallDataset(t)
+	if ds.N() != 2000 || ds.D() != 8 || ds.Labels != 10 {
+		t.Fatalf("shapes N=%d D=%d L=%d", ds.N(), ds.D(), ds.Labels)
+	}
+	for i := 0; i < ds.N(); i++ {
+		sum := 0.0
+		for _, v := range ds.X[i] {
+			if v < 0 {
+				t.Fatalf("instance %d has negative feature", i)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("instance %d not normalized: %v", i, sum)
+		}
+		if len(ds.Y[i]) < 1 || len(ds.Y[i]) > 3 {
+			t.Fatalf("instance %d has %d labels", i, len(ds.Y[i]))
+		}
+		for j := 1; j < len(ds.Y[i]); j++ {
+			if ds.Y[i][j] <= ds.Y[i][j-1] {
+				t.Fatalf("instance %d labels not sorted-unique: %v", i, ds.Y[i])
+			}
+		}
+		for _, l := range ds.Y[i] {
+			if l < 0 || l >= 10 {
+				t.Fatalf("instance %d label %d out of range", i, l)
+			}
+		}
+	}
+}
+
+func TestPaperShapeConfigs(t *testing.T) {
+	mm := MediaMillLike(500)
+	if mm.D != 20 || mm.Labels != 40 {
+		t.Fatalf("MediaMillLike shape d=%d A=%d, want 20/40", mm.D, mm.Labels)
+	}
+	tm := TextMiningLike(500)
+	if tm.D != 20 || tm.Labels != 20 {
+		t.Fatalf("TextMiningLike shape d=%d A=%d, want 20/20", tm.D, tm.Labels)
+	}
+	if _, err := Generate(mm, rng.New(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(tm, rng.New(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	ds := &Dataset{X: [][]float64{{1}}, Y: [][]int{{2, 5}}, Labels: 10}
+	if !ds.Has(0, 2) || !ds.Has(0, 5) {
+		t.Fatal("Has missed present labels")
+	}
+	if ds.Has(0, 3) {
+		t.Fatal("Has reported absent label")
+	}
+}
+
+func TestLabelsCorrelateWithContext(t *testing.T) {
+	// The property the experiments rely on: nearby contexts share labels
+	// far more often than random pairs.
+	ds := smallDataset(t)
+	r := rng.New(4)
+	nearShared, randShared := 0, 0
+	const trials = 3000
+	for i := 0; i < trials; i++ {
+		a := r.IntN(ds.N())
+		// Find the nearest other instance among a small probe set.
+		bestJ, bestD := -1, math.Inf(1)
+		for probe := 0; probe < 20; probe++ {
+			j := r.IntN(ds.N())
+			if j == a {
+				continue
+			}
+			d := dist2(ds.X[a], ds.X[j])
+			if d < bestD {
+				bestJ, bestD = j, d
+			}
+		}
+		k := r.IntN(ds.N())
+		if sharesLabel(ds, a, bestJ) {
+			nearShared++
+		}
+		if sharesLabel(ds, a, k) {
+			randShared++
+		}
+	}
+	if nearShared <= randShared {
+		t.Fatalf("label-context correlation missing: near %d vs random %d", nearShared, randShared)
+	}
+}
+
+func sharesLabel(ds *Dataset, i, j int) bool {
+	if i < 0 || j < 0 {
+		return false
+	}
+	for _, l := range ds.Y[i] {
+		if ds.Has(j, l) {
+			return true
+		}
+	}
+	return false
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestPartitionDisjoint(t *testing.T) {
+	ds := smallDataset(t)
+	parts, err := ds.Partition(15, 100, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 15 {
+		t.Fatalf("%d partitions", len(parts))
+	}
+	seen := map[int]bool{}
+	for a, p := range parts {
+		if len(p) != 100 {
+			t.Fatalf("agent %d has %d instances, want 100", a, len(p))
+		}
+		for _, i := range p {
+			if seen[i] {
+				t.Fatalf("instance %d assigned twice", i)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestPartitionShrinksWhenDataShort(t *testing.T) {
+	ds := smallDataset(t)
+	// 30 agents x 100 = 3000 > 2000 instances: per-agent shrinks to 66.
+	parts, err := ds.Partition(30, 100, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a, p := range parts {
+		if len(p) != 2000/30 {
+			t.Fatalf("agent %d has %d instances, want %d", a, len(p), 2000/30)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	ds := smallDataset(t)
+	if _, err := ds.Partition(0, 10, rng.New(7)); err == nil {
+		t.Fatal("agents=0 accepted")
+	}
+	if _, err := ds.Partition(10, 0, rng.New(7)); err == nil {
+		t.Fatal("perAgent=0 accepted")
+	}
+	if _, err := ds.Partition(3000, 1, rng.New(7)); err == nil {
+		t.Fatal("more agents than instances accepted")
+	}
+}
+
+func TestEnvContract(t *testing.T) {
+	ds := smallDataset(t)
+	parts, err := ds.Partition(10, 50, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := NewEnv(ds, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Agents() != 10 || env.Dim() != 8 || env.Arms() != 10 {
+		t.Fatalf("env shape agents=%d d=%d arms=%d", env.Agents(), env.Dim(), env.Arms())
+	}
+	u := env.User(3, rng.New(9))
+	x := u.Context(0)
+	if len(x) != 8 {
+		t.Fatalf("context dim %d", len(x))
+	}
+	// Reward is the membership indicator.
+	inst := parts[3][0]
+	for a := 0; a < 10; a++ {
+		want := 0.0
+		if ds.Has(inst, a) {
+			want = 1
+		}
+		if got := u.Reward(0, a); got != want {
+			t.Fatalf("reward(0, %d) = %v, want %v", a, got, want)
+		}
+	}
+}
+
+func TestEnvUserWrapsPartitionAndIds(t *testing.T) {
+	ds := smallDataset(t)
+	parts, _ := ds.Partition(5, 10, rng.New(10))
+	env, err := NewEnv(ds, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := env.User(2, rng.New(11))
+	// t wraps at the partition length.
+	a := u.Context(0)
+	b := u.Context(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("session did not wrap at partition boundary")
+		}
+	}
+	// User ids wrap modulo the number of partitions.
+	ua := env.User(1, rng.New(12)).Context(0)
+	ub := env.User(6, rng.New(13)).Context(0)
+	for i := range ua {
+		if ua[i] != ub[i] {
+			t.Fatal("user ids did not wrap")
+		}
+	}
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	ds := smallDataset(t)
+	if _, err := NewEnv(ds, nil); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	if _, err := NewEnv(ds, [][]int{{}}); err == nil {
+		t.Fatal("agent with no instances accepted")
+	}
+	if _, err := NewEnv(ds, [][]int{{999999}}); err == nil {
+		t.Fatal("out-of-range instance accepted")
+	}
+}
+
+func TestSampleContexts(t *testing.T) {
+	ds := smallDataset(t)
+	parts, _ := ds.Partition(5, 10, rng.New(14))
+	env, _ := NewEnv(ds, parts)
+	xs := env.SampleContexts(30, rng.New(15))
+	if len(xs) != 30 {
+		t.Fatalf("sampled %d", len(xs))
+	}
+	for _, x := range xs {
+		if len(x) != ds.D() {
+			t.Fatal("sampled context has wrong dimension")
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestSplitIndependentOfParentState(t *testing.T) {
+	a := New(7)
+	sub1 := a.Split("agents")
+	// Consume randomness from the parent; the substream must not change.
+	for i := 0; i < 50; i++ {
+		a.Float64()
+	}
+	sub2 := New(7).Split("agents")
+	for i := 0; i < 100; i++ {
+		if sub1.Float64() != sub2.Float64() {
+			t.Fatalf("Split consumed parent state; diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsDistinct(t *testing.T) {
+	r := New(7)
+	a := r.Split("a")
+	b := r.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams for distinct labels matched %d/100 draws", same)
+	}
+}
+
+func TestSplitIndexDistinct(t *testing.T) {
+	r := New(9)
+	a := r.SplitIndex("agent", 0)
+	b := r.SplitIndex("agent", 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams for distinct indices matched %d/100 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if r.Bernoulli(-0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !r.Bernoulli(1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency %v, want about 0.3", got)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(6)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(2, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Norm mean %v, want about 2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Fatalf("Norm variance %v, want about 9", variance)
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	r := New(8)
+	for _, shape := range []float64{0.5, 1, 2.5, 7} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.08*math.Max(1, shape) {
+			t.Fatalf("Gamma(%v) mean %v, want about %v", shape, mean, shape)
+		}
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	r := New(10)
+	if err := quick.Check(func(seed uint16) bool {
+		rr := New(uint64(seed))
+		alpha := []float64{0.5, 1, 2, 3.5}
+		v := rr.Dirichlet(alpha)
+		sum := 0.0
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestSimplexUniformMarginals(t *testing.T) {
+	r := New(11)
+	const n = 50000
+	d := 4
+	sums := make([]float64, d)
+	for i := 0; i < n; i++ {
+		v := r.Simplex(d)
+		for j, x := range v {
+			sums[j] += x
+		}
+	}
+	for j, s := range sums {
+		mean := s / n
+		if math.Abs(mean-1.0/float64(d)) > 0.01 {
+			t.Fatalf("Simplex marginal %d mean %v, want about %v", j, mean, 1.0/float64(d))
+		}
+	}
+}
+
+func TestCategoricalFrequencies(t *testing.T) {
+	r := New(12)
+	w := []float64{1, 2, 3, 4}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[r.Categorical(w)]++
+	}
+	for i, c := range counts {
+		want := w[i] / 10
+		got := float64(c) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Categorical freq[%d] = %v, want about %v", i, got, want)
+		}
+	}
+}
+
+func TestCategoricalPanics(t *testing.T) {
+	cases := [][]float64{{}, {0, 0}, {-1, 2}}
+	for _, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Categorical(%v) did not panic", w)
+				}
+			}()
+			New(1).Categorical(w)
+		}()
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(New(13), 1.2, 40)
+	sum := 0.0
+	for i := 0; i < 40; i++ {
+		p := z.Prob(i)
+		if p <= 0 {
+			t.Fatalf("Zipf prob %d not positive: %v", i, p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(40) != 0 {
+		t.Fatal("Zipf out-of-range prob should be 0")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(New(14), 1.0, 10)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[9] {
+		t.Fatalf("Zipf not skewed: counts[0]=%d counts[9]=%d", counts[0], counts[9])
+	}
+	got := float64(counts[0]) / n
+	if math.Abs(got-z.Prob(0)) > 0.01 {
+		t.Fatalf("Zipf empirical p0 %v, want about %v", got, z.Prob(0))
+	}
+}
+
+func TestZipfZeroExponentUniform(t *testing.T) {
+	z := NewZipf(New(15), 0, 5)
+	for i := 0; i < 5; i++ {
+		if math.Abs(z.Prob(i)-0.2) > 1e-12 {
+			t.Fatalf("Zipf(s=0) prob %d = %v, want 0.2", i, z.Prob(i))
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(16)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(17)
+	got := r.SampleWithoutReplacement(50, 20)
+	if len(got) != 20 {
+		t.Fatalf("sample size %d, want 20", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample: %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	r := New(18)
+	got := r.SampleWithoutReplacement(5, 5)
+	seen := map[int]bool{}
+	for _, v := range got {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("full sample not a permutation: %v", got)
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k > n did not panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestNormVec(t *testing.T) {
+	r := New(19)
+	v := r.NormVec(1000, 2)
+	if len(v) != 1000 {
+		t.Fatalf("NormVec length %d", len(v))
+	}
+	sum := 0.0
+	for _, x := range v {
+		sum += x * x
+	}
+	variance := sum / 1000
+	if math.Abs(variance-4) > 0.8 {
+		t.Fatalf("NormVec variance %v, want about 4", variance)
+	}
+}

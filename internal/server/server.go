@@ -1,0 +1,171 @@
+// Package server implements P2B's analyzer: the central component that
+// folds privacy-scrubbed batches into a global model and hands snapshots to
+// agents that want a warm start.
+//
+// Two global models are maintained:
+//
+//   - a tabular model over (code, action) cells, fed by the shuffler — this
+//     is the production P2B path;
+//   - a LinUCB model over raw contexts, fed directly by agents — this is
+//     the non-private baseline the paper compares against.
+//
+// A single experiment only exercises one of the two, but keeping both in
+// one server keeps the evaluation harness symmetrical.
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"p2b/internal/bandit"
+	"p2b/internal/rng"
+	"p2b/internal/transport"
+)
+
+// Decoder maps an encoded context back to a representative vector in the
+// context space (a cluster centroid or grid point). When a decoder is
+// configured, the server additionally maintains a LinUCB model over decoded
+// contexts — the centroid-learner variant of the private pipeline.
+type Decoder interface {
+	Decode(code int) []float64
+}
+
+// Config describes the model shapes the server maintains.
+type Config struct {
+	K     int     // code space size of the tabular model
+	Arms  int     // number of actions
+	D     int     // raw context dimension of the LinUCB baseline model
+	Alpha float64 // exploration parameter baked into distributed snapshots
+	Seed  uint64  // seed for the server-side models' tie-break streams
+	// Decoder, when non-nil, enables the centroid global model: delivered
+	// tuples also update a LinUCB over Decode(code) contexts.
+	Decoder Decoder
+}
+
+// Stats counts what the server has ingested.
+type Stats struct {
+	TuplesIngested int64 // encoded tuples from the shuffler
+	RawIngested    int64 // raw tuples from the non-private baseline
+	Snapshots      int64 // snapshots served
+}
+
+// Server aggregates interaction reports into global models. All methods
+// are safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu    sync.Mutex
+	tab   *bandit.TabularUCB
+	lin   *bandit.LinUCB
+	cent  *bandit.LinUCB // over decoded contexts; nil without a Decoder
+	stats Stats
+}
+
+// New returns a server with empty global models.
+func New(cfg Config) *Server {
+	if cfg.K <= 0 || cfg.Arms <= 0 || cfg.D <= 0 {
+		panic(fmt.Sprintf("server: invalid config K=%d Arms=%d D=%d", cfg.K, cfg.Arms, cfg.D))
+	}
+	r := rng.New(cfg.Seed).Split("server")
+	s := &Server{
+		cfg: cfg,
+		tab: bandit.NewTabularUCB(cfg.K, cfg.Arms, cfg.Alpha, r.Split("tabular")),
+		lin: bandit.NewLinUCB(cfg.Arms, cfg.D, cfg.Alpha, r.Split("linear")),
+	}
+	if cfg.Decoder != nil {
+		s.cent = bandit.NewLinUCB(cfg.Arms, cfg.D, cfg.Alpha, r.Split("centroid"))
+	}
+	return s
+}
+
+// Deliver folds one shuffled batch into the tabular global model (and the
+// centroid model when a decoder is configured). It implements
+// shuffler.Sink.
+func (s *Server) Deliver(batch []transport.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range batch {
+		if t.Code < 0 || t.Code >= s.cfg.K || t.Action < 0 || t.Action >= s.cfg.Arms {
+			// A malformed tuple can only come from a buggy or malicious
+			// client; drop it rather than corrupt the model.
+			continue
+		}
+		reward := clampReward(t.Reward)
+		s.tab.UpdateCode(t.Code, t.Action, reward)
+		if s.cent != nil {
+			s.cent.Update(s.cfg.Decoder.Decode(t.Code), t.Action, reward)
+		}
+		s.stats.TuplesIngested++
+	}
+}
+
+// IngestRaw folds one unencoded observation into the LinUCB baseline model
+// (the "warm and non-private" arm of the evaluation).
+func (s *Server) IngestRaw(t transport.RawTuple) error {
+	if len(t.Context) != s.cfg.D {
+		return fmt.Errorf("server: raw context dimension %d, want %d", len(t.Context), s.cfg.D)
+	}
+	if t.Action < 0 || t.Action >= s.cfg.Arms {
+		return fmt.Errorf("server: raw action %d out of range [0, %d)", t.Action, s.cfg.Arms)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lin.Update(t.Context, t.Action, clampReward(t.Reward))
+	s.stats.RawIngested++
+	return nil
+}
+
+// TabularSnapshot returns a deep copy of the global tabular model for
+// distribution to private agents.
+func (s *Server) TabularSnapshot() *bandit.TabularState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Snapshots++
+	return s.tab.State()
+}
+
+// LinUCBSnapshot returns a deep copy of the global LinUCB model for
+// distribution to non-private agents.
+func (s *Server) LinUCBSnapshot() *bandit.LinUCBState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Snapshots++
+	return s.lin.State()
+}
+
+// CentroidSnapshot returns a deep copy of the centroid global model for
+// distribution to centroid-learner private agents. It returns nil when the
+// server was built without a Decoder.
+func (s *Server) CentroidSnapshot() *bandit.LinUCBState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cent == nil {
+		return nil
+	}
+	s.stats.Snapshots++
+	return s.cent.State()
+}
+
+// Stats returns a snapshot of the ingestion counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Config returns the server's model shapes.
+func (s *Server) Config() Config { return s.cfg }
+
+// clampReward bounds client-reported rewards. The nominal bandit reward is
+// in [0, 1], but the synthetic benchmark's Gaussian noise legitimately dips
+// below zero, so the server accepts [-1, 1] and only rejects absurd values
+// a malicious client could use to poison the global model.
+func clampReward(v float64) float64 {
+	if v < -1 {
+		return -1
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

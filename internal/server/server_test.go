@@ -1,0 +1,197 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"p2b/internal/bandit"
+	"p2b/internal/rng"
+	"p2b/internal/transport"
+)
+
+func newTestServer() *Server {
+	return New(Config{K: 4, Arms: 3, D: 2, Alpha: 1, Seed: 1})
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{K: 0, Arms: 1, D: 1},
+		{K: 1, Arms: 0, D: 1},
+		{K: 1, Arms: 1, D: 0},
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d did not panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDeliverUpdatesTabularModel(t *testing.T) {
+	s := newTestServer()
+	s.Deliver([]transport.Tuple{
+		{Code: 1, Action: 2, Reward: 1},
+		{Code: 1, Action: 2, Reward: 1},
+		{Code: 3, Action: 0, Reward: 0},
+	})
+	snap := s.TabularSnapshot()
+	model, err := bandit.NewTabularUCBFromState(snap, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cell (1, 2): two rewards of 1 -> mean 2/3, width 1/sqrt(3).
+	want := 2.0/3.0 + 1/math.Sqrt(3)
+	if got := model.ScoreCode(1, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+	if st := s.Stats(); st.TuplesIngested != 3 {
+		t.Fatalf("ingested %d, want 3", st.TuplesIngested)
+	}
+}
+
+func TestDeliverDropsMalformedTuples(t *testing.T) {
+	s := newTestServer()
+	s.Deliver([]transport.Tuple{
+		{Code: -1, Action: 0, Reward: 1},
+		{Code: 99, Action: 0, Reward: 1},
+		{Code: 0, Action: -1, Reward: 1},
+		{Code: 0, Action: 50, Reward: 1},
+	})
+	if st := s.Stats(); st.TuplesIngested != 0 {
+		t.Fatalf("malformed tuples ingested: %d", st.TuplesIngested)
+	}
+}
+
+func TestDeliverClampsRewards(t *testing.T) {
+	s := newTestServer()
+	s.Deliver([]transport.Tuple{{Code: 0, Action: 0, Reward: 99}})
+	s.Deliver([]transport.Tuple{{Code: 1, Action: 0, Reward: -99}})
+	model, err := bandit.NewTabularUCBFromState(s.TabularSnapshot(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to +1: mean = 1/2.
+	want := 0.5 + 1/math.Sqrt(2)
+	if got := model.ScoreCode(0, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v (reward not clamped?)", got, want)
+	}
+	// Clamped to -1: mean = -1/2.
+	want = -0.5 + 1/math.Sqrt(2)
+	if got := model.ScoreCode(1, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v (negative reward not clamped?)", got, want)
+	}
+	// A legitimate small negative (synthetic noise) passes through.
+	s.Deliver([]transport.Tuple{{Code: 2, Action: 0, Reward: -0.05}})
+	want = -0.05/2 + 1/math.Sqrt(2)
+	if got := model2(t, s).ScoreCode(2, 0); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("score = %v, want %v", got, want)
+	}
+}
+
+func model2(t *testing.T, s *Server) *bandit.TabularUCB {
+	t.Helper()
+	m, err := bandit.NewTabularUCBFromState(s.TabularSnapshot(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestIngestRawValidation(t *testing.T) {
+	s := newTestServer()
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1}, Action: 0, Reward: 1}); err == nil {
+		t.Fatal("wrong-dimension context accepted")
+	}
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 7, Reward: 1}); err == nil {
+		t.Fatal("out-of-range action accepted")
+	}
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 1, Reward: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.RawIngested != 1 {
+		t.Fatalf("raw ingested %d, want 1", st.RawIngested)
+	}
+}
+
+func TestLinUCBSnapshotReflectsRawData(t *testing.T) {
+	s := newTestServer()
+	x := []float64{1, 0}
+	for i := 0; i < 30; i++ {
+		if err := s.IngestRaw(transport.RawTuple{Context: x, Action: 0, Reward: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.IngestRaw(transport.RawTuple{Context: x, Action: 1, Reward: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	model, err := bandit.NewLinUCBFromState(s.LinUCBSnapshot(), rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Score(x, 0) <= model.Score(x, 1) {
+		t.Fatal("global LinUCB did not learn from raw stream")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := newTestServer()
+	snap1 := s.TabularSnapshot()
+	s.Deliver([]transport.Tuple{{Code: 0, Action: 0, Reward: 1}})
+	snap2 := s.TabularSnapshot()
+	if snap1.Count[0] == snap2.Count[0] {
+		t.Fatal("second snapshot should reflect the delivery")
+	}
+	// Mutating a snapshot must not corrupt the server.
+	snap2.Count[0] = 1e9
+	snap3 := s.TabularSnapshot()
+	if snap3.Count[0] == 1e9 {
+		t.Fatal("snapshot aliases server state")
+	}
+}
+
+func TestStatsCountsSnapshots(t *testing.T) {
+	s := newTestServer()
+	s.TabularSnapshot()
+	s.LinUCBSnapshot()
+	if st := s.Stats(); st.Snapshots != 2 {
+		t.Fatalf("snapshots %d, want 2", st.Snapshots)
+	}
+}
+
+func TestConcurrentDeliverAndSnapshot(t *testing.T) {
+	s := newTestServer()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Deliver([]transport.Tuple{{Code: i % 4, Action: i % 3, Reward: 0.5}})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = s.TabularSnapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := s.Stats(); st.TuplesIngested != 2000 {
+		t.Fatalf("ingested %d, want 2000", st.TuplesIngested)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	s := newTestServer()
+	cfg := s.Config()
+	if cfg.K != 4 || cfg.Arms != 3 || cfg.D != 2 {
+		t.Fatalf("config %+v", cfg)
+	}
+}

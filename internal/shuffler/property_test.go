@@ -1,0 +1,77 @@
+package shuffler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"p2b/internal/privacy"
+	"p2b/internal/rng"
+	"p2b/internal/transport"
+)
+
+// TestPropertyOutputAlwaysCrowdBlended: for any batch contents and any
+// threshold, everything the sink receives satisfies the crowd-blending
+// invariant and conservation holds. This is the system's privacy contract
+// as a property.
+func TestPropertyOutputAlwaysCrowdBlended(t *testing.T) {
+	if err := quick.Check(func(seed uint16, rawCodes []uint8, threshold uint8) bool {
+		if len(rawCodes) == 0 {
+			return true
+		}
+		l := int(threshold % 8)
+		sink := &collector{}
+		s := New(Config{BatchSize: 16, Threshold: l}, sink, rng.New(uint64(seed)))
+		for i, c := range rawCodes {
+			s.Submit(transport.Envelope{
+				Meta:  transport.Metadata{DeviceID: deviceName(i % 26)},
+				Tuple: transport.Tuple{Code: int(c % 10), Action: 0, Reward: 0.5},
+			})
+		}
+		s.Flush()
+		// Every delivered batch individually satisfies the threshold.
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		delivered := 0
+		for _, batch := range sink.batches {
+			codes := make([]int, len(batch))
+			for i, tup := range batch {
+				codes[i] = tup.Code
+			}
+			if !privacy.VerifyCrowdBlending(codes, l) {
+				return false
+			}
+			delivered += len(batch)
+		}
+		st := s.Stats()
+		return st.Received == int64(len(rawCodes)) &&
+			st.Forwarded == int64(delivered) &&
+			st.Forwarded+st.Dropped == st.Received
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyRewardsSurviveUnchanged: shuffling and thresholding must not
+// alter tuple payloads, only drop or reorder them.
+func TestPropertyRewardsSurviveUnchanged(t *testing.T) {
+	if err := quick.Check(func(seed uint16, n uint8) bool {
+		count := int(n%50) + 1
+		sink := &collector{}
+		s := New(Config{BatchSize: 8, Threshold: 0}, sink, rng.New(uint64(seed)))
+		want := map[float64]bool{}
+		for i := 0; i < count; i++ {
+			r := float64(i) / 100
+			want[r] = true
+			s.Submit(transport.Envelope{Tuple: transport.Tuple{Code: 1, Action: 2, Reward: r}})
+		}
+		s.Flush()
+		for _, tup := range sink.all() {
+			if tup.Code != 1 || tup.Action != 2 || !want[tup.Reward] {
+				return false
+			}
+		}
+		return len(sink.all()) == count
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

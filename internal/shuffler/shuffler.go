@@ -1,0 +1,178 @@
+// Package shuffler implements the trusted shuffler of the ESA architecture
+// as P2B uses it (paper §3.3). For every batch it performs, in order:
+//
+//  1. Anonymization — all transport metadata is discarded; only the bare
+//     (code, action, reward) tuples survive.
+//  2. Shuffling — the batch order is randomly permuted, unlinking arrival
+//     order from any sender.
+//  3. Thresholding — tuples whose encoded context appears fewer than
+//     Threshold times in the batch are removed, establishing the
+//     crowd-blending parameter l = Threshold for everything forwarded.
+//
+// The production system runs this inside a trusted enclave; here the same
+// observable behaviour is provided in software, and the privacy analysis
+// depends only on that behaviour.
+package shuffler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"p2b/internal/rng"
+	"p2b/internal/transport"
+)
+
+// Sink receives finished batches from the shuffler. The server implements
+// this.
+type Sink interface {
+	// Deliver hands over one anonymized, shuffled, thresholded batch.
+	Deliver(batch []transport.Tuple)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(batch []transport.Tuple)
+
+// Deliver calls f.
+func (f SinkFunc) Deliver(batch []transport.Tuple) { f(batch) }
+
+// Config holds the shuffler parameters.
+type Config struct {
+	// BatchSize is how many envelopes are buffered before a batch is
+	// processed. Larger batches make the threshold easier to clear but
+	// delay model updates.
+	BatchSize int
+	// Threshold is the crowd-blending parameter l: a tuple is forwarded
+	// only if its code occurs at least Threshold times in the batch. The
+	// paper's real-data experiments use 10.
+	Threshold int
+}
+
+// Stats counts the shuffler's traffic.
+type Stats struct {
+	Received  int64 // envelopes submitted
+	Forwarded int64 // tuples delivered to the sink
+	Dropped   int64 // tuples removed by thresholding
+	Batches   int64 // batches processed
+}
+
+// Shuffler buffers envelopes and releases privacy-scrubbed batches to a
+// sink. It is safe for concurrent use.
+type Shuffler struct {
+	cfg  Config
+	sink Sink
+
+	mu    sync.Mutex
+	buf   []transport.Tuple // metadata already stripped at submission
+	r     *rng.Rand
+	stats Stats
+}
+
+// New returns a shuffler delivering to sink, shuffling with randomness from
+// r. It panics on a non-positive batch size or negative threshold.
+func New(cfg Config, sink Sink, r *rng.Rand) *Shuffler {
+	if cfg.BatchSize <= 0 {
+		panic(fmt.Sprintf("shuffler: batch size must be positive, got %d", cfg.BatchSize))
+	}
+	if cfg.Threshold < 0 {
+		panic(fmt.Sprintf("shuffler: threshold must be non-negative, got %d", cfg.Threshold))
+	}
+	if sink == nil {
+		panic("shuffler: nil sink")
+	}
+	return &Shuffler{cfg: cfg, sink: sink, r: r}
+}
+
+// Submit accepts one envelope. Metadata is stripped immediately — identity
+// never rests in the buffer — and a batch is processed once BatchSize
+// tuples have accumulated.
+func (s *Shuffler) Submit(e transport.Envelope) {
+	s.mu.Lock()
+	s.stats.Received++
+	s.buf = append(s.buf, e.Tuple) // anonymization: Meta is dropped here
+	var batch []transport.Tuple
+	if len(s.buf) >= s.cfg.BatchSize {
+		batch = s.buf
+		s.buf = nil
+	}
+	s.mu.Unlock()
+	if batch != nil {
+		s.process(batch)
+	}
+}
+
+// Flush processes whatever is buffered, regardless of batch size. Call it
+// at the end of a collection round so stragglers are not lost; note that
+// small flushed batches are exactly the ones most likely to be consumed by
+// thresholding, which is the correct privacy behaviour.
+func (s *Shuffler) Flush() {
+	s.mu.Lock()
+	batch := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	if len(batch) > 0 {
+		s.process(batch)
+	}
+}
+
+// process shuffles, thresholds and forwards one batch.
+func (s *Shuffler) process(batch []transport.Tuple) {
+	s.mu.Lock()
+	// Shuffling: sever any link between arrival order and position.
+	s.r.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
+
+	// Thresholding: count code frequencies, keep only crowd members.
+	freq := make(map[int]int, len(batch))
+	for _, t := range batch {
+		freq[t.Code]++
+	}
+	kept := batch[:0]
+	for _, t := range batch {
+		if freq[t.Code] >= s.cfg.Threshold {
+			kept = append(kept, t)
+		} else {
+			s.stats.Dropped++
+		}
+	}
+	s.stats.Forwarded += int64(len(kept))
+	s.stats.Batches++
+	s.mu.Unlock()
+
+	if len(kept) > 0 {
+		s.sink.Deliver(kept)
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Shuffler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Pending returns how many tuples are currently buffered.
+func (s *Shuffler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Run consumes envelopes from in until the channel closes or ctx is
+// cancelled, then flushes. It is the streaming deployment mode: one
+// goroutine owns the shuffler while any number of agent goroutines feed the
+// bus.
+func (s *Shuffler) Run(ctx context.Context, in <-chan transport.Envelope) {
+	for {
+		select {
+		case <-ctx.Done():
+			s.Flush()
+			return
+		case e, ok := <-in:
+			if !ok {
+				s.Flush()
+				return
+			}
+			s.Submit(e)
+		}
+	}
+}

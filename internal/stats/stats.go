@@ -1,0 +1,326 @@
+// Package stats provides the running statistics, confidence intervals and
+// series/table rendering used by the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Running accumulates a streaming mean and variance using Welford's
+// algorithm. The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// AddN incorporates x as if observed n times.
+func (r *Running) AddN(x float64, n int64) {
+	for i := int64(0); i < n; i++ {
+		r.Add(x)
+	}
+}
+
+// Merge folds other into r, as if r had seen all of other's observations.
+func (r *Running) Merge(other Running) {
+	if other.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = other
+		return
+	}
+	n1, n2 := float64(r.n), float64(other.n)
+	delta := other.mean - r.mean
+	total := n1 + n2
+	r.mean += delta * n2 / total
+	r.m2 += other.m2 + delta*delta*n1*n2/total
+	r.n += other.n
+}
+
+// Count returns the number of observations.
+func (r *Running) Count() int64 { return r.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance (0 with fewer than 2 samples).
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// SE returns the standard error of the mean.
+func (r *Running) SE() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.Std() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns a normal-approximation 95% confidence half-width for the
+// mean.
+func (r *Running) CI95() float64 { return 1.96 * r.SE() }
+
+// Wilson returns the Wilson score interval for a binomial proportion with
+// the given number of successes out of n trials at confidence z (1.96 for
+// 95%). For n == 0 it returns (0, 1).
+func Wilson(successes, n int64, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// EWMA is an exponentially-weighted moving average with smoothing factor
+// alpha in (0, 1]; larger alpha weighs recent observations more.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. It panics unless
+// 0 < alpha <= 1.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0, 1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation.
+func (e *EWMA) Add(x float64) {
+	if !e.init {
+		e.value, e.init = x, true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation. It panics on an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Point is one measurement of a series: a parameter value X, a measured
+// value Y and an uncertainty half-width Err.
+type Point struct {
+	X   float64
+	Y   float64
+	Err float64
+}
+
+// Series is a named sequence of measurements, e.g. one curve of a paper
+// figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point to the series.
+func (s *Series) Append(x, y, err float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Err: err})
+}
+
+// YAt returns the Y value for the first point with the given X, and whether
+// one was found.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Last returns the final point of the series. It panics if empty.
+func (s *Series) Last() Point {
+	if len(s.Points) == 0 {
+		panic("stats: Last of empty series")
+	}
+	return s.Points[len(s.Points)-1]
+}
+
+// Table renders a set of series sharing the same X grid as an aligned text
+// table, one row per X value and one column per series — the shape of the
+// paper's figures in text form.
+type Table struct {
+	XLabel string
+	Series []*Series
+}
+
+// Render writes the table as aligned columns. Series need not have
+// identical X grids; missing cells render as "-".
+func (t *Table) Render() string {
+	// Collect the union of X values in order of first appearance.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+
+	header := make([]string, 0, len(t.Series)+1)
+	label := t.XLabel
+	if label == "" {
+		label = "x"
+	}
+	header = append(header, label)
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for _, x := range xs {
+		row := []string{formatFloat(x)}
+		for _, s := range t.Series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, formatFloat(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return renderAligned(rows)
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	var b strings.Builder
+	label := t.XLabel
+	if label == "" {
+		label = "x"
+	}
+	b.WriteString(label)
+	for _, s := range t.Series {
+		b.WriteString(",")
+		b.WriteString(s.Name)
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		b.WriteString(formatFloat(x))
+		for _, s := range t.Series {
+			b.WriteString(",")
+			if y, ok := s.YAt(x); ok {
+				b.WriteString(formatFloat(y))
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func renderAligned(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMeanVar(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.Count() != 8 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Unbiased sample variance of the classic dataset is 32/7.
+	if math.Abs(r.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", r.Var(), 32.0/7.0)
+	}
+}
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.SE() != 0 || r.CI95() != 0 {
+		t.Fatal("zero-value Running should report zeros")
+	}
+}
+
+func TestRunningSingleSampleVarZero(t *testing.T) {
+	var r Running
+	r.Add(3)
+	if r.Var() != 0 {
+		t.Fatalf("Var with one sample = %v", r.Var())
+	}
+}
+
+func TestRunningMergeMatchesSequential(t *testing.T) {
+	if err := quick.Check(func(a, b []float64) bool {
+		var all, left, right Running
+		for _, x := range a {
+			clean := sanitize(x)
+			all.Add(clean)
+			left.Add(clean)
+		}
+		for _, x := range b {
+			clean := sanitize(x)
+			all.Add(clean)
+			right.Add(clean)
+		}
+		left.Merge(right)
+		if left.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return math.Abs(left.Mean()-all.Mean()) < 1e-9*(1+math.Abs(all.Mean())) &&
+			math.Abs(left.Var()-all.Var()) < 1e-6*(1+all.Var())
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	// Keep magnitudes moderate so float error bounds stay meaningful.
+	return math.Mod(x, 1e6)
+}
+
+func TestRunningAddN(t *testing.T) {
+	var a, b Running
+	a.AddN(2.5, 4)
+	for i := 0; i < 4; i++ {
+		b.Add(2.5)
+	}
+	if a.Mean() != b.Mean() || a.Count() != b.Count() {
+		t.Fatal("AddN diverges from repeated Add")
+	}
+}
+
+func TestWilsonBasics(t *testing.T) {
+	lo, hi := Wilson(0, 0, 1.96)
+	if lo != 0 || hi != 1 {
+		t.Fatalf("Wilson with n=0 = (%v, %v)", lo, hi)
+	}
+	lo, hi = Wilson(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("Wilson(50/100) = (%v, %v) should bracket 0.5", lo, hi)
+	}
+	if lo < 0.39 || hi > 0.61 {
+		t.Fatalf("Wilson(50/100) = (%v, %v) unexpectedly wide", lo, hi)
+	}
+}
+
+func TestWilsonShrinksWithN(t *testing.T) {
+	lo1, hi1 := Wilson(5, 10, 1.96)
+	lo2, hi2 := Wilson(500, 1000, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Fatal("Wilson interval did not shrink with more samples")
+	}
+}
+
+func TestWilsonBounded(t *testing.T) {
+	if err := quick.Check(func(s, n uint16) bool {
+		nn := int64(n%1000) + 1
+		ss := int64(s) % (nn + 1)
+		lo, hi := Wilson(ss, nn, 1.96)
+		return lo >= 0 && hi <= 1 && lo <= hi
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatal("fresh EWMA should be 0")
+	}
+	e.Add(10)
+	if e.Value() != 10 {
+		t.Fatalf("first Add should initialize; got %v", e.Value())
+	}
+	e.Add(0)
+	if e.Value() != 5 {
+		t.Fatalf("EWMA = %v, want 5", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewEWMA(%v) did not panic", alpha)
+				}
+			}()
+			NewEWMA(alpha)
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Fatal("Quantile extremes wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 2 {
+		t.Fatalf("median = %v, want 2", got)
+	}
+	// Input must not be reordered.
+	if xs[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestSeriesAppendAndLookup(t *testing.T) {
+	s := &Series{Name: "cold"}
+	s.Append(10, 0.5, 0.01)
+	s.Append(20, 0.7, 0.01)
+	if y, ok := s.YAt(20); !ok || y != 0.7 {
+		t.Fatalf("YAt(20) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(30); ok {
+		t.Fatal("YAt(30) should miss")
+	}
+	if s.Last().X != 20 {
+		t.Fatalf("Last = %+v", s.Last())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	a := &Series{Name: "cold"}
+	a.Append(100, 0.01, 0)
+	a.Append(1000, 0.011, 0)
+	b := &Series{Name: "warm"}
+	b.Append(100, 0.02, 0)
+	tab := &Table{XLabel: "users", Series: []*Series{a, b}}
+	out := tab.Render()
+	if !strings.Contains(out, "users") || !strings.Contains(out, "cold") || !strings.Contains(out, "warm") {
+		t.Fatalf("missing headers in:\n%s", out)
+	}
+	// Missing cell renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell placeholder absent:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected header + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	a := &Series{Name: "s1"}
+	a.Append(1, 0.5, 0)
+	tab := &Table{Series: []*Series{a}}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "x,s1\n") {
+		t.Fatalf("CSV header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "1,0.5") {
+		t.Fatalf("CSV row wrong: %q", csv)
+	}
+}
+
+func TestTableRowsSortedByX(t *testing.T) {
+	a := &Series{Name: "s"}
+	a.Append(100, 1, 0)
+	a.Append(10, 2, 0)
+	tab := &Table{Series: []*Series{a}}
+	out := tab.Render()
+	i10 := strings.Index(out, "\n10 ")
+	i100 := strings.Index(out, "\n100")
+	if i10 == -1 || i100 == -1 || i10 > i100 {
+		t.Fatalf("rows not sorted by x:\n%s", out)
+	}
+}

@@ -1,0 +1,184 @@
+package synthetic
+
+import (
+	"math"
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+func newBench(t *testing.T, d, arms int) *Preference {
+	t.Helper()
+	p, err := New(Config{D: d, Arms: arms, Beta: 0.1, Sigma: 0.1}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	r := rng.New(1)
+	cases := []Config{
+		{D: 0, Arms: 2, Beta: 0.1},
+		{D: 2, Arms: 0, Beta: 0.1},
+		{D: 2, Arms: 2, Beta: -0.1},
+		{D: 2, Arms: 2, Beta: 1.1},
+		{D: 2, Arms: 2, Beta: 0.1, Sigma: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg, r); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestSoftmaxIsDistribution(t *testing.T) {
+	p := newBench(t, 5, 10)
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		sm := p.Softmax(r.Simplex(5))
+		sum := 0.0
+		for _, v := range sm {
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax entry %v outside [0,1]", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("softmax sums to %v", sum)
+		}
+	}
+}
+
+func TestSoftmaxDimPanics(t *testing.T) {
+	p := newBench(t, 3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong dimension did not panic")
+		}
+	}()
+	p.Softmax([]float64{1, 0})
+}
+
+func TestMeanBoundedByBeta(t *testing.T) {
+	p := newBench(t, 4, 6)
+	r := rng.New(3)
+	for i := 0; i < 200; i++ {
+		x := r.Simplex(4)
+		for a := 0; a < 6; a++ {
+			m := p.Mean(x, a)
+			if m < 0 || m > 0.1 {
+				t.Fatalf("mean reward %v outside [0, beta]", m)
+			}
+		}
+	}
+}
+
+func TestBestArmConsistentWithMean(t *testing.T) {
+	p := newBench(t, 4, 8)
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		x := r.Simplex(4)
+		best := p.BestArm(x)
+		for a := 0; a < 8; a++ {
+			if p.Mean(x, a) > p.Mean(x, best) {
+				t.Fatalf("arm %d beats reported best %d", a, best)
+			}
+		}
+	}
+}
+
+func TestUserContextIsFixedPreference(t *testing.T) {
+	p := newBench(t, 5, 4)
+	u := p.User(7, rng.New(5))
+	x0 := u.Context(0)
+	x9 := u.Context(9)
+	for i := range x0 {
+		if x0[i] != x9[i] {
+			t.Fatal("user preference should be constant across interactions")
+		}
+	}
+	sum := 0.0
+	for _, v := range x0 {
+		if v < 0 {
+			t.Fatal("preference has negative entries")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("preference sums to %v", sum)
+	}
+}
+
+func TestUsersDiffer(t *testing.T) {
+	p := newBench(t, 5, 4)
+	root := rng.New(6)
+	a := p.User(1, root.SplitIndex("user", 1)).Context(0)
+	b := p.User(2, root.SplitIndex("user", 2)).Context(0)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different users drew identical preferences")
+	}
+}
+
+func TestRewardBoundedByMeanPlusNoise(t *testing.T) {
+	p := newBench(t, 4, 5)
+	u := p.User(0, rng.New(7))
+	for t_ := 0; t_ < 500; t_++ {
+		v := u.Reward(t_, t_%5)
+		// Mean is within [0, beta]; noise has sigma 0.1, so |v| beyond
+		// ~0.7 would be a 6-sigma event.
+		if v < -0.7 || v > 0.8 {
+			t.Fatalf("reward %v outside plausible range", v)
+		}
+	}
+}
+
+func TestRewardMeanTracksPreference(t *testing.T) {
+	p := newBench(t, 4, 5)
+	u := p.User(3, rng.New(8))
+	x := u.Context(0)
+	best := p.BestArm(x)
+	// Average many noisy draws; they should be within noise of the mean.
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += u.Reward(i, best)
+	}
+	got := sum / n
+	want := p.Mean(x, best)
+	// Noise is zero-mean, so the empirical mean converges to the model
+	// mean; with n=20000 and sigma=0.1 the SE is ~0.0007.
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("empirical mean %v too far from %v", got, want)
+	}
+}
+
+func TestSampleContexts(t *testing.T) {
+	p := newBench(t, 6, 3)
+	xs := p.SampleContexts(50, rng.New(9))
+	if len(xs) != 50 {
+		t.Fatalf("sampled %d", len(xs))
+	}
+	for _, x := range xs {
+		if len(x) != 6 {
+			t.Fatalf("context dim %d", len(x))
+		}
+	}
+}
+
+func TestEnvironmentDeterminism(t *testing.T) {
+	mk := func() *Preference { return newBench(t, 5, 4) }
+	a, b := mk(), mk()
+	x := rng.New(10).Simplex(5)
+	for arm := 0; arm < 4; arm++ {
+		if a.Mean(x, arm) != b.Mean(x, arm) {
+			t.Fatal("same seed produced different environments")
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package p2b is the public API of this repository: a Go implementation of
+// Privacy-Preserving Bandits (Malekzadeh et al., MLSys 2020).
+//
+// P2B lets contextual bandit agents running on user devices improve each
+// other through a differentially-private data collection pipeline: each
+// agent encodes an interaction's context into a coarse discrete code, with
+// probability P submits the single tuple (code, action, reward) through a
+// trusted shuffler that anonymizes, shuffles and crowd-blends reports, and
+// the server aggregates surviving tuples into a global model that
+// warm-starts new agents. Pre-sampling plus (l, 0)-crowd-blending yields
+// (epsilon, delta)-differential privacy with
+//
+//	epsilon = ln(P(2-P)/(1-P) + (1-P))   — about 0.693 at P = 0.5.
+//
+// # Quick start
+//
+//	env, _ := p2b.NewSyntheticEnvironment(p2b.SyntheticConfig{
+//		D: 10, Arms: 20, Beta: 0.1, Sigma: 0.1,
+//	}, 42)
+//	sys, _ := p2b.NewSystem(p2b.Config{
+//		Mode: p2b.WarmPrivate, T: 10, P: 0.5, K: 64, Threshold: 10, Seed: 1,
+//	}, env, nil)
+//	sys.RunRange(0, 10_000, true) // users contribute
+//	sys.Flush()
+//	eval := sys.RunRange(1_000_000, 500, false) // fresh cohort, no sharing
+//	fmt.Println("reward:", eval.Overall.Mean(), "epsilon:", sys.Epsilon())
+//
+// The full experiment harness reproducing every figure of the paper lives
+// behind cmd/p2bbench; see DESIGN.md for the per-experiment index.
+package p2b
+
+import (
+	"p2b/internal/adlogs"
+	"p2b/internal/core"
+	"p2b/internal/encoding"
+	"p2b/internal/mlabel"
+	"p2b/internal/privacy"
+	"p2b/internal/rng"
+	"p2b/internal/synthetic"
+)
+
+// Core system types, re-exported from the implementation packages.
+type (
+	// Mode selects cold, warm-non-private or warm-private operation.
+	Mode = core.Mode
+	// Config parameterizes a System; see the field docs in internal/core.
+	Config = core.Config
+	// System is one configured P2B deployment over an Environment.
+	System = core.System
+	// Environment is a bandit workload (context space, action set,
+	// per-user sessions).
+	Environment = core.Environment
+	// UserSession yields one user's contexts and bandit feedback.
+	UserSession = core.UserSession
+	// RunResult aggregates rewards of a simulated user batch.
+	RunResult = core.RunResult
+	// Encoder maps context vectors to discrete codes.
+	Encoder = encoding.Encoder
+	// Rand is the deterministic random stream all components draw from.
+	Rand = rng.Rand
+)
+
+// Operation modes (the paper's three evaluation regimes).
+const (
+	// Cold runs standalone local agents with no communication.
+	Cold = core.Cold
+	// WarmNonPrivate shares raw contexts with the server (no privacy).
+	WarmNonPrivate = core.WarmNonPrivate
+	// WarmPrivate runs the full P2B pipeline.
+	WarmPrivate = core.WarmPrivate
+)
+
+// Learner selects the warm-private agents' hypothesis class (see the
+// Config.PrivateLearner docs).
+type Learner = core.Learner
+
+// Private learner variants.
+const (
+	// LearnerTabular keeps per-(code, action) statistics; right for small
+	// code spaces with strong per-cluster structure.
+	LearnerTabular = core.LearnerTabular
+	// LearnerCentroid runs LinUCB over decoded centroids; right for large
+	// code spaces where pooling matters.
+	LearnerCentroid = core.LearnerCentroid
+)
+
+// NewSystem builds a P2B deployment over env. enc may be nil: the private
+// mode then fits a k-means encoder with cfg.K codes on a public context
+// sample from the environment.
+func NewSystem(cfg Config, env Environment, enc Encoder) (*System, error) {
+	return core.NewSystem(cfg, env, enc)
+}
+
+// NewRand returns a seeded deterministic random stream.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Epsilon returns the differential-privacy epsilon achieved by
+// participation probability p under P2B's sampling + crowd-blending
+// analysis (Equation 3 of the paper).
+func Epsilon(p float64) float64 { return privacy.Epsilon(p) }
+
+// ParticipationForEpsilon inverts Epsilon: the largest p whose guarantee
+// does not exceed the target.
+func ParticipationForEpsilon(target float64) float64 {
+	return privacy.ParticipationForEpsilon(target)
+}
+
+// Delta returns the delta bound exp(-omega*l*(1-p)^2) for crowd size l.
+func Delta(l int, p, omega float64) float64 { return privacy.Delta(l, p, omega) }
+
+// Compose prices r disclosures at eps each under basic composition.
+func Compose(eps float64, r int) float64 { return privacy.Compose(eps, r) }
+
+// AdvancedCompose prices r disclosures at eps each under advanced
+// composition with the given delta slack, returning the tighter of the
+// advanced and basic bounds.
+func AdvancedCompose(eps float64, r int, deltaSlack float64) float64 {
+	return privacy.AdvancedCompose(eps, r, deltaSlack)
+}
+
+// SyntheticConfig parameterizes the synthetic preference benchmark
+// (paper §5.1).
+type SyntheticConfig = synthetic.Config
+
+// NewSyntheticEnvironment builds the softmax-preference benchmark with a
+// random weight matrix drawn from the seed.
+func NewSyntheticEnvironment(cfg SyntheticConfig, seed uint64) (Environment, error) {
+	return synthetic.New(cfg, rng.New(seed))
+}
+
+// MultiLabelConfig parameterizes the multi-label dataset generator
+// (paper §5.2 substrate).
+type MultiLabelConfig = mlabel.Config
+
+// MediaMillLikeConfig returns the generator configuration with the paper's
+// MediaMill shape (d=20 features, 40 labels) at the given instance count.
+func MediaMillLikeConfig(n int) MultiLabelConfig { return mlabel.MediaMillLike(n) }
+
+// TextMiningLikeConfig returns the generator configuration with the paper's
+// TextMining shape (d=20 features, 20 labels) at the given instance count.
+func TextMiningLikeConfig(n int) MultiLabelConfig { return mlabel.TextMiningLike(n) }
+
+// NewMultiLabelEnvironment generates a multi-label dataset, partitions it
+// into agents holding up to perAgent samples each, and wraps it as an
+// environment. It returns the environment and the number of agents.
+func NewMultiLabelEnvironment(cfg MultiLabelConfig, agents, perAgent int, seed uint64) (Environment, int, error) {
+	r := rng.New(seed)
+	ds, err := mlabel.Generate(cfg, r.Split("data"))
+	if err != nil {
+		return nil, 0, err
+	}
+	parts, err := ds.Partition(agents, perAgent, r.Split("partition"))
+	if err != nil {
+		return nil, 0, err
+	}
+	env, err := mlabel.NewEnv(ds, parts)
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, env.Agents(), nil
+}
+
+// AdLogConfig parameterizes the Criteo-shaped click-log generator
+// (paper §5.3 substrate).
+type AdLogConfig = adlogs.Config
+
+// CriteoLikeConfig returns the generator configuration with the paper's
+// shape (d=10 context, 40 hashed product categories) for the given number
+// of impressions.
+func CriteoLikeConfig(records int) AdLogConfig { return adlogs.CriteoLike(records) }
+
+// NewAdLogEnvironment generates a click log and wraps it as an environment
+// in which each agent replays perAgent consecutive impressions. It returns
+// the environment and the number of agents the log supports.
+func NewAdLogEnvironment(cfg AdLogConfig, perAgent int, seed uint64) (Environment, int, error) {
+	log, err := adlogs.Generate(cfg, rng.New(seed))
+	if err != nil {
+		return nil, 0, err
+	}
+	env, err := adlogs.NewEnv(log, perAgent)
+	if err != nil {
+		return nil, 0, err
+	}
+	return env, env.Agents(), nil
+}
+
+// FitKMeansEncoder fits the paper's clustering encoder with k codes on a
+// sample of contexts.
+func FitKMeansEncoder(sample [][]float64, k int, seed uint64) (Encoder, error) {
+	return encoding.FitKMeans(sample, k, 50, 1e-6, rng.New(seed))
+}
+
+// NewGridEncoder returns the fixed-precision grid quantizer for
+// d-dimensional simplex contexts at q decimal digits (Equation 1 governs
+// its code-space size).
+func NewGridEncoder(d, q int) (Encoder, error) { return encoding.NewGridQuantizer(d, q) }
+
+// NewLSHEncoder returns a random-hyperplane LSH encoder with 2^bits codes.
+func NewLSHEncoder(d, bits int, seed uint64) (Encoder, error) {
+	return encoding.NewLSH(d, bits, rng.New(seed))
+}
