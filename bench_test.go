@@ -6,6 +6,7 @@
 package p2b_test
 
 import (
+	"fmt"
 	"testing"
 
 	"p2b/internal/bandit"
@@ -174,8 +175,8 @@ func BenchmarkTabularUpdate(b *testing.B) {
 	}
 }
 
-// BenchmarkKMeansEncode measures the O(kd) on-device encoding cost the
-// paper quotes (k=1024, d=10).
+// BenchmarkKMeansEncode measures the on-device encoding cost the paper
+// quotes as O(kd) (k=1024, d=10) — here served by the pruned index.
 func BenchmarkKMeansEncode(b *testing.B) {
 	xs := benchContexts(4096, 10)
 	km, err := encoding.FitKMeans(xs, 1024, 10, 1e-6, rng.New(2))
@@ -186,6 +187,41 @@ func BenchmarkKMeansEncode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		km.Encode(xs[i%len(xs)])
+	}
+}
+
+// BenchmarkKMeansEncodeNaive is the guard benchmark for the pruned search:
+// the brute-force scan the seed tree shipped, kept as the reference both
+// for correctness (property tests) and for the speedup ratio reported in
+// DESIGN.md.
+func BenchmarkKMeansEncodeNaive(b *testing.B) {
+	xs := benchContexts(4096, 10)
+	km, err := encoding.FitKMeans(xs, 1024, 10, 1e-6, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		km.EncodeNaive(xs[i%len(xs)])
+	}
+}
+
+// BenchmarkKMeansFit measures encoder fitting (k=256 on 4096 points) at
+// several assignment worker counts.
+func BenchmarkKMeansFit(b *testing.B) {
+	xs := benchContexts(4096, 10)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := encoding.FitKMeansOptions(xs, 256, encoding.FitOptions{
+					MaxIter: 10, Tol: 1e-6, Workers: workers,
+				}, rng.New(2))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -232,8 +268,29 @@ func BenchmarkShufflerThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkServerDeliver measures global-model ingestion.
+// BenchmarkServerDeliver measures global-model ingestion under concurrent
+// load: every benchmark goroutine (scaled by -cpu) delivers its own
+// batches, the regime the sharded server is built for. The pre-shard
+// server serialized all of them behind one mutex.
 func BenchmarkServerDeliver(b *testing.B) {
+	srv := server.New(server.Config{K: 1024, Arms: 20, D: 10, Alpha: 1, Seed: 1})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		batch := make([]transport.Tuple, 256)
+		for i := range batch {
+			batch[i] = transport.Tuple{Code: i % 1024, Action: i % 20, Reward: 0.5}
+		}
+		for pb.Next() {
+			srv.Deliver(batch)
+		}
+	})
+	b.StopTimer()
+	_ = srv.Stats()
+}
+
+// BenchmarkServerDeliverSerial guards the single-caller ingestion cost:
+// sharding must not tax the sequential path.
+func BenchmarkServerDeliverSerial(b *testing.B) {
 	srv := server.New(server.Config{K: 1024, Arms: 20, D: 10, Alpha: 1, Seed: 1})
 	batch := make([]transport.Tuple, 256)
 	for i := range batch {
@@ -246,6 +303,23 @@ func BenchmarkServerDeliver(b *testing.B) {
 	}
 	b.StopTimer()
 	_ = srv.Stats()
+}
+
+// BenchmarkTabularSnapshot measures warm-start snapshot distribution, the
+// per-user server-side cost of the private pipeline (cache-hit regime:
+// many snapshots between deliveries).
+func BenchmarkTabularSnapshot(b *testing.B) {
+	srv := server.New(server.Config{K: 1024, Arms: 20, D: 10, Alpha: 1, Seed: 1})
+	batch := make([]transport.Tuple, 256)
+	for i := range batch {
+		batch[i] = transport.Tuple{Code: i % 1024, Action: i % 20, Reward: 0.5}
+	}
+	srv.Deliver(batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = srv.TabularSnapshot()
+	}
 }
 
 // BenchmarkSimulatedUser measures the full per-user cost of each regime:

@@ -1,0 +1,3 @@
+module p2b
+
+go 1.24

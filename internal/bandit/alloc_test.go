@@ -1,0 +1,44 @@
+package bandit
+
+import (
+	"testing"
+
+	"p2b/internal/rng"
+)
+
+// These tests pin the zero-allocation contract of the per-interaction hot
+// paths. A simulated population calls Select/Update millions of times; any
+// per-call allocation shows up directly in simulation throughput and GC
+// pressure, so a regression here is a performance bug even when the
+// results stay correct.
+
+func testZeroAlloc(t *testing.T, name string, f func()) {
+	t.Helper()
+	f() // warm up lazy state so one-time allocations don't count
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s allocates %v times per call, want 0", name, n)
+	}
+}
+
+func TestLinUCBZeroAlloc(t *testing.T) {
+	l := NewLinUCB(20, 10, 1, rng.New(1))
+	x := rng.New(2).Simplex(10)
+	testZeroAlloc(t, "LinUCB.Select", func() { l.Select(x) })
+	testZeroAlloc(t, "LinUCB.Update", func() { l.Update(x, 3, 0.5) })
+	testZeroAlloc(t, "LinUCB.Score", func() { l.Score(x, 0) })
+}
+
+func TestTabularUCBZeroAlloc(t *testing.T) {
+	tab := NewTabularUCB(1024, 20, 1, rng.New(1))
+	testZeroAlloc(t, "TabularUCB.SelectCode", func() { tab.SelectCode(17) })
+	testZeroAlloc(t, "TabularUCB.UpdateCode", func() { tab.UpdateCode(17, 3, 0.5) })
+}
+
+func TestLinThompsonSelectZeroAlloc(t *testing.T) {
+	p := NewLinThompson(20, 10, 0.5, rng.New(1))
+	x := rng.New(2).Simplex(10)
+	// Select after updates re-derives each arm's Cholesky factor once;
+	// steady-state selection must not allocate.
+	p.Update(x, 3, 0.5)
+	testZeroAlloc(t, "LinThompson.Select", func() { p.Select(x) })
+}

@@ -71,6 +71,13 @@ func argmaxTieBreak(scores []float64, r *rng.Rand) int {
 // where A_a = I + sum x x^T over the arm's observations and theta_a =
 // A_a^{-1} b_a. The inverse is maintained incrementally with
 // Sherman-Morrison updates, so Select and Update are O(arms d^2) and O(d^2).
+//
+// Select exploits the symmetry of A^{-1}: with w = A^{-1} x, the mean term
+// theta . x equals b . w, so one matrix-vector product per arm serves both
+// the mean and the width. All temporaries live in per-learner scratch
+// buffers, making Select and Update allocation-free; consequently a LinUCB
+// must not be used from multiple goroutines concurrently (each simulated
+// agent owns one, and the server guards its own with a lock).
 type LinUCB struct {
 	alpha float64
 	d     int
@@ -79,6 +86,9 @@ type LinUCB struct {
 	b     []mat.Vec
 	n     []int64 // per-arm observation counts, for introspection
 	r     *rng.Rand
+
+	scores []float64 // scratch: per-arm UCB scores
+	av     mat.Vec   // scratch: A^{-1} x / Sherman-Morrison workspace
 }
 
 // NewLinUCB returns a LinUCB policy over the given number of arms and
@@ -92,13 +102,15 @@ func NewLinUCB(arms, d int, alpha float64, r *rng.Rand) *LinUCB {
 		panic("bandit: NewLinUCB needs alpha >= 0")
 	}
 	l := &LinUCB{
-		alpha: alpha,
-		d:     d,
-		arms:  arms,
-		ainv:  make([]*mat.Dense, arms),
-		b:     make([]mat.Vec, arms),
-		n:     make([]int64, arms),
-		r:     r,
+		alpha:  alpha,
+		d:      d,
+		arms:   arms,
+		ainv:   make([]*mat.Dense, arms),
+		b:      make([]mat.Vec, arms),
+		n:      make([]int64, arms),
+		r:      r,
+		scores: make([]float64, arms),
+		av:     mat.NewVec(d),
 	}
 	for a := 0; a < arms; a++ {
 		l.ainv[a] = mat.Identity(d, 1) // (I)^{-1}
@@ -125,21 +137,24 @@ func (l *LinUCB) Select(x []float64) int {
 	if len(v) != l.d {
 		panic(fmt.Sprintf("bandit: LinUCB context dim %d, want %d", len(v), l.d))
 	}
-	scores := make([]float64, l.arms)
 	for a := 0; a < l.arms; a++ {
-		scores[a] = l.Score(x, a)
+		l.scores[a] = l.score(v, a)
 	}
-	return argmaxTieBreak(scores, l.r)
+	return argmaxTieBreak(l.scores, l.r)
 }
 
 // Score returns the UCB score of one arm for context x, exposed for tests
 // and diagnostics.
 func (l *LinUCB) Score(x []float64, arm int) float64 {
-	v := mat.Vec(x)
-	av := l.ainv[arm].MulVec(v)        // A^{-1} x
-	theta := l.theta(arm)              // A^{-1} b
-	mean := theta.Dot(v)               // theta . x
-	width := l.alpha * sqrt(v.Dot(av)) // alpha sqrt(x^T A^{-1} x)
+	return l.score(mat.Vec(x), arm)
+}
+
+// score computes one arm's UCB score using the shared scratch vector: with
+// w = A^{-1} x, score = b . w + alpha sqrt(x . w) (A^{-1} is symmetric).
+func (l *LinUCB) score(v mat.Vec, arm int) float64 {
+	av := l.ainv[arm].MulVecTo(l.av, v) // A^{-1} x
+	mean := l.b[arm].Dot(av)            // theta . x = b . (A^{-1} x)
+	width := l.alpha * sqrt(v.Dot(av))  // alpha sqrt(x^T A^{-1} x)
 	return mean + width
 }
 
@@ -159,7 +174,7 @@ func (l *LinUCB) Update(x []float64, action int, reward float64) {
 	if action < 0 || action >= l.arms {
 		panic(fmt.Sprintf("bandit: LinUCB action %d out of range", action))
 	}
-	if err := mat.ShermanMorrison(l.ainv[action], v); err != nil {
+	if err := mat.ShermanMorrisonTo(l.ainv[action], v, l.av); err != nil {
 		// A is positive definite by construction, so this indicates NaN
 		// contexts; surface loudly rather than corrupting state.
 		panic("bandit: LinUCB update with degenerate context: " + err.Error())

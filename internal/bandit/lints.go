@@ -28,6 +28,15 @@ type LinThompson struct {
 	chol  []*mat.Dense
 	dirty []bool
 	r     *rng.Rand
+
+	// Per-learner scratch (posterior mean, normal draw, L z, scores and
+	// Sherman-Morrison workspace) keeps Select and Update allocation-free;
+	// like the other policies, a LinThompson is single-goroutine.
+	scores  []float64
+	mean    mat.Vec
+	z       mat.Vec
+	lz      mat.Vec
+	scratch mat.Vec
 }
 
 // NewLinThompson returns a linear Thompson sampling policy with posterior
@@ -40,14 +49,19 @@ func NewLinThompson(arms, d int, v float64, r *rng.Rand) *LinThompson {
 		panic("bandit: NewLinThompson needs v >= 0")
 	}
 	t := &LinThompson{
-		v:     v,
-		d:     d,
-		arms:  arms,
-		ainv:  make([]*mat.Dense, arms),
-		b:     make([]mat.Vec, arms),
-		chol:  make([]*mat.Dense, arms),
-		dirty: make([]bool, arms),
-		r:     r,
+		v:       v,
+		d:       d,
+		arms:    arms,
+		ainv:    make([]*mat.Dense, arms),
+		b:       make([]mat.Vec, arms),
+		chol:    make([]*mat.Dense, arms),
+		dirty:   make([]bool, arms),
+		r:       r,
+		scores:  make([]float64, arms),
+		mean:    mat.NewVec(d),
+		z:       mat.NewVec(d),
+		lz:      mat.NewVec(d),
+		scratch: mat.NewVec(d),
 	}
 	for a := 0; a < arms; a++ {
 		t.ainv[a] = mat.Identity(d, 1)
@@ -69,18 +83,18 @@ func (t *LinThompson) Select(x []float64) int {
 	if len(v) != t.d {
 		panic(fmt.Sprintf("bandit: LinThompson context dim %d, want %d", len(v), t.d))
 	}
-	scores := make([]float64, t.arms)
 	for a := 0; a < t.arms; a++ {
 		theta := t.sampleTheta(a)
-		scores[a] = theta.Dot(v)
+		t.scores[a] = theta.Dot(v)
 	}
-	return argmaxTieBreak(scores, t.r)
+	return argmaxTieBreak(t.scores, t.r)
 }
 
 // sampleTheta draws theta + v * L z with L L^T = A^{-1} and z standard
-// normal, a sample from N(theta, v^2 A^{-1}).
+// normal, a sample from N(theta, v^2 A^{-1}). The returned vector aliases
+// the learner's scratch and is valid until the next sampleTheta call.
 func (t *LinThompson) sampleTheta(arm int) mat.Vec {
-	mean := t.ainv[arm].MulVec(t.b[arm])
+	mean := t.ainv[arm].MulVecTo(t.mean, t.b[arm])
 	if t.v == 0 {
 		return mean
 	}
@@ -94,11 +108,11 @@ func (t *LinThompson) sampleTheta(arm int) mat.Vec {
 		t.chol[arm] = l
 		t.dirty[arm] = false
 	}
-	z := mat.Vec(make([]float64, t.d))
+	z := t.z
 	for i := range z {
 		z[i] = t.r.Norm(0, 1)
 	}
-	mean.AddScaled(t.v, t.chol[arm].MulVec(z))
+	mean.AddScaled(t.v, t.chol[arm].MulVecTo(t.lz, z))
 	return mean
 }
 
@@ -111,7 +125,7 @@ func (t *LinThompson) Update(x []float64, action int, reward float64) {
 	if action < 0 || action >= t.arms {
 		panic(fmt.Sprintf("bandit: LinThompson action %d out of range", action))
 	}
-	if err := mat.ShermanMorrison(t.ainv[action], v); err != nil {
+	if err := mat.ShermanMorrisonTo(t.ainv[action], v, t.scratch); err != nil {
 		panic("bandit: LinThompson update with degenerate context: " + err.Error())
 	}
 	t.b[action].AddScaled(reward, v)

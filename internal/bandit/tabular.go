@@ -18,12 +18,13 @@ import (
 // tabular_test.go). Select and Update are O(arms) and O(1), so millions of
 // simulated private agents are cheap.
 type TabularUCB struct {
-	alpha float64
-	k     int
-	arms  int
-	count []float64 // N, indexed [y*arms + a]
-	sum   []float64 // S, indexed [y*arms + a]
-	r     *rng.Rand
+	alpha  float64
+	k      int
+	arms   int
+	count  []float64 // N, indexed [y*arms + a]
+	sum    []float64 // S, indexed [y*arms + a]
+	r      *rng.Rand
+	scores []float64 // scratch for SelectCode; makes it allocation-free
 }
 
 // NewTabularUCB returns a tabular UCB policy over k codes and the given
@@ -36,12 +37,13 @@ func NewTabularUCB(k, arms int, alpha float64, r *rng.Rand) *TabularUCB {
 		panic("bandit: NewTabularUCB needs alpha >= 0")
 	}
 	return &TabularUCB{
-		alpha: alpha,
-		k:     k,
-		arms:  arms,
-		count: make([]float64, k*arms),
-		sum:   make([]float64, k*arms),
-		r:     r,
+		alpha:  alpha,
+		k:      k,
+		arms:   arms,
+		count:  make([]float64, k*arms),
+		sum:    make([]float64, k*arms),
+		r:      r,
+		scores: make([]float64, arms),
 	}
 }
 
@@ -69,10 +71,13 @@ func (t *TabularUCB) ScoreCode(y, arm int) float64 {
 	return mean + t.alpha/math.Sqrt(1+n)
 }
 
-// SelectCode returns the arm with the highest UCB score for code y.
+// SelectCode returns the arm with the highest UCB score for code y. The
+// scores live in a per-learner scratch buffer, so SelectCode allocates
+// nothing — and a TabularUCB must not be shared across goroutines without
+// external locking.
 func (t *TabularUCB) SelectCode(y int) int {
 	t.checkCode(y)
-	scores := make([]float64, t.arms)
+	scores := t.scores
 	base := y * t.arms
 	for a := 0; a < t.arms; a++ {
 		n := t.count[base+a]

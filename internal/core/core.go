@@ -240,7 +240,13 @@ func NewSystem(cfg Config, env Environment, enc encoding.Encoder) (*System, erro
 	if enc == nil {
 		sample := env.SampleContexts(cfg.EncoderSample, root.Split("encoder-sample"))
 		var err error
-		enc, err = encoding.FitKMeans(sample, cfg.K, 50, 1e-6, root.Split("encoder-fit"))
+		// The assignment step parallelizes across the simulation workers;
+		// the fitted encoder is identical for any worker count.
+		enc, err = encoding.FitKMeansOptions(sample, cfg.K, encoding.FitOptions{
+			MaxIter: 50,
+			Tol:     1e-6,
+			Workers: cfg.Workers,
+		}, root.Split("encoder-fit"))
 		if err != nil {
 			return nil, fmt.Errorf("core: fitting encoder: %w", err)
 		}
@@ -267,6 +273,9 @@ func NewSystem(cfg Config, env Environment, enc encoding.Encoder) (*System, erro
 		Alpha:   cfg.Alpha,
 		Seed:    cfg.Seed,
 		Decoder: decoder,
+		// One ingestion shard per simulation worker: every worker can be
+		// inside Deliver/IngestRaw simultaneously without contending.
+		Shards: cfg.Workers,
 	})
 	shuf := shuffler.New(shuffler.Config{
 		BatchSize: cfg.BatchSize,
@@ -460,8 +469,18 @@ func (s *System) runUser(id int, participate bool) RunResult {
 				panic("core: server produced invalid centroid snapshot: " + err.Error())
 			}
 			dec := s.enc.(encoding.Decoder) // checked in NewSystem
-			selectAction = func(y int) int { return agent.Select(dec.Decode(y)) }
-			updateAgent = func(y, a int, reward float64) { agent.Update(dec.Decode(y), a, reward) }
+			// Decode into a per-user scratch buffer when the encoder
+			// supports it, so the per-interaction loop stays allocation-free.
+			decode := dec.Decode
+			if dt, ok := dec.(encoding.DecoderTo); ok {
+				buf := make([]float64, s.env.Dim())
+				decode = func(y int) []float64 {
+					buf = dt.DecodeTo(buf, y)
+					return buf
+				}
+			}
+			selectAction = func(y int) int { return agent.Select(decode(y)) }
+			updateAgent = func(y, a int, reward float64) { agent.Update(decode(y), a, reward) }
 		default:
 			agent, err := bandit.NewTabularUCBFromState(s.srv.TabularSnapshot(), r.Split("agent"))
 			if err != nil {

@@ -39,6 +39,16 @@ type Decoder interface {
 	Decode(code int) []float64
 }
 
+// DecoderTo is the allocation-free variant of Decoder: the representative
+// context is written into dst (grown only if too short) and returned. Hot
+// paths — the centroid learner's per-interaction loop and the server's
+// ingestion — use it with a reused buffer.
+type DecoderTo interface {
+	Decoder
+	// DecodeTo copies the representative context of code into dst.
+	DecodeTo(dst []float64, code int) []float64
+}
+
 // ErrTooLarge is returned when a grid's cardinality does not fit the int
 // code space.
 var ErrTooLarge = errors.New("encoding: grid cardinality exceeds the supported code space")

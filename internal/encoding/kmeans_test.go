@@ -74,7 +74,7 @@ func TestFitKMeansRecoversClusters(t *testing.T) {
 }
 
 func TestKMeansEncodeNearestCentroid(t *testing.T) {
-	m := &KMeans{d: 2, centroids: [][]float64{{0, 0}, {1, 1}}}
+	m := newKMeans([]float64{0, 0, 1, 1}, 2, 2)
 	if m.Encode([]float64{0.1, 0.1}) != 0 {
 		t.Fatal("nearest centroid wrong")
 	}
@@ -88,7 +88,7 @@ func TestKMeansEncodeNearestCentroid(t *testing.T) {
 }
 
 func TestKMeansEncodeDimPanics(t *testing.T) {
-	m := &KMeans{d: 2, centroids: [][]float64{{0, 0}}}
+	m := newKMeans([]float64{0, 0}, 1, 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("dimension mismatch did not panic")
@@ -114,7 +114,7 @@ func TestInertiaDecreasesWithMoreCentroids(t *testing.T) {
 }
 
 func TestClusterSizesAndMin(t *testing.T) {
-	m := &KMeans{d: 1, centroids: [][]float64{{0}, {1}, {10}}}
+	m := newKMeans([]float64{0, 1, 10}, 3, 1)
 	data := [][]float64{{0.1}, {0.2}, {0.9}, {1.1}, {0.95}}
 	sizes := m.ClusterSizes(data)
 	if sizes[0] != 2 || sizes[1] != 3 || sizes[2] != 0 {
@@ -233,10 +233,10 @@ func TestKMeansJSONValidation(t *testing.T) {
 }
 
 func TestCentroidReturnsCopy(t *testing.T) {
-	m := &KMeans{d: 1, centroids: [][]float64{{5}}}
+	m := newKMeans([]float64{5}, 1, 1)
 	c := m.Centroid(0)
 	c[0] = 99
-	if m.centroids[0][0] != 5 {
+	if m.flat[0] != 5 {
 		t.Fatal("Centroid leaked internal state")
 	}
 }
@@ -354,14 +354,14 @@ func TestLSHJSONValidation(t *testing.T) {
 }
 
 func TestKMeansDecodeIsCentroid(t *testing.T) {
-	m := &KMeans{d: 2, centroids: [][]float64{{0.25, 0.75}, {0.5, 0.5}}}
+	m := newKMeans([]float64{0.25, 0.75, 0.5, 0.5}, 2, 2)
 	got := m.Decode(1)
 	if got[0] != 0.5 || got[1] != 0.5 {
 		t.Fatalf("Decode = %v", got)
 	}
 	// Decode returns a copy.
 	got[0] = 99
-	if m.centroids[1][0] != 0.5 {
+	if m.flat[2] != 0.5 {
 		t.Fatal("Decode aliases the centroid")
 	}
 }

@@ -131,19 +131,28 @@ func (m *Dense) Clone() *Dense {
 
 // MulVec returns m * x as a new vector.
 func (m *Dense) MulVec(x Vec) Vec {
+	return m.MulVecTo(NewVec(m.N), x)
+}
+
+// MulVecTo computes m * x into dst and returns it. dst must have length N
+// and may not alias x; it is the allocation-free variant hot paths use with
+// a reused scratch vector.
+func (m *Dense) MulVecTo(dst, x Vec) Vec {
 	if len(x) != m.N {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.N))
 	}
-	out := NewVec(m.N)
+	if len(dst) != m.N {
+		panic(fmt.Sprintf("mat: MulVecTo destination length %d, want %d", len(dst), m.N))
+	}
 	for i := 0; i < m.N; i++ {
 		row := m.Data[i*m.N : (i+1)*m.N]
 		s := 0.0
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // AddOuter adds scale * (u u^T) to m in place. This is the LinUCB design
@@ -341,10 +350,16 @@ func swapRows(m *Dense, i, j int) {
 // It returns ErrSingular if the denominator is (numerically) zero, which for
 // positive-definite A cannot happen.
 func ShermanMorrison(inv *Dense, u Vec) error {
+	return ShermanMorrisonTo(inv, u, NewVec(inv.N))
+}
+
+// ShermanMorrisonTo is ShermanMorrison with a caller-provided scratch
+// vector of length N (overwritten), making the update allocation-free.
+func ShermanMorrisonTo(inv *Dense, u, scratch Vec) error {
 	if len(u) != inv.N {
 		panic(fmt.Sprintf("mat: ShermanMorrison dimension mismatch %d vs %d", len(u), inv.N))
 	}
-	au := inv.MulVec(u) // A^{-1} u; by symmetry also (u^T A^{-1})^T
+	au := inv.MulVecTo(scratch, u) // A^{-1} u; by symmetry also (u^T A^{-1})^T
 	denom := 1 + u.Dot(au)
 	if math.Abs(denom) < 1e-14 || math.IsNaN(denom) {
 		return ErrSingular

@@ -1,0 +1,77 @@
+package mat
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	m := NewDense(3)
+	copy(m.Data, []float64{2, 1, 0, 1, 3, 1, 0, 1, 4})
+	x := Vec{1, -2, 0.5}
+	want := m.MulVec(x)
+	dst := NewVec(3)
+	got := m.MulVecTo(dst, x)
+	if &got[0] != &dst[0] {
+		t.Fatal("MulVecTo did not return the destination")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MulVecTo[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMulVecToWrongLengthPanics(t *testing.T) {
+	m := Identity(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short destination did not panic")
+		}
+	}()
+	m.MulVecTo(NewVec(2), Vec{1, 2, 3})
+}
+
+func TestShermanMorrisonToMatchesAllocating(t *testing.T) {
+	a := Identity(4, 1)
+	b := Identity(4, 1)
+	scratch := NewVec(4)
+	us := []Vec{{1, 0.5, -0.25, 2}, {0.1, 0.2, 0.3, 0.4}, {-1, 1, -1, 1}}
+	for _, u := range us {
+		if err := ShermanMorrison(a, u); err != nil {
+			t.Fatal(err)
+		}
+		if err := ShermanMorrisonTo(b, u, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if diff := a.MaxAbsDiff(b); diff != 0 {
+		t.Fatalf("scratch variant diverged by %v", diff)
+	}
+}
+
+func TestShermanMorrisonToZeroAlloc(t *testing.T) {
+	inv := Identity(10, 1)
+	u := NewVec(10)
+	for i := range u {
+		u[i] = 1 / float64(i+1)
+	}
+	scratch := NewVec(10)
+	f := func() {
+		if err := ShermanMorrisonTo(inv, u, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f()
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Fatalf("ShermanMorrisonTo allocates %v times per call", n)
+	}
+	// The repeated updates must keep the matrix finite and symmetric.
+	for i := 0; i < inv.N; i++ {
+		for j := 0; j < i; j++ {
+			if d := math.Abs(inv.At(i, j) - inv.At(j, i)); d > 1e-12 {
+				t.Fatalf("asymmetry %v at (%d,%d)", d, i, j)
+			}
+		}
+	}
+}

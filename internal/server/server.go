@@ -11,14 +11,29 @@
 //
 // A single experiment only exercises one of the two, but keeping both in
 // one server keeps the evaluation harness symmetrical.
+//
+// # Sharded ingestion
+//
+// Ingestion does not funnel through one global lock: the server keeps a
+// configurable number of shards, each holding its own additive accumulators
+// (tabular (count, sum) cells, and per-arm (sum x x^T, sum r x, n) for the
+// linear models). A Deliver or IngestRaw call locks exactly one shard —
+// chosen round-robin — so concurrent calls from worker goroutines proceed
+// in parallel. Snapshots merge the shards on read; because all accumulators
+// are additive, the merge is exact. Merged snapshots are cached against a
+// mutation version counter, so the common many-snapshots-between-batches
+// pattern costs one merge plus cheap copies.
 package server
 
 import (
 	"fmt"
+	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"p2b/internal/bandit"
-	"p2b/internal/rng"
+	"p2b/internal/mat"
 	"p2b/internal/transport"
 )
 
@@ -30,16 +45,27 @@ type Decoder interface {
 	Decode(code int) []float64
 }
 
+// DecoderTo is the allocation-free variant of Decoder. Decoders that
+// implement it (like the k-means encoder) let the ingestion path reuse a
+// per-shard buffer instead of allocating one vector per tuple.
+type DecoderTo interface {
+	DecodeTo(dst []float64, code int) []float64
+}
+
 // Config describes the model shapes the server maintains.
 type Config struct {
 	K     int     // code space size of the tabular model
 	Arms  int     // number of actions
 	D     int     // raw context dimension of the LinUCB baseline model
 	Alpha float64 // exploration parameter baked into distributed snapshots
-	Seed  uint64  // seed for the server-side models' tie-break streams
+	Seed  uint64  // retained for compatibility; ingestion itself is seedless
 	// Decoder, when non-nil, enables the centroid global model: delivered
 	// tuples also update a LinUCB over Decode(code) contexts.
 	Decoder Decoder
+	// Shards is the number of ingestion shards (default: GOMAXPROCS,
+	// capped at 16). More shards admit more concurrent Deliver/IngestRaw
+	// calls at the cost of proportionally more accumulator memory.
+	Shards int
 }
 
 // Stats counts what the server has ingested.
@@ -49,16 +75,95 @@ type Stats struct {
 	Snapshots      int64 // snapshots served
 }
 
+// linAccum is an additive sufficient-statistics accumulator for one LinUCB
+// model: per arm, the outer-product sum (without the identity ridge), the
+// reward-weighted context sum and the observation count. Accumulators from
+// different shards merge by plain addition; the ridge identity and the
+// matrix inverse are applied once at snapshot time.
+type linAccum struct {
+	a []*mat.Dense
+	b []mat.Vec
+	n []int64
+}
+
+func newLinAccum(arms, d int) *linAccum {
+	acc := &linAccum{
+		a: make([]*mat.Dense, arms),
+		b: make([]mat.Vec, arms),
+		n: make([]int64, arms),
+	}
+	for i := range acc.a {
+		acc.a[i] = mat.NewDense(d)
+		acc.b[i] = mat.NewVec(d)
+	}
+	return acc
+}
+
+func (acc *linAccum) add(x mat.Vec, action int, reward float64) {
+	acc.a[action].AddOuter(x, 1)
+	acc.b[action].AddScaled(reward, x)
+	acc.n[action]++
+}
+
+// tabCell packs one (code, action) cell's pull count and reward sum into
+// 16 adjacent bytes, so ingesting a tuple touches a single cache line and
+// costs a single bounds check.
+type tabCell struct {
+	count float64
+	sum   float64
+}
+
+// shard is one stripe of the global model. All fields but version are
+// guarded by mu.
+type shard struct {
+	mu      sync.Mutex
+	cells   []tabCell // (code, action) cells, indexed code*Arms+action
+	lin     *linAccum // raw-context baseline model
+	cent    *linAccum // decoded-context model; nil without a Decoder
+	decBuf  []float64 // DecodeTo scratch
+	tuples  int64     // encoded tuples folded into this shard
+	raw     int64     // raw tuples folded into this shard
+	version atomic.Uint64
+	_       [8]uint64 // padding to keep shard locks off shared cache lines
+}
+
 // Server aggregates interaction reports into global models. All methods
 // are safe for concurrent use.
 type Server struct {
-	cfg Config
+	cfg    Config
+	shards []shard
+	// hint is the shard an uncontended caller keeps reusing. Affinity
+	// matters: consecutive batches from one goroutine then land in cells
+	// that are already cache-hot, and a lone caller stays deterministic.
+	// Contention moves callers to other shards via TryLock.
+	hint      atomic.Uint32
+	snapshots atomic.Int64
 
-	mu    sync.Mutex
-	tab   *bandit.TabularUCB
-	lin   *bandit.LinUCB
-	cent  *bandit.LinUCB // over decoded contexts; nil without a Decoder
-	stats Stats
+	tabCache  snapshotCache[*bandit.TabularState]
+	linCache  snapshotCache[*bandit.LinUCBState]
+	centCache snapshotCache[*bandit.LinUCBState]
+
+	decodeTo func(dst []float64, code int) []float64 // nil without Decoder
+}
+
+// snapshotCache memoizes a merged snapshot against the server's mutation
+// version. Callers receive deep copies of the cached master.
+type snapshotCache[T any] struct {
+	mu      sync.Mutex
+	version uint64
+	valid   bool
+	state   T
+}
+
+func (c *snapshotCache[T]) get(version uint64, build func() T, clone func(T) T) T {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.valid || c.version != version {
+		c.state = build()
+		c.version = version
+		c.valid = true
+	}
+	return clone(c.state)
 }
 
 // New returns a server with empty global models.
@@ -66,37 +171,110 @@ func New(cfg Config) *Server {
 	if cfg.K <= 0 || cfg.Arms <= 0 || cfg.D <= 0 {
 		panic(fmt.Sprintf("server: invalid config K=%d Arms=%d D=%d", cfg.K, cfg.Arms, cfg.D))
 	}
-	r := rng.New(cfg.Seed).Split("server")
-	s := &Server{
-		cfg: cfg,
-		tab: bandit.NewTabularUCB(cfg.K, cfg.Arms, cfg.Alpha, r.Split("tabular")),
-		lin: bandit.NewLinUCB(cfg.Arms, cfg.D, cfg.Alpha, r.Split("linear")),
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 16 {
+			cfg.Shards = 16
+		}
+	}
+	s := &Server{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.cells = make([]tabCell, cfg.K*cfg.Arms)
+		sh.lin = newLinAccum(cfg.Arms, cfg.D)
+		if cfg.Decoder != nil {
+			sh.cent = newLinAccum(cfg.Arms, cfg.D)
+			sh.decBuf = make([]float64, cfg.D)
+		}
 	}
 	if cfg.Decoder != nil {
-		s.cent = bandit.NewLinUCB(cfg.Arms, cfg.D, cfg.Alpha, r.Split("centroid"))
+		if dt, ok := cfg.Decoder.(DecoderTo); ok {
+			s.decodeTo = dt.DecodeTo
+		} else {
+			s.decodeTo = func(dst []float64, code int) []float64 {
+				return cfg.Decoder.Decode(code)
+			}
+		}
 	}
 	return s
 }
 
+// acquireShard returns a locked shard. It first tries the hint shard and,
+// when that is contended, the remaining shards in order, settling the hint
+// on whichever lock it wins; if every shard is busy it blocks on the hint.
+// A single caller therefore always lands on the same warm shard, while
+// concurrent callers spread across shards automatically.
+func (s *Server) acquireShard() *shard {
+	n := uint32(len(s.shards))
+	hint := s.hint.Load() % n
+	for i := uint32(0); i < n; i++ {
+		idx := (hint + i) % n
+		sh := &s.shards[idx]
+		if sh.mu.TryLock() {
+			if i != 0 {
+				s.hint.Store(idx)
+			}
+			return sh
+		}
+	}
+	sh := &s.shards[hint]
+	sh.mu.Lock()
+	return sh
+}
+
+// version returns a counter that changes on every mutation, keying the
+// snapshot caches.
+func (s *Server) version() uint64 {
+	var v uint64
+	for i := range s.shards {
+		v += s.shards[i].version.Load()
+	}
+	return v
+}
+
 // Deliver folds one shuffled batch into the tabular global model (and the
 // centroid model when a decoder is configured). It implements
-// shuffler.Sink.
+// shuffler.Sink: the batch is only read during the call, so the shuffler is
+// free to reuse its buffer afterwards. The whole batch lands in a single
+// shard; concurrent Deliver calls proceed on distinct shards in parallel.
 func (s *Server) Deliver(batch []transport.Tuple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range batch {
-		if t.Code < 0 || t.Code >= s.cfg.K || t.Action < 0 || t.Action >= s.cfg.Arms {
-			// A malformed tuple can only come from a buggy or malicious
-			// client; drop it rather than corrupt the model.
-			continue
+	sh := s.acquireShard()
+	k, arms := uint(s.cfg.K), uint(s.cfg.Arms)
+	narms := s.cfg.Arms
+	cells := sh.cells
+	ingested := int64(0)
+	if sh.cent == nil {
+		// Tabular-only fast path: one bounds check, one cache line and a
+		// branchless clamp per tuple. Malformed tuples (buggy or malicious
+		// clients) are dropped rather than corrupting the model.
+		for bi := range batch {
+			t := &batch[bi]
+			if uint(t.Code) >= k || uint(t.Action) >= arms {
+				continue
+			}
+			cell := &cells[t.Code*narms+t.Action]
+			cell.count++
+			cell.sum += clampReward(t.Reward)
+			ingested++
 		}
-		reward := clampReward(t.Reward)
-		s.tab.UpdateCode(t.Code, t.Action, reward)
-		if s.cent != nil {
-			s.cent.Update(s.cfg.Decoder.Decode(t.Code), t.Action, reward)
+	} else {
+		for bi := range batch {
+			t := &batch[bi]
+			if uint(t.Code) >= k || uint(t.Action) >= arms {
+				continue
+			}
+			reward := clampReward(t.Reward)
+			cell := &cells[t.Code*narms+t.Action]
+			cell.count++
+			cell.sum += reward
+			sh.decBuf = s.decodeTo(sh.decBuf, t.Code)
+			sh.cent.add(sh.decBuf, t.Action, reward)
+			ingested++
 		}
-		s.stats.TuplesIngested++
 	}
+	sh.tuples += ingested
+	sh.version.Add(1)
+	sh.mu.Unlock()
 }
 
 // IngestRaw folds one unencoded observation into the LinUCB baseline model
@@ -108,52 +286,147 @@ func (s *Server) IngestRaw(t transport.RawTuple) error {
 	if t.Action < 0 || t.Action >= s.cfg.Arms {
 		return fmt.Errorf("server: raw action %d out of range [0, %d)", t.Action, s.cfg.Arms)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.lin.Update(t.Context, t.Action, clampReward(t.Reward))
-	s.stats.RawIngested++
+	for i, v := range t.Context {
+		// A single non-finite component would poison the additive design
+		// matrix forever and surface only later, as a panic when a
+		// snapshot tries to invert it — reject it at the door instead.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("server: raw context component %d is not finite", i)
+		}
+	}
+	sh := s.acquireShard()
+	sh.lin.add(t.Context, t.Action, clampReward(t.Reward))
+	sh.raw++
+	sh.version.Add(1)
+	sh.mu.Unlock()
 	return nil
 }
 
 // TabularSnapshot returns a deep copy of the global tabular model for
 // distribution to private agents.
 func (s *Server) TabularSnapshot() *bandit.TabularState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Snapshots++
-	return s.tab.State()
+	s.snapshots.Add(1)
+	return s.tabCache.get(s.version(), s.buildTabular, cloneTabular)
+}
+
+func (s *Server) buildTabular() *bandit.TabularState {
+	st := &bandit.TabularState{
+		Alpha: s.cfg.Alpha,
+		K:     s.cfg.K,
+		Arms:  s.cfg.Arms,
+		Count: make([]float64, s.cfg.K*s.cfg.Arms),
+		Sum:   make([]float64, s.cfg.K*s.cfg.Arms),
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for j, c := range sh.cells {
+			st.Count[j] += c.count
+			st.Sum[j] += c.sum
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+func cloneTabular(st *bandit.TabularState) *bandit.TabularState {
+	out := *st
+	out.Count = append([]float64(nil), st.Count...)
+	out.Sum = append([]float64(nil), st.Sum...)
+	return &out
 }
 
 // LinUCBSnapshot returns a deep copy of the global LinUCB model for
 // distribution to non-private agents.
 func (s *Server) LinUCBSnapshot() *bandit.LinUCBState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Snapshots++
-	return s.lin.State()
+	s.snapshots.Add(1)
+	return s.linCache.get(s.version(), func() *bandit.LinUCBState {
+		return s.buildLin(func(sh *shard) *linAccum { return sh.lin })
+	}, cloneLin)
 }
 
 // CentroidSnapshot returns a deep copy of the centroid global model for
 // distribution to centroid-learner private agents. It returns nil when the
 // server was built without a Decoder.
 func (s *Server) CentroidSnapshot() *bandit.LinUCBState {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cent == nil {
+	if s.cfg.Decoder == nil {
 		return nil
 	}
-	s.stats.Snapshots++
-	return s.cent.State()
+	s.snapshots.Add(1)
+	return s.centCache.get(s.version(), func() *bandit.LinUCBState {
+		return s.buildLin(func(sh *shard) *linAccum { return sh.cent })
+	}, cloneLin)
+}
+
+// buildLin merges the selected accumulator across shards and converts the
+// sufficient statistics into snapshot form: A_a = I + sum x x^T, inverted
+// once per arm (direct inversion here is both cheaper and more accurate
+// than replaying thousands of rank-1 updates).
+func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
+	arms, d := s.cfg.Arms, s.cfg.D
+	aSum := make([]*mat.Dense, arms)
+	st := &bandit.LinUCBState{
+		Alpha: s.cfg.Alpha,
+		D:     d,
+		Arms:  arms,
+		AInv:  make([][]float64, arms),
+		B:     make([][]float64, arms),
+		N:     make([]int64, arms),
+	}
+	for a := 0; a < arms; a++ {
+		aSum[a] = mat.Identity(d, 1)
+		st.B[a] = make([]float64, d)
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		acc := pick(sh)
+		for a := 0; a < arms; a++ {
+			aSum[a].Add(acc.a[a])
+			mat.Vec(st.B[a]).AddScaled(1, acc.b[a])
+			st.N[a] += acc.n[a]
+		}
+		sh.mu.Unlock()
+	}
+	for a := 0; a < arms; a++ {
+		inv, err := aSum[a].Inverse()
+		if err != nil {
+			// I + PSD is positive definite; failure means the accumulators
+			// were poisoned with non-finite contexts.
+			panic("server: global design matrix not invertible: " + err.Error())
+		}
+		st.AInv[a] = inv.Data
+	}
+	return st
+}
+
+func cloneLin(st *bandit.LinUCBState) *bandit.LinUCBState {
+	out := *st
+	out.AInv = make([][]float64, len(st.AInv))
+	out.B = make([][]float64, len(st.B))
+	for a := range st.AInv {
+		out.AInv[a] = append([]float64(nil), st.AInv[a]...)
+		out.B[a] = append([]float64(nil), st.B[a]...)
+	}
+	out.N = append([]int64(nil), st.N...)
+	return &out
 }
 
 // Stats returns a snapshot of the ingestion counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := Stats{Snapshots: s.snapshots.Load()}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st.TuplesIngested += sh.tuples
+		st.RawIngested += sh.raw
+		sh.mu.Unlock()
+	}
+	return st
 }
 
-// Config returns the server's model shapes.
+// Config returns the server's model shapes (with the shard default
+// filled in).
 func (s *Server) Config() Config { return s.cfg }
 
 // clampReward bounds client-reported rewards. The nominal bandit reward is
@@ -161,6 +434,14 @@ func (s *Server) Config() Config { return s.cfg }
 // below zero, so the server accepts [-1, 1] and only rejects absurd values
 // a malicious client could use to poison the global model.
 func clampReward(v float64) float64 {
+	// Plain comparisons beat the min/max builtins here: rewards are almost
+	// always in range, so both branches predict perfectly, while the
+	// builtins' NaN and signed-zero semantics cost extra instructions per
+	// tuple. NaN fails both comparisons and is mapped to 0 so it cannot
+	// spread through the additive cells.
+	if v != v {
+		return 0
+	}
 	if v < -1 {
 		return -1
 	}

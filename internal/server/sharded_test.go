@@ -1,0 +1,204 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"p2b/internal/bandit"
+	"p2b/internal/rng"
+	"p2b/internal/transport"
+)
+
+// TestShardConfigRespected pins the Shards knob and its default.
+func TestShardConfigRespected(t *testing.T) {
+	s := New(Config{K: 4, Arms: 3, D: 2, Alpha: 1, Shards: 5})
+	if got := len(s.shards); got != 5 {
+		t.Fatalf("shards = %d, want 5", got)
+	}
+	if got := s.Config().Shards; got != 5 {
+		t.Fatalf("Config().Shards = %d, want 5", got)
+	}
+	if s := New(Config{K: 4, Arms: 3, D: 2}); len(s.shards) < 1 {
+		t.Fatal("default shard count must be at least 1")
+	}
+}
+
+// TestConcurrentDeliverMergesExactly hammers a many-shard server from many
+// goroutines and checks the merged model equals the arithmetic total: the
+// per-shard accumulators must not lose or double-count anything.
+func TestConcurrentDeliverMergesExactly(t *testing.T) {
+	const (
+		workers = 8
+		batches = 200
+		k       = 16
+		arms    = 4
+	)
+	s := New(Config{K: k, Arms: arms, D: 2, Alpha: 1, Shards: workers})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			batch := make([]transport.Tuple, k)
+			for b := 0; b < batches; b++ {
+				for i := range batch {
+					batch[i] = transport.Tuple{Code: i, Action: (i + w) % arms, Reward: 0.25}
+				}
+				s.Deliver(batch)
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := s.TabularSnapshot()
+	var totalCount, totalSum float64
+	for i := range snap.Count {
+		totalCount += snap.Count[i]
+		totalSum += snap.Sum[i]
+	}
+	wantTuples := float64(workers * batches * k)
+	if totalCount != wantTuples {
+		t.Fatalf("merged count %v, want %v", totalCount, wantTuples)
+	}
+	if math.Abs(totalSum-0.25*wantTuples) > 1e-9 {
+		t.Fatalf("merged sum %v, want %v", totalSum, 0.25*wantTuples)
+	}
+	if st := s.Stats(); st.TuplesIngested != int64(wantTuples) {
+		t.Fatalf("stats ingested %d, want %v", st.TuplesIngested, wantTuples)
+	}
+}
+
+// TestConcurrentIngestRawMergesExactly is the raw-path analogue: the merged
+// LinUCB design matrix must reflect every observation.
+func TestConcurrentIngestRawMergesExactly(t *testing.T) {
+	const workers = 4
+	const perWorker = 300
+	s := New(Config{K: 4, Arms: 2, D: 2, Alpha: 1, Shards: workers})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 0, Reward: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.LinUCBSnapshot()
+	if snap.N[0] != workers*perWorker {
+		t.Fatalf("N[0] = %d, want %d", snap.N[0], workers*perWorker)
+	}
+	// A_0 = I + n * e_0 e_0^T, so (A^{-1})_{00} = 1/(1+n) and b = n e_0.
+	n := float64(workers * perWorker)
+	if got, want := snap.AInv[0][0], 1/(1+n); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AInv[0][0] = %v, want %v", got, want)
+	}
+	if got := snap.B[0][0]; got != n {
+		t.Fatalf("B[0][0] = %v, want %v", got, n)
+	}
+}
+
+// decodeToCounter counts DecodeTo calls to prove the allocation-free
+// decoder path is used when available.
+type decodeToCounter struct {
+	calls int
+	d     int
+}
+
+func (d *decodeToCounter) Decode(code int) []float64 { return make([]float64, d.d) }
+func (d *decodeToCounter) DecodeTo(dst []float64, code int) []float64 {
+	d.calls++
+	if cap(dst) < d.d {
+		dst = make([]float64, d.d)
+	}
+	dst = dst[:d.d]
+	for i := range dst {
+		dst[i] = 0
+	}
+	dst[code%d.d] = 1
+	return dst
+}
+
+func TestDeliverUsesDecodeTo(t *testing.T) {
+	dec := &decodeToCounter{d: 2}
+	s := New(Config{K: 4, Arms: 2, D: 2, Alpha: 1, Decoder: dec, Shards: 1})
+	s.Deliver([]transport.Tuple{
+		{Code: 0, Action: 0, Reward: 1},
+		{Code: 1, Action: 1, Reward: 0.5},
+	})
+	if dec.calls != 2 {
+		t.Fatalf("DecodeTo called %d times, want 2", dec.calls)
+	}
+	cent := s.CentroidSnapshot()
+	if cent == nil {
+		t.Fatal("centroid snapshot missing despite decoder")
+	}
+	model, err := bandit.NewLinUCBFromState(cent, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Pulls(0) != 1 || model.Pulls(1) != 1 {
+		t.Fatalf("centroid model pulls = %d, %d; want 1, 1", model.Pulls(0), model.Pulls(1))
+	}
+}
+
+// TestSnapshotCacheInvalidation verifies that snapshots are cached between
+// mutations and refreshed after each one.
+func TestSnapshotCacheInvalidation(t *testing.T) {
+	s := New(Config{K: 4, Arms: 2, D: 2, Alpha: 1, Shards: 2})
+	tuple := []transport.Tuple{{Code: 1, Action: 1, Reward: 1}}
+	s.Deliver(tuple)
+	a := s.TabularSnapshot()
+	b := s.TabularSnapshot()
+	if &a.Count[0] == &b.Count[0] {
+		t.Fatal("snapshots must not share backing arrays")
+	}
+	if a.Count[1*2+1] != 1 || b.Count[1*2+1] != 1 {
+		t.Fatal("cached snapshot lost the delivery")
+	}
+	s.Deliver(tuple)
+	c := s.TabularSnapshot()
+	if c.Count[1*2+1] != 2 {
+		t.Fatalf("snapshot after second delivery = %v, want 2", c.Count[1*2+1])
+	}
+}
+
+// TestCentroidSnapshotNilWithoutDecoder preserves the documented contract.
+func TestCentroidSnapshotNilWithoutDecoder(t *testing.T) {
+	s := New(Config{K: 4, Arms: 2, D: 2, Alpha: 1})
+	if s.CentroidSnapshot() != nil {
+		t.Fatal("CentroidSnapshot without decoder must be nil")
+	}
+}
+
+// TestIngestRawRejectsNonFinite: one poisoned context would corrupt the
+// additive design matrix permanently and only surface later as an
+// inversion panic — it must be rejected up front.
+func TestIngestRawRejectsNonFinite(t *testing.T) {
+	s := New(Config{K: 4, Arms: 2, D: 2, Alpha: 1})
+	bad := []transport.RawTuple{
+		{Context: []float64{math.NaN(), 0}, Action: 0, Reward: 1},
+		{Context: []float64{0, math.Inf(1)}, Action: 0, Reward: 1},
+		{Context: []float64{math.Inf(-1), 0}, Action: 0, Reward: 1},
+	}
+	for i, tup := range bad {
+		if err := s.IngestRaw(tup); err == nil {
+			t.Fatalf("case %d: non-finite context accepted", i)
+		}
+	}
+	if st := s.Stats(); st.RawIngested != 0 {
+		t.Fatalf("raw ingested %d, want 0", st.RawIngested)
+	}
+	// The model must still be servable.
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 0, Reward: 1}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.LinUCBSnapshot()
+	if snap.N[0] != 1 {
+		t.Fatalf("N[0] = %d, want 1", snap.N[0])
+	}
+}

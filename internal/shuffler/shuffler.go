@@ -26,7 +26,10 @@ import (
 // Sink receives finished batches from the shuffler. The server implements
 // this.
 type Sink interface {
-	// Deliver hands over one anonymized, shuffled, thresholded batch.
+	// Deliver hands over one anonymized, shuffled, thresholded batch. The
+	// slice is only valid for the duration of the call: the shuffler pools
+	// and reuses batch buffers, so a sink that wants to keep tuples must
+	// copy them.
 	Deliver(batch []transport.Tuple)
 }
 
@@ -66,6 +69,10 @@ type Shuffler struct {
 	buf   []transport.Tuple // metadata already stripped at submission
 	r     *rng.Rand
 	stats Stats
+	// pool recycles batch buffers (each sized to BatchSize) between the
+	// accumulate -> process -> deliver cycle, so steady-state submission
+	// allocates nothing.
+	pool sync.Pool
 }
 
 // New returns a shuffler delivering to sink, shuffling with randomness from
@@ -80,7 +87,11 @@ func New(cfg Config, sink Sink, r *rng.Rand) *Shuffler {
 	if sink == nil {
 		panic("shuffler: nil sink")
 	}
-	return &Shuffler{cfg: cfg, sink: sink, r: r}
+	s := &Shuffler{cfg: cfg, sink: sink, r: r}
+	s.pool.New = func() any {
+		return make([]transport.Tuple, 0, cfg.BatchSize)
+	}
+	return s
 }
 
 // Submit accepts one envelope. Metadata is stripped immediately — identity
@@ -89,6 +100,9 @@ func New(cfg Config, sink Sink, r *rng.Rand) *Shuffler {
 func (s *Shuffler) Submit(e transport.Envelope) {
 	s.mu.Lock()
 	s.stats.Received++
+	if s.buf == nil {
+		s.buf = s.pool.Get().([]transport.Tuple)
+	}
 	s.buf = append(s.buf, e.Tuple) // anonymization: Meta is dropped here
 	var batch []transport.Tuple
 	if len(s.buf) >= s.cfg.BatchSize {
@@ -141,6 +155,9 @@ func (s *Shuffler) process(batch []transport.Tuple) {
 	if len(kept) > 0 {
 		s.sink.Deliver(kept)
 	}
+	// The sink contract forbids retaining the slice, so the buffer can be
+	// recycled for a future batch once Deliver returns.
+	s.pool.Put(batch[:0])
 }
 
 // Stats returns a snapshot of the traffic counters.
