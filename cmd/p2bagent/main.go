@@ -3,6 +3,13 @@
 // runs its local interactions on the synthetic preference benchmark, and
 // participates in randomized reporting through the node's shuffler surface.
 //
+// Reports travel over the batched wire protocol by default: an
+// httpapi.BatchingClient coalesces them into binary batch POSTs against
+// /shuffler/reports (flushing on size or age, with bounded in-flight
+// buffering and retry), which is what lets one agent process stand in for
+// tens of thousands of devices. -wire switches to the NDJSON batch
+// fallback or to the one-POST-per-report path for comparison.
+//
 // Usage (with `p2bnode -addr :8080 -k 64 -arms 20 -d 10 -threshold 4` running):
 //
 //	p2bagent -node http://localhost:8080 -users 2000 -k 64 -arms 20 -d 10
@@ -30,15 +37,18 @@ import (
 
 func main() {
 	var (
-		node  = flag.String("node", "http://localhost:8080", "base URL of the p2bnode")
-		users = flag.Int("users", 1000, "number of simulated devices")
-		t     = flag.Int("T", 10, "local interactions per device")
-		p     = flag.Float64("p", 0.5, "participation probability")
-		d     = flag.Int("d", 10, "context dimension (must match the node)")
-		arms  = flag.Int("arms", 20, "number of actions (must match the node)")
-		k     = flag.Int("k", 64, "encoder code-space size (must match the node)")
-		seed  = flag.Uint64("seed", 1, "root random seed")
-		every = flag.Int("report-every", 500, "progress line frequency in users")
+		node     = flag.String("node", "http://localhost:8080", "base URL of the p2bnode")
+		users    = flag.Int("users", 1000, "number of simulated devices")
+		t        = flag.Int("T", 10, "local interactions per device")
+		p        = flag.Float64("p", 0.5, "participation probability")
+		d        = flag.Int("d", 10, "context dimension (must match the node)")
+		arms     = flag.Int("arms", 20, "number of actions (must match the node)")
+		k        = flag.Int("k", 64, "encoder code-space size (must match the node)")
+		seed     = flag.Uint64("seed", 1, "root random seed")
+		every    = flag.Int("report-every", 500, "progress line frequency in users")
+		wire     = flag.String("wire", "batch", "report path: batch (binary frames), ndjson, or single (one POST per report)")
+		maxBatch = flag.Int("max-batch", 256, "reports per batch POST (batch/ndjson wire)")
+		maxAge   = flag.Duration("max-age", 250*time.Millisecond, "max report age before a partial batch ships")
 	)
 	flag.Parse()
 
@@ -56,8 +66,28 @@ func main() {
 	client := httpapi.NewNodeClient(*node)
 	sampler := privacy.NewSampler(*p, root.Split("sampler"))
 
-	fmt.Printf("p2bagent: %d devices -> %s (epsilon per disclosure %.4f)\n",
-		*users, *node, privacy.Epsilon(*p))
+	// report ships one envelope; finish settles the pipeline at the end.
+	var report func(transport.Envelope) error
+	finish := func() error { return nil }
+	switch *wire {
+	case "batch", "ndjson":
+		bc := httpapi.NewBatchingClient(client, httpapi.BatchingConfig{
+			MaxBatch: *maxBatch,
+			MaxAge:   *maxAge,
+			NDJSON:   *wire == "ndjson",
+			Seed:     *seed,
+		})
+		report = bc.Report
+		finish = bc.Close
+	case "single":
+		report = client.Report
+	default:
+		fmt.Fprintf(os.Stderr, "p2bagent: unknown -wire %q (want batch, ndjson or single)\n", *wire)
+		os.Exit(2)
+	}
+
+	fmt.Printf("p2bagent: %d devices -> %s over %s wire (epsilon per disclosure %.4f)\n",
+		*users, *node, *wire, privacy.Epsilon(*p))
 
 	var totalReward float64
 	var interactions, submitted int64
@@ -88,7 +118,7 @@ func main() {
 		}
 		if sampler.Participates() {
 			tup := history[ur.Split("pick").IntN(len(history))]
-			err := client.Report(transport.Envelope{
+			err := report(transport.Envelope{
 				Meta: transport.Metadata{
 					DeviceID: fmt.Sprintf("device-%08d", u),
 					SentAt:   time.Now().UnixNano(),
@@ -105,6 +135,10 @@ func main() {
 			fmt.Printf("  %6d devices done, mean reward %.5f, %d tuples submitted\n",
 				u+1, totalReward/float64(interactions), submitted)
 		}
+	}
+	if err := finish(); err != nil {
+		fmt.Fprintf(os.Stderr, "p2bagent: settling batches: %v\n", err)
+		os.Exit(1)
 	}
 	if err := client.Flush(); err != nil {
 		fmt.Fprintf(os.Stderr, "p2bagent: flush failed: %v\n", err)

@@ -1,0 +1,68 @@
+// Command p2bgate is the CI bench-regression gate. It compares freshly
+// produced benchmark results against the baselines committed under
+// testdata/bench_baseline/ and exits non-zero when throughput regressed
+// beyond the configured tolerance (default 30%).
+//
+// The gate configuration (which files and series to compare, tolerances,
+// absolute floors) is itself committed next to the baselines as
+// gate.json, so tightening or extending the gate is an ordinary reviewed
+// change.
+//
+// Usage (what the CI workflow runs; $GUARD_BENCH_REGEX is defined in
+// .github/workflows/ci.yml and must stay in sync with the refresh
+// commands below):
+//
+//	go test -run '^$' -bench "$GUARD_BENCH_REGEX" -benchmem . ./internal/httpapi/ | tee results/guard_bench.txt
+//	go run ./cmd/p2bbench -experiment http-pipeline -json -quiet -out results
+//	go run ./cmd/p2bgate -baseline testdata/bench_baseline -results results
+//
+// Refreshing the baselines after an intentional performance change (the
+// bench invocation must match CI's exactly — same regex, same packages —
+// or refreshed baselines would silently drop benchmarks from the gate):
+//
+//	go run ./cmd/p2bbench -experiment http-pipeline -json -quiet -out testdata/bench_baseline
+//	go test -run '^$' -bench "$GUARD_BENCH_REGEX" -benchmem . ./internal/httpapi/ > testdata/bench_baseline/guard_bench.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"p2b/internal/benchgate"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "testdata/bench_baseline", "directory holding committed baselines and gate.json")
+		results   = flag.String("results", "results", "directory holding freshly produced results")
+		config    = flag.String("config", "", "gate config path (default <baseline>/gate.json)")
+		tolerance = flag.Float64("tolerance", 0, "override the config's default tolerance (0 = use config)")
+	)
+	flag.Parse()
+
+	cfgPath := *config
+	if cfgPath == "" {
+		cfgPath = filepath.Join(*baseline, "gate.json")
+	}
+	cfg, err := benchgate.LoadConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2bgate:", err)
+		os.Exit(2)
+	}
+	if *tolerance != 0 {
+		cfg.Tolerance = *tolerance
+	}
+	findings, err := benchgate.Run(*baseline, *results, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p2bgate:", err)
+		os.Exit(2)
+	}
+	fmt.Print(benchgate.Render(findings))
+	if fails := benchgate.Failures(findings); len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "p2bgate: %d of %d checks regressed beyond tolerance\n", len(fails), len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("p2bgate: all %d checks within tolerance\n", len(findings))
+}

@@ -2,10 +2,15 @@
 // service: the trusted shuffler and the analyzer server, wired together in
 // one process and exposed over HTTP.
 //
-// Agents POST encoded reports to the shuffler surface and GET model
-// snapshots from the server surface:
+// Agents POST encoded reports to the shuffler surface — one at a time or,
+// at scale, as batch streams — and GET model snapshots from the server
+// surface:
 //
 //	POST /shuffler/report   {"meta":{...},"tuple":{"code":5,"action":1,"reward":1}}
+//	POST /shuffler/reports  batch stream: length-prefixed binary frames
+//	                        (Content-Type application/x-p2b-batch, see
+//	                        internal/transport/wire.go) or NDJSON envelopes
+//	                        (application/x-ndjson)
 //	POST /shuffler/flush
 //	GET  /shuffler/stats
 //	GET  /server/model/tabular
@@ -13,15 +18,24 @@
 //	POST /server/raw        (non-private baseline ingestion)
 //	GET  /server/stats
 //
+// On SIGINT/SIGTERM the node shuts down gracefully: the listener stops
+// accepting, in-flight requests drain (bounded by -drain), and the
+// shuffler's pending batch is flushed through the privacy pipeline into
+// the server so reports already accepted are not dropped.
+//
 // Usage:
 //
 //	p2bnode -addr :8080 -k 1024 -arms 20 -d 10 -threshold 10 -batch 320
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"p2b/internal/httpapi"
@@ -40,6 +54,7 @@ func main() {
 		threshold = flag.Int("threshold", 10, "crowd-blending threshold l")
 		batch     = flag.Int("batch", 0, "shuffler batch size (default 32*threshold)")
 		seed      = flag.Uint64("seed", 1, "seed for the shuffler's permutation stream")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
 	)
 	flag.Parse()
 	if *batch == 0 {
@@ -57,6 +72,37 @@ func main() {
 		Handler:           httpapi.NewNodeHandler(shuf, srv),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
 	log.Printf("p2bnode listening on %s (k=%d arms=%d threshold=%d batch=%d)", *addr, *k, *arms, *threshold, *batch)
-	log.Fatal(httpSrv.ListenAndServe())
+
+	select {
+	case err := <-errCh:
+		// The listener died on its own (port in use, ...): nothing to drain.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	log.Printf("p2bnode: shutting down (drain %v)", *drain)
+
+	// Stop accepting and drain in-flight requests first, so no report can
+	// slip into the shuffler after the final flush below.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("p2bnode: drain incomplete: %v", err)
+	}
+
+	// Push the pending sub-batch through the privacy pipeline. Small
+	// flushed batches are the ones most exposed to thresholding — that is
+	// correct privacy behaviour, not data loss.
+	shuf.Flush()
+
+	sst, shst := srv.Stats(), shuf.Stats()
+	log.Printf("p2bnode: final state: %d tuples ingested, %d raw, %d batches shuffled (%d forwarded, %d thresholded)",
+		sst.TuplesIngested, sst.RawIngested, shst.Batches, shst.Forwarded, shst.Dropped)
 }

@@ -131,10 +131,14 @@ var Registry = map[string]func(Options) (*Result, error){
 	"ab-k":       AblationCodeSpace,
 	"ab-policy":  AblationPolicies,
 	"ab-learner": AblationLearners,
+
+	// Systems experiments (no paper counterpart).
+	"http-pipeline": HTTPPipeline,
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline",
-		"ab-encoder", "ab-p", "ab-l", "ab-k", "ab-policy", "ab-learner"}
+		"ab-encoder", "ab-p", "ab-l", "ab-k", "ab-policy", "ab-learner",
+		"http-pipeline"}
 }

@@ -296,3 +296,33 @@ func TestGeometricCheckpoints(t *testing.T) {
 		t.Fatalf("degenerate range: %v", got)
 	}
 }
+
+func TestHTTPPipelineSmoke(t *testing.T) {
+	res, err := HTTPPipeline(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := res.Tables[0]
+	if len(tab.Series) != 3 {
+		t.Fatalf("expected 3 series, got %d", len(tab.Series))
+	}
+	for _, s := range tab.Series[:2] {
+		if len(s.Points) != 1 || s.Points[0].Y <= 0 {
+			t.Fatalf("series %s has no positive throughput: %+v", s.Name, s.Points)
+		}
+	}
+	// Throughput at smoke scale is too noisy to gate on, but correctness
+	// is not: both routes must leave the server in bit-identical state.
+	found := false
+	for _, n := range res.Notes {
+		if strings.Contains(n, "bit-identical: true") {
+			found = true
+		}
+		if strings.Contains(n, "bit-identical: false") {
+			t.Fatalf("routes diverged: %v", res.Notes)
+		}
+	}
+	if !found {
+		t.Fatalf("exactness note missing: %v", res.Notes)
+	}
+}

@@ -1,0 +1,249 @@
+// The http-pipeline experiment: throughput of the distributed ingestion
+// path. Unlike the figures, this one reproduces no paper panel — it guards
+// the ROADMAP's scale story by driving a real p2bnode over loopback HTTP
+// and measuring reports/sec through the per-envelope route versus the
+// batched wire protocol, plus an exactness check that both routes leave
+// the server in bit-identical state.
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"p2b/internal/httpapi"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/stats"
+	"p2b/internal/transport"
+)
+
+// pipelineNode is one loopback p2bnode: shuffler + server behind a real
+// TCP listener, so the benchmark pays genuine HTTP costs.
+type pipelineNode struct {
+	srv  *server.Server
+	shuf *shuffler.Shuffler
+	hs   *http.Server
+	url  string
+}
+
+func startPipelineNode(k, arms, batch, threshold int, seed uint64) (*pipelineNode, error) {
+	srv := server.New(server.Config{K: k, Arms: arms, D: 3, Alpha: 1, Seed: seed})
+	shuf := shuffler.New(shuffler.Config{BatchSize: batch, Threshold: threshold}, srv, rng.New(seed).Split("shuffler"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("http-pipeline: listen: %w", err)
+	}
+	n := &pipelineNode{
+		srv:  srv,
+		shuf: shuf,
+		hs:   &http.Server{Handler: httpapi.NewNodeHandler(shuf, srv)},
+		url:  "http://" + ln.Addr().String(),
+	}
+	go func() { _ = n.hs.Serve(ln) }()
+	return n, nil
+}
+
+func (n *pipelineNode) close() { _ = n.hs.Close() }
+
+// pipelineHTTPClient returns an http.Client whose connection pool does not
+// throttle the benchmark: the default Transport keeps only two idle
+// connections per host, which would bill connection churn — not protocol
+// cost — to the per-envelope path.
+func pipelineHTTPClient(workers int) *http.Client {
+	tr := &http.Transport{
+		MaxIdleConns:        4 * workers,
+		MaxIdleConnsPerHost: 4 * workers,
+	}
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+// pipelineTuple deterministically generates the i-th report of worker w.
+func pipelineTuple(r *rng.Rand, k, arms int) transport.Tuple {
+	return transport.Tuple{Code: r.IntN(k), Action: r.IntN(arms), Reward: r.Float64()}
+}
+
+// HTTPPipeline measures loopback ingestion throughput: Options.Workers
+// concurrent agents pushing reports through (a) one POST /shuffler/report
+// per envelope and (b) the batched POST /shuffler/reports wire protocol,
+// then verifies on a fresh pair of nodes that the two routes produce
+// bit-identical tabular state. Scale 1 runs in a few seconds; the batched
+// path gets proportionally more traffic because it is expected to be an
+// order of magnitude faster.
+func HTTPPipeline(opts Options) (*Result, error) {
+	opts.fill()
+	const (
+		k         = 64
+		arms      = 8
+		threshold = 2
+		shufBatch = 256
+	)
+	singleN := opts.scaled(4000)
+	batchedN := opts.scaled(80000)
+	workers := opts.Workers
+	httpClient := pipelineHTTPClient(workers)
+
+	// Phase (a): one envelope per POST.
+	nodeA, err := startPipelineNode(k, arms, shufBatch, threshold, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	singleRPS, err := runPipelinePhase(workers, singleN, func(w int) (func(transport.Envelope) error, func() error) {
+		client := httpapi.NewNodeClient(nodeA.url)
+		client.HTTP = httpClient
+		return client.Report, func() error { return nil }
+	}, opts, k, arms)
+	nodeA.close()
+	if err != nil {
+		return nil, fmt.Errorf("http-pipeline: single-envelope phase: %w", err)
+	}
+
+	// Phase (b): the batched wire protocol.
+	nodeB, err := startPipelineNode(k, arms, shufBatch, threshold, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	batchedRPS, err := runPipelinePhase(workers, batchedN, func(w int) (func(transport.Envelope) error, func() error) {
+		client := httpapi.NewNodeClient(nodeB.url)
+		client.HTTP = httpClient
+		bc := httpapi.NewBatchingClient(client, httpapi.BatchingConfig{
+			MaxBatch: 256,
+			MaxAge:   50 * time.Millisecond,
+			Seed:     opts.Seed + uint64(w) + 1,
+		})
+		return bc.Report, bc.Close
+	}, opts, k, arms)
+	ingestedB := nodeB.srv.Stats().TuplesIngested
+	nodeB.close()
+	if err != nil {
+		return nil, fmt.Errorf("http-pipeline: batched phase: %w", err)
+	}
+
+	// Exactness: the batch route must leave the server in bit-identical
+	// state to the per-envelope route for the same report sequence.
+	identical, err := pipelineRoutesAgree(opts, k, arms, threshold)
+	if err != nil {
+		return nil, err
+	}
+
+	speedup := 0.0
+	if singleRPS > 0 {
+		speedup = batchedRPS / singleRPS
+	}
+	tab := &stats.Table{XLabel: "workers"}
+	single := &stats.Series{Name: "single_envelope_rps"}
+	single.Append(float64(workers), singleRPS, 0)
+	batched := &stats.Series{Name: "batched_rps"}
+	batched.Append(float64(workers), batchedRPS, 0)
+	ratio := &stats.Series{Name: "speedup_batched_vs_single"}
+	ratio.Append(float64(workers), speedup, 0)
+	tab.Series = []*stats.Series{single, batched, ratio}
+
+	return &Result{
+		Name: "http-pipeline",
+		Description: "Loopback distributed ingestion throughput: per-envelope POSTs vs the " +
+			"batched binary wire protocol (reports/sec, higher is better).",
+		Tables: []*stats.Table{tab},
+		Notes: []string{
+			fmt.Sprintf("single-envelope: %d reports at %.0f reports/sec", singleN, singleRPS),
+			fmt.Sprintf("batched: %d reports at %.0f reports/sec (%d ingested post-threshold)", batchedN, batchedRPS, ingestedB),
+			fmt.Sprintf("speedup: %.1fx", speedup),
+			fmt.Sprintf("batched and per-envelope routes bit-identical: %v", identical),
+		},
+	}, nil
+}
+
+// runPipelinePhase pushes total reports through `workers` goroutines, each
+// reporting via the function `mk` returns for it, and returns reports/sec.
+func runPipelinePhase(workers, total int, mk func(w int) (func(transport.Envelope) error, func() error), opts Options, k, arms int) (float64, error) {
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			report, finish := mk(w)
+			r := rng.New(opts.Seed).SplitIndex("pipeline-worker", w)
+			for {
+				i := next.Add(1)
+				if i > int64(total) {
+					break
+				}
+				e := transport.Envelope{
+					Meta:  transport.Metadata{DeviceID: fmt.Sprintf("device-%06d", i), SentAt: i},
+					Tuple: pipelineTuple(r, k, arms),
+				}
+				if err := report(e); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					break
+				}
+			}
+			if err := finish(); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return 0, err
+	}
+	return float64(total) / elapsed.Seconds(), nil
+}
+
+// pipelineRoutesAgree replays one deterministic report stream through both
+// ingestion routes on fresh nodes and compares the resulting tabular
+// snapshots bit for bit.
+func pipelineRoutesAgree(opts Options, k, arms, threshold int) (bool, error) {
+	const shufBatch = 32
+	n := opts.scaled(600)
+	r := rng.New(opts.Seed).Split("pipeline-exactness")
+	envs := make([]transport.Envelope, n)
+	for i := range envs {
+		envs[i] = transport.Envelope{
+			Meta:  transport.Metadata{DeviceID: fmt.Sprintf("device-%06d", i), SentAt: int64(i)},
+			Tuple: pipelineTuple(r, k, arms),
+		}
+	}
+
+	nodeA, err := startPipelineNode(k, arms, shufBatch, threshold, opts.Seed+101)
+	if err != nil {
+		return false, err
+	}
+	defer nodeA.close()
+	clientA := httpapi.NewNodeClient(nodeA.url)
+	for i := range envs {
+		if err := clientA.Report(envs[i]); err != nil {
+			return false, fmt.Errorf("http-pipeline: exactness single route: %w", err)
+		}
+	}
+	if err := clientA.Flush(); err != nil {
+		return false, err
+	}
+
+	nodeB, err := startPipelineNode(k, arms, shufBatch, threshold, opts.Seed+101)
+	if err != nil {
+		return false, err
+	}
+	defer nodeB.close()
+	clientB := httpapi.NewNodeClient(nodeB.url)
+	// Ship in several batch POSTs to exercise chunked submission too.
+	for at := 0; at < len(envs); at += 100 {
+		end := min(at+100, len(envs))
+		if _, err := clientB.ReportBatch(envs[at:end]); err != nil {
+			return false, fmt.Errorf("http-pipeline: exactness batch route: %w", err)
+		}
+	}
+	if err := clientB.Flush(); err != nil {
+		return false, err
+	}
+
+	return reflect.DeepEqual(nodeA.srv.TabularSnapshot(), nodeB.srv.TabularSnapshot()), nil
+}

@@ -1,8 +1,9 @@
 // Package httpapi exposes the shuffler and server over HTTP so that P2B
 // components can run as separate processes, and provides the agent-side
-// client. The wire format is JSON over the following routes:
+// client. The routes are:
 //
-//	shuffler:  POST /report         one transport.Envelope
+//	shuffler:  POST /report         one transport.Envelope (JSON)
+//	           POST /reports        a batch stream (binary frames or NDJSON)
 //	           POST /flush          force the pending batch through
 //	           GET  /stats          shuffler.Stats
 //	server:    GET  /model/tabular  bandit.TabularState
@@ -10,18 +11,34 @@
 //	           POST /raw            one transport.RawTuple (baseline path)
 //	           GET  /stats          server.Stats
 //
-// When an incoming report carries no source address the shuffler handler
-// stamps the connection's RemoteAddr into the envelope metadata before
-// submission: the shuffler must prove it can scrub real network metadata,
-// not just whatever polite clients chose to send.
+// /reports is the scale path: the body is a stream of length-prefixed
+// binary frames (Content-Type transport.ContentTypeBinary, see
+// internal/transport/wire.go for the layout) or newline-delimited JSON
+// envelopes (transport.ContentTypeNDJSON). Frames are decoded in a
+// streaming fashion and fed to the shuffler in chunks, so a million-report
+// body never lives in memory at once and no allocation happens per
+// envelope. Envelopes whose reward is not finite or whose code/action is
+// negative are dropped and counted in the BatchAck response rather than
+// failing the whole batch.
+//
+// When an incoming single report carries no source address the shuffler
+// handler stamps the connection's RemoteAddr into the envelope metadata
+// before submission: the shuffler must prove it can scrub real network
+// metadata, not just whatever polite clients chose to send. Batched
+// envelopes carry sender metadata inside their frames; the batch decoder
+// skips those bytes entirely, so identity is discarded even earlier.
 package httpapi
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math"
+	"mime"
 	"net/http"
+	"sync"
 	"time"
 
 	"p2b/internal/bandit"
@@ -30,7 +47,30 @@ import (
 	"p2b/internal/transport"
 )
 
-const maxBodyBytes = 1 << 20 // 1 MiB is generous for any single report
+const (
+	maxBodyBytes      = 1 << 20  // 1 MiB is generous for any single report
+	maxBatchBodyBytes = 32 << 20 // one POST of ~100k binary frames
+	// submitChunk is how many decoded tuples are handed to the shuffler
+	// per SubmitTuples call on the batch route: large enough to amortize
+	// the shuffler lock, small enough to keep the working set in L1.
+	submitChunk = 512
+)
+
+// BatchAck is the response body of the batch report route: how many
+// envelopes entered the shuffler and how many were dropped at the door for
+// carrying non-finite rewards or negative coordinates.
+type BatchAck struct {
+	Accepted int `json:"accepted"`
+	Dropped  int `json:"dropped"`
+}
+
+// tupleChunks recycles the per-request decode buffers of the batch route.
+var tupleChunks = sync.Pool{
+	New: func() any {
+		s := make([]transport.Tuple, 0, submitChunk)
+		return &s
+	},
+}
 
 // NewNodeHandler mounts a shuffler and a server on one mux under the
 // /shuffler/ and /server/ prefixes, plus a /healthz probe — the layout
@@ -61,7 +101,14 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 		}
 		var e transport.Envelope
 		if err := decodeJSON(r, &e); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), statusForBodyError(err))
+			return
+		}
+		// Same admission policy as the batch route, so a report stream is
+		// route-independent: a tuple either enters the shuffler on both
+		// routes or on neither.
+		if !validTuple(e.Tuple) {
+			http.Error(w, "httpapi: invalid tuple (non-finite reward or negative code/action)", http.StatusBadRequest)
 			return
 		}
 		if e.Meta.Addr == "" {
@@ -72,6 +119,41 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 		}
 		s.Submit(e)
 		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("/reports", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if err != nil {
+			http.Error(w, "httpapi: unparseable Content-Type", http.StatusUnsupportedMediaType)
+			return
+		}
+		body := http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)
+		var ack BatchAck
+		switch ct {
+		case transport.ContentTypeBinary:
+			ack, err = ingestBinary(s, body)
+		case transport.ContentTypeNDJSON, "application/json":
+			ack, err = ingestNDJSON(s, body)
+		default:
+			http.Error(w, fmt.Sprintf("httpapi: unsupported batch Content-Type %q (want %s or %s)",
+				ct, transport.ContentTypeBinary, transport.ContentTypeNDJSON), http.StatusUnsupportedMediaType)
+			return
+		}
+		if err != nil {
+			// Chunks decoded before the malformed frame are already in the
+			// shuffler; report how far we got alongside the error.
+			http.Error(w, fmt.Sprintf("httpapi: batch aborted after %d accepted: %v", ack.Accepted, err),
+				statusForBodyError(err))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		// The status line is already committed; an encode failure here only
+		// means the client went away.
+		_ = json.NewEncoder(w).Encode(ack)
 	})
 	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -103,7 +185,7 @@ func NewServerHandler(s *server.Server) http.Handler {
 		}
 		var t transport.RawTuple
 		if err := decodeJSON(r, &t); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(w, err.Error(), statusForBodyError(err))
 			return
 		}
 		if err := s.IngestRaw(t); err != nil {
@@ -116,6 +198,93 @@ func NewServerHandler(s *server.Server) http.Handler {
 		writeJSON(w, s.Stats())
 	})
 	return mux
+}
+
+// ingestStream drains a batch of tuples from next into the shuffler:
+// tuples accumulate in a pooled chunk and each full chunk enters the
+// shuffler under one lock. Invalid tuples are dropped and counted; a
+// decode error aborts the stream after flushing what already decoded.
+// next must return io.EOF at a clean end of stream.
+func ingestStream(s *shuffler.Shuffler, next func(*transport.Tuple) error) (BatchAck, error) {
+	var ack BatchAck
+	chunkPtr := tupleChunks.Get().(*[]transport.Tuple)
+	defer tupleChunks.Put(chunkPtr)
+	chunk := (*chunkPtr)[:0]
+	flush := func() {
+		s.SubmitTuples(chunk)
+		ack.Accepted += len(chunk)
+		chunk = chunk[:0]
+	}
+	var t transport.Tuple
+	for {
+		err := next(&t)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			flush()
+			return ack, err
+		}
+		if !validTuple(t) {
+			ack.Dropped++
+			continue
+		}
+		chunk = append(chunk, t)
+		if len(chunk) == submitChunk {
+			flush()
+		}
+	}
+	flush()
+	return ack, nil
+}
+
+// ingestBinary streams length-prefixed frames from body into the shuffler.
+// Metadata bytes are skipped inside the frame buffer (never materialized),
+// so the whole path allocates nothing per envelope.
+func ingestBinary(s *shuffler.Shuffler, body io.Reader) (BatchAck, error) {
+	fr, err := transport.NewFrameReader(body)
+	if err != nil {
+		return BatchAck{}, err
+	}
+	return ingestStream(s, fr.NextTuple)
+}
+
+// ingestNDJSON streams newline-delimited JSON envelopes from body into the
+// shuffler. It is the interoperable fallback of the batch route: slower
+// than the binary framing but producible with a shell loop.
+func ingestNDJSON(s *shuffler.Shuffler, body io.Reader) (BatchAck, error) {
+	dec := json.NewDecoder(body)
+	index := 0
+	return ingestStream(s, func(t *transport.Tuple) error {
+		var e transport.Envelope
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			return fmt.Errorf("httpapi: bad NDJSON envelope %d: %w", index, err)
+		}
+		index++
+		*t = e.Tuple // anonymization: Meta goes no further
+		return nil
+	})
+}
+
+// validTuple rejects envelopes no downstream component could use: the
+// server would clamp a non-finite reward to zero and skip negative
+// coordinates anyway, but dropping them at the door keeps the shuffler's
+// threshold counts honest and the ack informative.
+func validTuple(t transport.Tuple) bool {
+	return !math.IsNaN(t.Reward) && !math.IsInf(t.Reward, 0) && t.Code >= 0 && t.Action >= 0
+}
+
+// statusForBodyError distinguishes "you sent too much" from "you sent
+// garbage": MaxBytesReader failures become 413, everything else 400.
+func statusForBodyError(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
 }
 
 func decodeJSON(r *http.Request, v any) error {

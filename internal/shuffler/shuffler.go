@@ -115,6 +115,46 @@ func (s *Shuffler) Submit(e transport.Envelope) {
 	}
 }
 
+// SubmitTuples folds a slice of already-anonymized tuples into the buffer
+// under a single lock acquisition, processing every full batch that forms
+// along the way. It is the batched ingestion path: the HTTP batch route
+// decodes frames into a reused chunk and hands the whole chunk over here,
+// so the per-envelope cost is one append, not one lock round-trip.
+//
+// Batch boundaries depend only on the arrival sequence, so a tuple stream
+// submitted through SubmitTuples produces bit-identical batches (and, with
+// the same shuffle RNG, bit-identical server state) to the same stream
+// submitted one Submit call at a time.
+//
+// The tuples slice is only read during the call; callers may reuse it.
+func (s *Shuffler) SubmitTuples(tuples []transport.Tuple) {
+	if len(tuples) == 0 {
+		return
+	}
+	var full [][]transport.Tuple
+	s.mu.Lock()
+	s.stats.Received += int64(len(tuples))
+	for len(tuples) > 0 {
+		if s.buf == nil {
+			s.buf = s.pool.Get().([]transport.Tuple)
+		}
+		n := s.cfg.BatchSize - len(s.buf)
+		if n > len(tuples) {
+			n = len(tuples)
+		}
+		s.buf = append(s.buf, tuples[:n]...)
+		tuples = tuples[n:]
+		if len(s.buf) >= s.cfg.BatchSize {
+			full = append(full, s.buf)
+			s.buf = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, batch := range full {
+		s.process(batch)
+	}
+}
+
 // Flush processes whatever is buffered, regardless of batch size. Call it
 // at the end of a collection round so stragglers are not lost; note that
 // small flushed batches are exactly the ones most likely to be consumed by

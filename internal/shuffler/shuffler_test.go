@@ -295,3 +295,98 @@ func TestAnonymization(t *testing.T) {
 		}
 	}
 }
+
+func TestSubmitTuplesMatchesSequentialSubmit(t *testing.T) {
+	// The same tuple stream, fed in one SubmitTuples call versus one
+	// Submit per envelope, must produce identical batches, identical
+	// shuffles (same RNG stream) and identical stats — this is what lets
+	// the HTTP batch route claim bit-identical server state.
+	const n, batchSize, threshold = 137, 16, 3
+	tuples := make([]transport.Tuple, n)
+	r := rng.New(9)
+	for i := range tuples {
+		tuples[i] = transport.Tuple{Code: r.IntN(5), Action: r.IntN(3), Reward: r.Float64()}
+	}
+
+	single := &collector{}
+	s1 := New(Config{BatchSize: batchSize, Threshold: threshold}, single, rng.New(77))
+	for _, tup := range tuples {
+		s1.Submit(transport.Envelope{Meta: transport.Metadata{DeviceID: "d"}, Tuple: tup})
+	}
+	s1.Flush()
+
+	batched := &collector{}
+	s2 := New(Config{BatchSize: batchSize, Threshold: threshold}, batched, rng.New(77))
+	s2.SubmitTuples(tuples)
+	s2.Flush()
+
+	if s1.Stats() != s2.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", s1.Stats(), s2.Stats())
+	}
+	if len(single.batches) != len(batched.batches) {
+		t.Fatalf("batch counts diverged: %d vs %d", len(single.batches), len(batched.batches))
+	}
+	for i := range single.batches {
+		a, b := single.batches[i], batched.batches[i]
+		if len(a) != len(b) {
+			t.Fatalf("batch %d length: %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("batch %d tuple %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestSubmitTuplesCrossesMultipleBatchBoundaries(t *testing.T) {
+	sink := &collector{}
+	s := New(Config{BatchSize: 4, Threshold: 0}, sink, rng.New(5))
+	tuples := make([]transport.Tuple, 11) // 2 full batches + 3 pending
+	for i := range tuples {
+		tuples[i] = transport.Tuple{Code: i, Action: 0, Reward: 1}
+	}
+	s.SubmitTuples(tuples)
+	if len(sink.batches) != 2 {
+		t.Fatalf("released %d batches, want 2", len(sink.batches))
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending %d, want 3", s.Pending())
+	}
+	st := s.Stats()
+	if st.Received != 11 || st.Forwarded != 8 || st.Batches != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Empty submission is a no-op.
+	s.SubmitTuples(nil)
+	if s.Stats() != st {
+		t.Fatal("empty SubmitTuples changed stats")
+	}
+}
+
+func TestSubmitTuplesConcurrent(t *testing.T) {
+	sink := &collector{}
+	s := New(Config{BatchSize: 32, Threshold: 0}, sink, rng.New(6))
+	var wg sync.WaitGroup
+	const workers, per = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := make([]transport.Tuple, per)
+			for i := range chunk {
+				chunk[i] = transport.Tuple{Code: w, Action: 0, Reward: 1}
+			}
+			s.SubmitTuples(chunk[:per/2])
+			s.SubmitTuples(chunk[per/2:])
+		}(w)
+	}
+	wg.Wait()
+	s.Flush()
+	if got := len(sink.all()); got != workers*per {
+		t.Fatalf("delivered %d tuples, want %d", got, workers*per)
+	}
+	if st := s.Stats(); st.Received != workers*per || st.Forwarded != workers*per {
+		t.Fatalf("stats %+v", st)
+	}
+}
