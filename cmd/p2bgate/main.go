@@ -9,25 +9,29 @@
 // change.
 //
 // Usage (what the CI workflow runs; $GUARD_BENCH_REGEX is defined in
-// .github/workflows/ci.yml and must stay in sync with the refresh
-// commands below):
+// .github/workflows/ci.yml and must stay equal to
+// benchgate.GuardBenchRegex):
 //
 //	go test -run '^$' -bench "$GUARD_BENCH_REGEX" -benchmem . ./internal/httpapi/ | tee results/guard_bench.txt
 //	go run ./cmd/p2bbench -experiment http-pipeline -json -quiet -out results
 //	go run ./cmd/p2bgate -baseline testdata/bench_baseline -results results
 //
-// Refreshing the baselines after an intentional performance change (the
-// bench invocation must match CI's exactly — same regex, same packages —
-// or refreshed baselines would silently drop benchmarks from the gate):
+// Refreshing the baselines after an intentional performance change:
 //
-//	go run ./cmd/p2bbench -experiment http-pipeline -json -quiet -out testdata/bench_baseline
-//	go test -run '^$' -bench "$GUARD_BENCH_REGEX" -benchmem . ./internal/httpapi/ > testdata/bench_baseline/guard_bench.txt
+//	go run ./cmd/p2bgate -update
+//
+// -update reruns the exact benchmark commands CI runs (same regex, same
+// packages — both taken from internal/benchgate, so refreshed baselines
+// can never silently drop benchmarks from the gate) and rewrites the
+// baseline directory from the fresh run. Run it on the reference machine,
+// inspect the diff, and commit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
 
 	"p2b/internal/benchgate"
@@ -39,8 +43,18 @@ func main() {
 		results   = flag.String("results", "results", "directory holding freshly produced results")
 		config    = flag.String("config", "", "gate config path (default <baseline>/gate.json)")
 		tolerance = flag.Float64("tolerance", 0, "override the config's default tolerance (0 = use config)")
+		update    = flag.Bool("update", false, "regenerate the baseline directory from a fresh benchmark run instead of gating")
 	)
 	flag.Parse()
+
+	if *update {
+		if err := refreshBaselines(*baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "p2bgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("p2bgate: baselines in %s refreshed; inspect the diff and commit\n", *baseline)
+		return
+	}
 
 	cfgPath := *config
 	if cfgPath == "" {
@@ -65,4 +79,36 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("p2bgate: all %d checks within tolerance\n", len(findings))
+}
+
+// refreshBaselines reruns the gate's benchmark commands and rewrites dir.
+// The commands mirror the CI workflow exactly; the guard regex and package
+// list come from internal/benchgate so the two cannot drift apart here.
+func refreshBaselines(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	fmt.Println("p2bgate: running http-pipeline experiment (p2bbench)")
+	bench := exec.Command("go", "run", "./cmd/p2bbench", "-experiment", "http-pipeline", "-json", "-quiet", "-out", dir)
+	bench.Stdout, bench.Stderr = os.Stdout, os.Stderr
+	if err := bench.Run(); err != nil {
+		return fmt.Errorf("p2bbench: %w", err)
+	}
+
+	fmt.Printf("p2bgate: running guard benchmarks %s\n", benchgate.GuardBenchRegex)
+	args := []string{"test", "-run", "^$", "-bench", benchgate.GuardBenchRegex, "-benchmem"}
+	args = append(args, benchgate.GuardBenchPackages...)
+	guard := exec.Command("go", args...)
+	out, err := os.Create(filepath.Join(dir, "guard_bench.txt"))
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	guard.Stdout = out
+	guard.Stderr = os.Stderr
+	if err := guard.Run(); err != nil {
+		return fmt.Errorf("guard benchmarks: %w", err)
+	}
+	return out.Close()
 }

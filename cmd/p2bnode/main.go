@@ -17,15 +17,31 @@
 //	GET  /server/model/linucb
 //	POST /server/raw        (non-private baseline ingestion)
 //	GET  /server/stats
+//	GET  /healthz           liveness + persistence status
+//	POST /admin/checkpoint  force a checkpoint (with -data-dir only)
+//
+// # Durability
+//
+// With -data-dir the node is crash-safe: every accepted report batch is
+// appended to a write-ahead log before it enters the shuffler, and
+// checkpoints capture the server accumulators, the shuffler's pending
+// buffer and its permutation-stream position. On boot the node restores
+// the last checkpoint and replays the log tail, truncating a torn final
+// record; a kill -9 therefore loses at most the appends not yet fsynced
+// (none with -wal-sync 0), and the recovered model is bit-identical to an
+// uninterrupted run over the logged input. See internal/persist and the
+// durability section of DESIGN.md.
 //
 // On SIGINT/SIGTERM the node shuts down gracefully: the listener stops
 // accepting, in-flight requests drain (bounded by -drain), and the
 // shuffler's pending batch is flushed through the privacy pipeline into
-// the server so reports already accepted are not dropped.
+// the server so reports already accepted are not dropped. A durable node
+// logs the flush and writes a final checkpoint.
 //
 // Usage:
 //
-//	p2bnode -addr :8080 -k 1024 -arms 20 -d 10 -threshold 10 -batch 320
+//	p2bnode -addr :8080 -k 1024 -arms 20 -d 10 -threshold 10 -batch 320 \
+//	        -data-dir /var/lib/p2b -checkpoint-interval 1m -wal-sync 100ms
 package main
 
 import (
@@ -39,6 +55,7 @@ import (
 	"time"
 
 	"p2b/internal/httpapi"
+	"p2b/internal/persist"
 	"p2b/internal/rng"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
@@ -54,7 +71,13 @@ func main() {
 		threshold = flag.Int("threshold", 10, "crowd-blending threshold l")
 		batch     = flag.Int("batch", 0, "shuffler batch size (default 32*threshold)")
 		seed      = flag.Uint64("seed", 1, "seed for the shuffler's permutation stream")
+		shards    = flag.Int("shards", 0, "server ingestion shards (0 = GOMAXPROCS capped at 16; 1 makes ingestion order fully deterministic)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+
+		dataDir   = flag.String("data-dir", "", "directory for WAL + checkpoints (empty = in-memory only, state dies with the process)")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "automatic checkpoint interval (0 = manual via /admin/checkpoint and shutdown)")
+		walSync   = flag.Duration("wal-sync", 100*time.Millisecond, "WAL fsync batching interval (0 = fsync every append; strongest durability)")
+		walRetain = flag.Bool("wal-retain", false, "keep checkpoint-covered WAL segments instead of pruning (full input stream stays replayable)")
 	)
 	flag.Parse()
 	if *batch == 0 {
@@ -64,12 +87,34 @@ func main() {
 		}
 	}
 
-	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed})
+	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed, Shards: *shards})
 	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, srv, rng.New(*seed).Split("shuffler"))
+
+	var opts httpapi.NodeOptions
+	var mgr *persist.Manager
+	if *dataDir != "" {
+		var err error
+		mgr, err = persist.Open(*dataDir, shuf, srv, persist.Options{
+			SyncInterval:       *walSync,
+			CheckpointInterval: *ckptEvery,
+			RetainWAL:          *walRetain,
+		})
+		if err != nil {
+			log.Fatalf("p2bnode: recovering %s: %v", *dataDir, err)
+		}
+		rec := mgr.Recovery()
+		log.Printf("p2bnode: durable in %s (checkpoint seq %d, replayed %d records, wal at seq %d)",
+			*dataDir, rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq)
+		opts = httpapi.NodeOptions{
+			Ingest:     mgr,
+			Checkpoint: mgr.Checkpoint,
+			Health:     func() any { return mgr.Info() },
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewNodeHandler(shuf, srv),
+		Handler:           httpapi.NewNodeHandlerOpts(shuf, srv, opts),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -99,8 +144,22 @@ func main() {
 
 	// Push the pending sub-batch through the privacy pipeline. Small
 	// flushed batches are the ones most exposed to thresholding — that is
-	// correct privacy behaviour, not data loss.
-	shuf.Flush()
+	// correct privacy behaviour, not data loss. On a durable node the flush
+	// is logged (replay must flush at the same position) and followed by a
+	// final checkpoint, so the next boot starts from this exact state.
+	if mgr != nil {
+		if err := mgr.Flush(); err != nil {
+			log.Printf("p2bnode: final flush: %v", err)
+		}
+		if err := mgr.Checkpoint(); err != nil {
+			log.Printf("p2bnode: final checkpoint: %v", err)
+		}
+		if err := mgr.Close(); err != nil {
+			log.Printf("p2bnode: closing wal: %v", err)
+		}
+	} else {
+		shuf.Flush()
+	}
 
 	sst, shst := srv.Stats(), shuf.Stats()
 	log.Printf("p2bnode: final state: %d tuples ingested, %d raw, %d batches shuffled (%d forwarded, %d thresholded)",

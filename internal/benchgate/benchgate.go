@@ -34,6 +34,16 @@ import (
 // when neither the config nor the check specifies one.
 const DefaultTolerance = 0.30
 
+// GuardBenchRegex selects the hot-path guard benchmarks the gate compares.
+// It is the single source of truth: `p2bgate -update` runs it, and the
+// GUARD_BENCH_REGEX env var in .github/workflows/ci.yml must stay equal to
+// it (the workflow cannot import Go constants).
+const GuardBenchRegex = "^(BenchmarkKMeansEncode|BenchmarkLinUCBSelect|BenchmarkLinUCBUpdate|BenchmarkTabularSelect|BenchmarkServerDeliver|BenchmarkServerDeliverSerial|BenchmarkShufflerThroughput|BenchmarkIngestBinary)$"
+
+// GuardBenchPackages are the package paths `go test -bench` runs the guard
+// regex against, in the exact order the CI workflow uses.
+var GuardBenchPackages = []string{".", "./internal/httpapi/"}
+
 // Config is the committed gate description (gate.json in the baseline
 // directory).
 type Config struct {

@@ -1,0 +1,21 @@
+package benchgate
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// The CI workflow cannot import Go constants, so it repeats the guard
+// regex in an env var. This test pins the two together: edit one without
+// the other and CI's own test job fails.
+func TestGuardBenchRegexMatchesWorkflow(t *testing.T) {
+	data, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading workflow: %v", err)
+	}
+	want := `GUARD_BENCH_REGEX: "` + GuardBenchRegex + `"`
+	if !strings.Contains(string(data), want) {
+		t.Fatalf("ci.yml GUARD_BENCH_REGEX diverged from benchgate.GuardBenchRegex:\nwant line containing %s", want)
+	}
+}

@@ -425,7 +425,7 @@ func BenchmarkIngestBinary(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ack, err := ingestBinary(shuf, bytes.NewReader(body))
+		ack, err := ingestBinary(shufflerIngestor{shuf}, bytes.NewReader(body))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -10,6 +10,9 @@
 //	           GET  /model/linucb   bandit.LinUCBState
 //	           POST /raw            one transport.RawTuple (baseline path)
 //	           GET  /stats          server.Stats
+//	node:      GET  /healthz            liveness + persistence status
+//	           POST /admin/checkpoint   force a durable checkpoint
+//	                                    (durable nodes only)
 //
 // /reports is the scale path: the body is a stream of length-prefixed
 // binary frames (Content-Type transport.ContentTypeBinary, see
@@ -72,16 +75,80 @@ var tupleChunks = sync.Pool{
 	},
 }
 
+// Ingestor is the tuple-admission surface the shuffler routes write to.
+// The plain deployment submits straight to the shuffler; a durable node
+// interposes the persist manager, which logs every operation to the WAL
+// before applying it. Errors are I/O failures (the log could not accept
+// the write) and surface as 500s — an unlogged tuple must not be acked.
+type Ingestor interface {
+	SubmitEnvelope(e transport.Envelope) error
+	SubmitTuples(tuples []transport.Tuple) error
+	Flush() error
+}
+
+// shufflerIngestor is the non-durable default: straight to the shuffler,
+// which never fails.
+type shufflerIngestor struct{ s *shuffler.Shuffler }
+
+func (si shufflerIngestor) SubmitEnvelope(e transport.Envelope) error { si.s.Submit(e); return nil }
+func (si shufflerIngestor) SubmitTuples(ts []transport.Tuple) error {
+	si.s.SubmitTuples(ts)
+	return nil
+}
+func (si shufflerIngestor) Flush() error { si.s.Flush(); return nil }
+
+// NodeOptions wires optional durability hooks into the node handler.
+type NodeOptions struct {
+	// Ingest handles report admission. Nil submits straight to the
+	// shuffler (no durability).
+	Ingest Ingestor
+	// Checkpoint, when non-nil, enables POST /admin/checkpoint.
+	Checkpoint func() error
+	// Health, when non-nil, contributes a "persist" section to /healthz.
+	Health func() any
+}
+
 // NewNodeHandler mounts a shuffler and a server on one mux under the
 // /shuffler/ and /server/ prefixes, plus a /healthz probe — the layout
 // cmd/p2bnode serves and cmd/p2bagent speaks to.
 func NewNodeHandler(shuf *shuffler.Shuffler, srv *server.Server) http.Handler {
+	return NewNodeHandlerOpts(shuf, srv, NodeOptions{})
+}
+
+// NewNodeHandlerOpts is NewNodeHandler with durability hooks: reports are
+// admitted through opts.Ingest, POST /admin/checkpoint forces a checkpoint,
+// and /healthz reports persistence status alongside liveness.
+func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOptions) http.Handler {
+	ing := opts.Ingest
+	if ing == nil {
+		ing = shufflerIngestor{shuf}
+	}
 	mux := http.NewServeMux()
-	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", NewShufflerHandler(shuf)))
+	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandler(shuf, ing)))
 	mux.Handle("/server/", http.StripPrefix("/server", NewServerHandler(srv)))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
+		status := struct {
+			Status  string `json:"status"`
+			Persist any    `json:"persist,omitempty"`
+		}{Status: "ok"}
+		if opts.Health != nil {
+			status.Persist = opts.Health()
+		}
+		writeJSON(w, status)
 	})
+	if opts.Checkpoint != nil {
+		mux.HandleFunc("/admin/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			if err := opts.Checkpoint(); err != nil {
+				http.Error(w, fmt.Sprintf("httpapi: checkpoint failed: %v", err), http.StatusInternalServerError)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		})
+	}
 	return mux
 }
 
@@ -93,6 +160,12 @@ func NewNodeClient(nodeURL string) *Client {
 
 // NewShufflerHandler returns the HTTP surface of a shuffler.
 func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
+	return newShufflerHandler(s, shufflerIngestor{s})
+}
+
+// newShufflerHandler mounts the shuffler routes with report admission
+// going through ing (the durable path when a persist manager is wired in).
+func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -117,7 +190,10 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 		if e.Meta.SentAt == 0 {
 			e.Meta.SentAt = time.Now().UnixNano()
 		}
-		s.Submit(e)
+		if err := ing.SubmitEnvelope(e); err != nil {
+			http.Error(w, fmt.Sprintf("httpapi: report not accepted: %v", err), http.StatusInternalServerError)
+			return
+		}
 		w.WriteHeader(http.StatusAccepted)
 	})
 	mux.HandleFunc("/reports", func(w http.ResponseWriter, r *http.Request) {
@@ -134,9 +210,9 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 		var ack BatchAck
 		switch ct {
 		case transport.ContentTypeBinary:
-			ack, err = ingestBinary(s, body)
+			ack, err = ingestBinary(ing, body)
 		case transport.ContentTypeNDJSON, "application/json":
-			ack, err = ingestNDJSON(s, body)
+			ack, err = ingestNDJSON(ing, body)
 		default:
 			http.Error(w, fmt.Sprintf("httpapi: unsupported batch Content-Type %q (want %s or %s)",
 				ct, transport.ContentTypeBinary, transport.ContentTypeNDJSON), http.StatusUnsupportedMediaType)
@@ -160,7 +236,10 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		s.Flush()
+		if err := ing.Flush(); err != nil {
+			http.Error(w, fmt.Sprintf("httpapi: flush failed: %v", err), http.StatusInternalServerError)
+			return
+		}
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
@@ -200,20 +279,24 @@ func NewServerHandler(s *server.Server) http.Handler {
 	return mux
 }
 
-// ingestStream drains a batch of tuples from next into the shuffler:
-// tuples accumulate in a pooled chunk and each full chunk enters the
-// shuffler under one lock. Invalid tuples are dropped and counted; a
-// decode error aborts the stream after flushing what already decoded.
-// next must return io.EOF at a clean end of stream.
-func ingestStream(s *shuffler.Shuffler, next func(*transport.Tuple) error) (BatchAck, error) {
+// ingestStream drains a batch of tuples from next into the ingestor:
+// tuples accumulate in a pooled chunk and each full chunk is admitted in
+// one call. Invalid tuples are dropped and counted; a decode error aborts
+// the stream after flushing what already decoded. next must return io.EOF
+// at a clean end of stream.
+func ingestStream(ing Ingestor, next func(*transport.Tuple) error) (BatchAck, error) {
 	var ack BatchAck
 	chunkPtr := tupleChunks.Get().(*[]transport.Tuple)
 	defer tupleChunks.Put(chunkPtr)
 	chunk := (*chunkPtr)[:0]
-	flush := func() {
-		s.SubmitTuples(chunk)
+	flush := func() error {
+		if err := ing.SubmitTuples(chunk); err != nil {
+			// Not the client's fault: the durable log refused the write.
+			return ingestError{err}
+		}
 		ack.Accepted += len(chunk)
 		chunk = chunk[:0]
+		return nil
 	}
 	var t transport.Tuple
 	for {
@@ -222,7 +305,9 @@ func ingestStream(s *shuffler.Shuffler, next func(*transport.Tuple) error) (Batc
 			break
 		}
 		if err != nil {
-			flush()
+			if ferr := flush(); ferr != nil {
+				err = ferr
+			}
 			return ack, err
 		}
 		if !validTuple(t) {
@@ -231,31 +316,32 @@ func ingestStream(s *shuffler.Shuffler, next func(*transport.Tuple) error) (Batc
 		}
 		chunk = append(chunk, t)
 		if len(chunk) == submitChunk {
-			flush()
+			if err := flush(); err != nil {
+				return ack, err
+			}
 		}
 	}
-	flush()
-	return ack, nil
+	return ack, flush()
 }
 
-// ingestBinary streams length-prefixed frames from body into the shuffler.
+// ingestBinary streams length-prefixed frames from body into the ingestor.
 // Metadata bytes are skipped inside the frame buffer (never materialized),
-// so the whole path allocates nothing per envelope.
-func ingestBinary(s *shuffler.Shuffler, body io.Reader) (BatchAck, error) {
+// so identity neither allocates nor — on a durable node — reaches the WAL.
+func ingestBinary(ing Ingestor, body io.Reader) (BatchAck, error) {
 	fr, err := transport.NewFrameReader(body)
 	if err != nil {
 		return BatchAck{}, err
 	}
-	return ingestStream(s, fr.NextTuple)
+	return ingestStream(ing, fr.NextTuple)
 }
 
 // ingestNDJSON streams newline-delimited JSON envelopes from body into the
-// shuffler. It is the interoperable fallback of the batch route: slower
+// ingestor. It is the interoperable fallback of the batch route: slower
 // than the binary framing but producible with a shell loop.
-func ingestNDJSON(s *shuffler.Shuffler, body io.Reader) (BatchAck, error) {
+func ingestNDJSON(ing Ingestor, body io.Reader) (BatchAck, error) {
 	dec := json.NewDecoder(body)
 	index := 0
-	return ingestStream(s, func(t *transport.Tuple) error {
+	return ingestStream(ing, func(t *transport.Tuple) error {
 		var e transport.Envelope
 		if err := dec.Decode(&e); err != nil {
 			if err == io.EOF {
@@ -277,12 +363,23 @@ func validTuple(t transport.Tuple) bool {
 	return !math.IsNaN(t.Reward) && !math.IsInf(t.Reward, 0) && t.Code >= 0 && t.Action >= 0
 }
 
-// statusForBodyError distinguishes "you sent too much" from "you sent
-// garbage": MaxBytesReader failures become 413, everything else 400.
+// ingestError marks a server-side admission failure (the durable log could
+// not accept the write), as opposed to a malformed request.
+type ingestError struct{ err error }
+
+func (e ingestError) Error() string { return e.err.Error() }
+func (e ingestError) Unwrap() error { return e.err }
+
+// statusForBodyError distinguishes "you sent too much" (413) from "we
+// could not store it" (500) from "you sent garbage" (400).
 func statusForBodyError(err error) int {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
 		return http.StatusRequestEntityTooLarge
+	}
+	var ing ingestError
+	if errors.As(err, &ing) {
+		return http.StatusInternalServerError
 	}
 	return http.StatusBadRequest
 }

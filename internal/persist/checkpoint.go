@@ -1,0 +1,121 @@
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+// Checkpoint file layout:
+//
+//	"P2BC" u8(version=1) u32le(crc) u32le(len(body)) body
+//
+// body is the JSON encoding of Checkpoint; crc is CRC-32C over body. Go's
+// JSON float formatting uses the shortest representation that round-trips
+// exactly, and the accumulators are finite by construction (non-finite
+// rewards and contexts are rejected at ingestion), so the encoding is
+// bit-exact.
+const (
+	ckptMagic     = "P2BC"
+	ckptVersion   = 1
+	ckptHeaderLen = 13 // magic(4) + version(1) + crc(4) + len(4)
+
+	// CheckpointFile is the checkpoint's name inside the data directory.
+	// Writes go to CheckpointFile + ".tmp" first and rename into place, so
+	// a crash mid-write leaves the previous checkpoint intact.
+	CheckpointFile = "checkpoint.ckpt"
+)
+
+// Checkpoint is a consistent cut of the node's durable state: everything
+// the server has absorbed, everything the shuffler still buffers, and the
+// WAL position the cut corresponds to. Replaying WAL records with sequence
+// numbers greater than WALSeq on top of a restored checkpoint reproduces
+// the pre-crash process exactly.
+type Checkpoint struct {
+	WALSeq   uint64                 `json:"wal_seq"`
+	Server   *server.PersistedState `json:"server"`
+	Shuffler *shuffler.State        `json:"shuffler"`
+}
+
+// WriteCheckpoint atomically replaces dir's checkpoint: the new state is
+// written to a temporary file, synced, and renamed over the old one, so
+// every crash leaves either the previous or the new checkpoint — never a
+// torn hybrid.
+func WriteCheckpoint(dir string, c *Checkpoint) error {
+	body, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("persist: encoding checkpoint: %w", err)
+	}
+	buf := make([]byte, ckptHeaderLen, ckptHeaderLen+len(body))
+	copy(buf, ckptMagic)
+	buf[4] = ckptVersion
+	binary.LittleEndian.PutUint32(buf[5:9], crc32.Checksum(body, crcTable))
+	binary.LittleEndian.PutUint32(buf[9:13], uint32(len(body)))
+	buf = append(buf, body...)
+
+	tmp := filepath.Join(dir, CheckpointFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: creating checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: writing checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: syncing checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: closing checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// LoadCheckpoint reads dir's checkpoint. It returns (nil, nil) when no
+// checkpoint exists; a present-but-damaged checkpoint is a hard error, not
+// a silent cold start — silently discarding state would replay tuples the
+// server already absorbed.
+func LoadCheckpoint(dir string) (*Checkpoint, error) {
+	path := filepath.Join(dir, CheckpointFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	if len(data) < ckptHeaderLen || string(data[:4]) != ckptMagic {
+		return nil, fmt.Errorf("%w: %s: bad checkpoint magic", ErrCorrupt, path)
+	}
+	if data[4] != ckptVersion {
+		return nil, fmt.Errorf("persist: %s: unsupported checkpoint version %d (want %d)", path, data[4], ckptVersion)
+	}
+	crc := binary.LittleEndian.Uint32(data[5:9])
+	n := binary.LittleEndian.Uint32(data[9:13])
+	body := data[ckptHeaderLen:]
+	if uint32(len(body)) != n {
+		return nil, fmt.Errorf("%w: %s: checkpoint body is %d bytes, header says %d", ErrCorrupt, path, len(body), n)
+	}
+	if crc32.Checksum(body, crcTable) != crc {
+		return nil, fmt.Errorf("%w: %s: checkpoint crc mismatch", ErrCorrupt, path)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(body, &c); err != nil {
+		return nil, fmt.Errorf("%w: %s: decoding checkpoint: %v", ErrCorrupt, path, err)
+	}
+	return &c, nil
+}

@@ -1,0 +1,326 @@
+package persist
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/transport"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// SyncInterval batches WAL fsyncs: appends are made durable at most
+	// this long after acceptance. Zero syncs on every append — the strict
+	// setting the crash-recovery CI job runs with — at the cost of one
+	// fsync per ingest call.
+	SyncInterval time.Duration
+	// CheckpointInterval takes automatic checkpoints. Zero means manual
+	// checkpoints only (the /admin/checkpoint endpoint and shutdown).
+	CheckpointInterval time.Duration
+	// RetainWAL keeps fully-checkpointed segments on disk instead of
+	// pruning them. The full log then replays from sequence 1, which is
+	// what lets p2bwal reconstruct the node's entire accepted input stream
+	// for audit or equivalence checks.
+	RetainWAL bool
+	// Logf receives recovery and checkpoint progress lines. Nil uses
+	// log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryInfo summarizes what Open reconstructed from disk.
+type RecoveryInfo struct {
+	CheckpointSeq   uint64 `json:"checkpoint_seq"`   // WAL position of the loaded checkpoint (0 = none)
+	ReplayedRecords int    `json:"replayed_records"` // WAL records applied past the checkpoint
+	ReplayedTuples  int    `json:"replayed_tuples"`
+	ReplayedFlushes int    `json:"replayed_flushes"`
+	TruncatedBytes  int64  `json:"truncated_bytes"` // torn tail removed from the final segment
+	LastSeq         uint64 `json:"last_seq"`
+}
+
+// Info is the manager's live status, served by /healthz.
+type Info struct {
+	Dir           string       `json:"dir"`
+	WALSeq        uint64       `json:"wal_seq"`
+	CheckpointSeq uint64       `json:"checkpoint_seq"`
+	Segments      int          `json:"segments"`
+	Recovery      RecoveryInfo `json:"recovery"`
+}
+
+// Manager ties a shuffler and server to a data directory: every accepted
+// ingestion operation is logged before it is applied, checkpoints capture
+// consistent cuts, and Open replays whatever a crash left behind.
+//
+// The manager serializes ingestion: WAL order must equal application order
+// for replay to reproduce the run, so SubmitEnvelope/SubmitTuples/Flush
+// hold one lock across the log append and the shuffler call. Snapshot
+// reads are unaffected and stay concurrent.
+type Manager struct {
+	dir  string
+	opts Options
+	shuf *shuffler.Shuffler
+	srv  *server.Server
+	wal  *WAL
+
+	mu       sync.Mutex // serializes ingestion and checkpointing
+	ckptSeq  uint64     // WAL position of the last written checkpoint
+	ckptRaw  int64      // server raw-tuple count at the last checkpoint
+	hasCkpt  bool       // a checkpoint has been written or loaded
+	recovery RecoveryInfo
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open recovers a node's durable state from dir and returns a manager
+// ready to ingest. Recovery ordering:
+//
+//  1. Load the checkpoint (if any) and restore the server accumulators and
+//     the shuffler's pending buffer + RNG position from it.
+//  2. Open the WAL, truncating a torn tail in the final segment.
+//  3. Replay every record past the checkpoint through the regular
+//     submission path, reproducing batch boundaries, shuffles and
+//     threshold decisions exactly.
+//
+// The shuffler and server must be freshly constructed (nothing ingested);
+// Open refuses to recover into components that already hold state.
+func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options) (*Manager, error) {
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating data dir: %w", err)
+	}
+	m := &Manager{
+		dir:  dir,
+		opts: opts,
+		shuf: shuf,
+		srv:  srv,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+
+	ckpt, err := LoadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if ckpt != nil {
+		if ckpt.Server == nil || ckpt.Shuffler == nil {
+			return nil, fmt.Errorf("%w: checkpoint is missing server or shuffler state", ErrCorrupt)
+		}
+		if err := srv.ImportState(ckpt.Server); err != nil {
+			return nil, fmt.Errorf("persist: restoring server state: %w", err)
+		}
+		if err := shuf.Restore(ckpt.Shuffler); err != nil {
+			return nil, fmt.Errorf("persist: restoring shuffler state: %w", err)
+		}
+		m.ckptSeq = ckpt.WALSeq
+		m.ckptRaw = ckpt.Server.Raw
+		m.hasCkpt = true
+		m.recovery.CheckpointSeq = ckpt.WALSeq
+	}
+
+	wal, walInfo, err := OpenWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	m.wal = wal
+	m.recovery.TruncatedBytes = walInfo.TruncatedBytes
+	m.recovery.LastSeq = walInfo.LastSeq
+
+	if walInfo.LastSeq < m.ckptSeq {
+		wal.Close()
+		return nil, fmt.Errorf("%w: checkpoint covers sequence %d but the log ends at %d", ErrCorrupt, m.ckptSeq, walInfo.LastSeq)
+	}
+
+	err = wal.Replay(m.ckptSeq, func(rec Record) error {
+		m.recovery.ReplayedRecords++
+		if rec.Flush {
+			m.recovery.ReplayedFlushes++
+			shuf.Flush()
+			return nil
+		}
+		m.recovery.ReplayedTuples += len(rec.Tuples)
+		shuf.SubmitTuples(rec.Tuples)
+		return nil
+	})
+	if err != nil {
+		wal.Close()
+		return nil, err
+	}
+	if m.recovery.CheckpointSeq > 0 || m.recovery.ReplayedRecords > 0 || m.recovery.TruncatedBytes > 0 {
+		opts.Logf("persist: recovered from %s: checkpoint seq %d, replayed %d records (%d tuples, %d flushes), truncated %d torn bytes, log at seq %d",
+			dir, m.recovery.CheckpointSeq, m.recovery.ReplayedRecords, m.recovery.ReplayedTuples,
+			m.recovery.ReplayedFlushes, m.recovery.TruncatedBytes, m.recovery.LastSeq)
+	}
+
+	go m.background()
+	return m, nil
+}
+
+// syncNow reports whether appends fsync inline (strict mode) or leave
+// durability to the background interval.
+func (m *Manager) syncNow() bool { return m.opts.SyncInterval == 0 }
+
+// SubmitEnvelope durably ingests one report: the bare tuple is logged
+// (metadata never touches disk), then the envelope enters the shuffler.
+// A log refusal (error) means the tuple entered nothing: the WAL rolls
+// failed appends back, so the record cannot resurface at recovery.
+func (m *Manager) SubmitEnvelope(e transport.Envelope) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.wal.AppendTuples([]transport.Tuple{e.Tuple}, m.syncNow()); err != nil {
+		return err
+	}
+	m.shuf.Submit(e)
+	return nil
+}
+
+// SubmitTuples durably ingests one anonymized chunk.
+func (m *Manager) SubmitTuples(tuples []transport.Tuple) error {
+	if len(tuples) == 0 {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.wal.AppendTuples(tuples, m.syncNow()); err != nil {
+		return err
+	}
+	m.shuf.SubmitTuples(tuples)
+	return nil
+}
+
+// Flush logs a flush marker and pushes the shuffler's pending batch
+// through the privacy pipeline. The marker matters: replay must flush at
+// the same stream position, or recovered batch boundaries would diverge.
+func (m *Manager) Flush() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.wal.AppendFlush(m.syncNow()); err != nil {
+		return err
+	}
+	m.shuf.Flush()
+	return nil
+}
+
+// Checkpoint captures a consistent cut: ingestion is quiesced, the WAL is
+// synced, the server accumulators and shuffler state are exported, and the
+// checkpoint file atomically replaced. Fully covered WAL segments are then
+// pruned unless Options.RetainWAL keeps them.
+func (m *Manager) Checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.wal.Sync(); err != nil {
+		return err
+	}
+	seq := m.wal.LastSeq()
+	// Nothing to capture: no WAL movement and no raw-baseline ingestion
+	// (the one state change that bypasses the log) since the last
+	// checkpoint. Skipping avoids rewriting a multi-megabyte checkpoint
+	// every interval tick on an idle node. (The snapshots-served counter
+	// may drift; that is bookkeeping, not model state.)
+	if m.hasCkpt && seq == m.ckptSeq && m.srv.Stats().RawIngested == m.ckptRaw {
+		return nil
+	}
+	shufState, err := m.shuf.Drain()
+	if err != nil {
+		return err
+	}
+	// Drain cleared the live shuffler; put the state straight back. Restore
+	// copies the pending slice and RNG bytes, so the drained state stays
+	// valid for the checkpoint write below.
+	if err := m.shuf.Restore(shufState); err != nil {
+		return fmt.Errorf("persist: re-restoring shuffler after drain: %w", err)
+	}
+	ckpt := &Checkpoint{
+		WALSeq:   seq,
+		Server:   m.srv.ExportState(),
+		Shuffler: shufState,
+	}
+	if err := WriteCheckpoint(m.dir, ckpt); err != nil {
+		return err
+	}
+	m.ckptSeq = seq
+	m.ckptRaw = ckpt.Server.Raw
+	m.hasCkpt = true
+	if err := m.wal.Rotate(); err != nil {
+		return err
+	}
+	if !m.opts.RetainWAL {
+		if err := m.wal.Prune(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recovery returns what Open reconstructed.
+func (m *Manager) Recovery() RecoveryInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.recovery
+}
+
+// Info returns the manager's live status.
+func (m *Manager) Info() Info {
+	m.mu.Lock()
+	rec := m.recovery
+	ckptSeq := m.ckptSeq
+	m.mu.Unlock()
+	return Info{
+		Dir:           m.dir,
+		WALSeq:        m.wal.LastSeq(),
+		CheckpointSeq: ckptSeq,
+		Segments:      m.wal.Segments(),
+		Recovery:      rec,
+	}
+}
+
+// background runs the sync and checkpoint tickers until Close.
+func (m *Manager) background() {
+	defer close(m.done)
+	var syncC, ckptC <-chan time.Time
+	if m.opts.SyncInterval > 0 {
+		t := time.NewTicker(m.opts.SyncInterval)
+		defer t.Stop()
+		syncC = t.C
+	}
+	if m.opts.CheckpointInterval > 0 {
+		t := time.NewTicker(m.opts.CheckpointInterval)
+		defer t.Stop()
+		ckptC = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-syncC:
+			if err := m.wal.Sync(); err != nil {
+				m.opts.Logf("persist: background sync: %v", err)
+			}
+		case <-ckptC:
+			if err := m.Checkpoint(); err != nil {
+				m.opts.Logf("persist: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// Close stops the background loops, syncs, and closes the log. It does not
+// checkpoint — callers that want a final checkpoint (graceful shutdown)
+// call Checkpoint first.
+func (m *Manager) Close() error {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.wal.Close()
+}

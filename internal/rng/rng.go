@@ -10,6 +10,7 @@
 package rng
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	randv2 "math/rand/v2"
@@ -19,6 +20,7 @@ import (
 // math/rand/v2 and adds the distributions the simulator needs.
 type Rand struct {
 	src *randv2.Rand
+	pcg *randv2.PCG
 	// seed material retained so substreams can be derived deterministically.
 	hi, lo uint64
 }
@@ -30,7 +32,41 @@ func New(seed uint64) *Rand {
 }
 
 func newFrom(hi, lo uint64) *Rand {
-	return &Rand{src: randv2.New(randv2.NewPCG(hi, lo)), hi: hi, lo: lo}
+	pcg := randv2.NewPCG(hi, lo)
+	return &Rand{src: randv2.New(pcg), pcg: pcg, hi: hi, lo: lo}
+}
+
+// MarshalBinary captures the stream's complete state: the seed material
+// (which Split derivations depend on) and the current PCG position. A
+// stream restored with UnmarshalBinary continues the exact sequence the
+// captured stream would have produced, which is what lets a checkpointed
+// shuffler resume its permutation stream after a crash.
+func (r *Rand) MarshalBinary() ([]byte, error) {
+	pcgState, err := r.pcg.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 16, 16+len(pcgState))
+	putUint64(out[0:8], r.hi)
+	putUint64(out[8:16], r.lo)
+	return append(out, pcgState...), nil
+}
+
+// UnmarshalBinary restores state captured by MarshalBinary.
+func (r *Rand) UnmarshalBinary(data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("rng: state too short (%d bytes)", len(data))
+	}
+	hi := getUint64(data[0:8])
+	lo := getUint64(data[8:16])
+	pcg := randv2.NewPCG(hi, lo)
+	if err := pcg.UnmarshalBinary(data[16:]); err != nil {
+		return fmt.Errorf("rng: restoring PCG state: %w", err)
+	}
+	r.hi, r.lo = hi, lo
+	r.pcg = pcg
+	r.src = randv2.New(pcg)
+	return nil
 }
 
 // Split derives an independent substream identified by label. Splitting is a
@@ -66,6 +102,14 @@ func putUint64(b []byte, v uint64) {
 	for i := 0; i < 8; i++ {
 		b[i] = byte(v >> (8 * i))
 	}
+}
+
+func getUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
 }
 
 // Float64 returns a uniform sample from [0, 1).

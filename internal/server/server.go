@@ -374,7 +374,7 @@ func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
 		N:     make([]int64, arms),
 	}
 	for a := 0; a < arms; a++ {
-		aSum[a] = mat.Identity(d, 1)
+		aSum[a] = mat.NewDense(d)
 		st.B[a] = make([]float64, d)
 	}
 	for i := range s.shards {
@@ -389,6 +389,14 @@ func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
 		sh.mu.Unlock()
 	}
 	for a := 0; a < arms; a++ {
+		// The ridge identity is applied after the merge, not before: the
+		// outer-product sums then accumulate in pure shard order, so a
+		// merged-on-write export (which sums shards the same way) is
+		// bit-identical to what this builder sees. Seeding with the identity
+		// would entangle the ridge with the merge's rounding.
+		for i := 0; i < d; i++ {
+			aSum[a].Data[i*d+i]++
+		}
 		inv, err := aSum[a].Inverse()
 		if err != nil {
 			// I + PSD is positive definite; failure means the accumulators

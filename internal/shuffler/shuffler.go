@@ -207,6 +207,76 @@ func (s *Shuffler) Stats() Stats {
 	return s.stats
 }
 
+// Config returns the shuffler's parameters.
+func (s *Shuffler) Config() Config { return s.cfg }
+
+// State is the shuffler's complete durable state: the tuples buffered but
+// not yet released through the privacy pipeline, the traffic counters, and
+// the position of the permutation stream. Everything in it is already
+// anonymized — transport metadata is stripped at submission, before a tuple
+// can ever reach the buffer — so persisting a State discloses nothing the
+// server would not eventually see anyway.
+type State struct {
+	Pending []transport.Tuple `json:"pending"`
+	Stats   Stats             `json:"stats"`
+	RNG     []byte            `json:"rng"`
+}
+
+// Drain atomically removes and returns the shuffler's durable state,
+// leaving the shuffler factory-fresh (empty buffer, zero counters). The
+// pending tuples keep their arrival order, so a later Restore (or a WAL
+// replay that re-submits them first) reproduces the exact batch boundaries
+// an uninterrupted run would have formed — which is what keeps the
+// k-anonymity threshold's batch semantics intact across a restart.
+// Drain followed immediately by Restore of the same state is a no-op, which
+// is how a live checkpoint captures the state without perturbing it.
+func (s *Shuffler) Drain() (*State, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rngState, err := s.r.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("shuffler: capturing rng state: %w", err)
+	}
+	st := &State{
+		Pending: append([]transport.Tuple(nil), s.buf...),
+		Stats:   s.stats,
+		RNG:     rngState,
+	}
+	if s.buf != nil {
+		s.pool.Put(s.buf[:0])
+		s.buf = nil
+	}
+	s.stats = Stats{}
+	return st, nil
+}
+
+// Restore refills the shuffler from a drained state. It refuses to clobber
+// a shuffler that has already accepted traffic: the buffer must be empty
+// and the counters zero, i.e. recovery happens before the listener opens.
+// Restored tuples are not re-counted in Stats.Received — they were counted
+// when first submitted and the restored counters already include them.
+func (s *Shuffler) Restore(st *State) error {
+	if len(st.Pending) >= s.cfg.BatchSize {
+		return fmt.Errorf("shuffler: restore state holds %d pending tuples, batch size is %d (a full batch can never be pending)",
+			len(st.Pending), s.cfg.BatchSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.buf) > 0 || s.stats != (Stats{}) {
+		return fmt.Errorf("shuffler: refusing to restore over a non-empty shuffler (%d buffered, %+v)", len(s.buf), s.stats)
+	}
+	if len(st.RNG) > 0 {
+		if err := s.r.UnmarshalBinary(st.RNG); err != nil {
+			return fmt.Errorf("shuffler: restoring rng state: %w", err)
+		}
+	}
+	if len(st.Pending) > 0 {
+		s.buf = append(s.pool.Get().([]transport.Tuple), st.Pending...)
+	}
+	s.stats = st.Stats
+	return nil
+}
+
 // Pending returns how many tuples are currently buffered.
 func (s *Shuffler) Pending() int {
 	s.mu.Lock()

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Coverage gate: runs `go test -coverprofile` for every package listed in
+# testdata/coverage_floor.txt and fails if any package's statement coverage
+# drops below its committed floor. Profiles land in $OUT (default
+# coverage/) so CI can upload them as artifacts.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${OUT:-coverage}"
+FLOORS="testdata/coverage_floor.txt"
+mkdir -p "$OUT"
+
+fail=0
+while read -r pkg floor; do
+  case "$pkg" in ''|'#'*) continue ;; esac
+  name="$(basename "$pkg")"
+  profile="$OUT/$name.out"
+  line="$(go test -coverprofile="$profile" "$pkg" | tail -1)"
+  echo "$line"
+  pct="$(echo "$line" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')"
+  if [ -z "$pct" ]; then
+    echo "FAIL: could not parse coverage for $pkg" >&2
+    fail=1
+    continue
+  fi
+  if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+    echo "FAIL: $pkg coverage $pct% is below the committed floor of $floor%" >&2
+    fail=1
+  else
+    echo "  ok: $pkg $pct% >= floor $floor%"
+  fi
+done <"$FLOORS"
+
+exit $fail
