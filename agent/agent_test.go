@@ -1,0 +1,406 @@
+package agent_test
+
+import (
+	"math"
+	"testing"
+
+	"p2b/agent"
+	"p2b/internal/encoding"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/synthetic"
+)
+
+const (
+	testDim  = 4
+	testArms = 3
+	testK    = 8
+)
+
+func testEnv(t *testing.T) *synthetic.Preference {
+	t.Helper()
+	env, err := synthetic.New(synthetic.Config{D: testDim, Arms: testArms, Beta: 0.1, Sigma: 0.1}, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func testEncoder(t *testing.T, env *synthetic.Preference) agent.Encoder {
+	t.Helper()
+	enc, err := encoding.FitKMeans(env.SampleContexts(512, rng.New(8)), testK, 25, 1e-6, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+func testPipeline(threshold int) (*shuffler.Shuffler, *server.Server) {
+	srv := server.New(server.Config{K: testK, Arms: testArms, D: testDim, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 16, Threshold: threshold}, srv, rng.New(3))
+	return shuf, srv
+}
+
+// runSession drives one agent through n interactions of one user session.
+func runSession(t *testing.T, ag *agent.Agent, env *synthetic.Preference, user, n int) float64 {
+	t.Helper()
+	session := env.User(user, rng.New(uint64(user)+100))
+	total := 0.0
+	for step := 0; step < n; step++ {
+		x := session.Context(step)
+		a := ag.Select(x)
+		if a < 0 || a >= testArms {
+			t.Fatalf("action %d out of range", a)
+		}
+		reward := session.Reward(step, a)
+		ag.Observe(a, reward)
+		total += reward
+	}
+	return total
+}
+
+func TestColdTabularLifecycle(t *testing.T) {
+	env := testEnv(t)
+	ag, err := agent.New(agent.Config{
+		Policy:  agent.PolicyTabular,
+		Arms:    testArms,
+		Encoder: testEncoder(t, env),
+		Rand:    rng.New(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.WarmStarted() || ag.ModelVersion() != 0 {
+		t.Fatal("cold agent claims a warm start")
+	}
+	runSession(t, ag, env, 0, 20)
+	if ag.Interactions() != 20 {
+		t.Fatalf("interactions %d, want 20", ag.Interactions())
+	}
+	// No transport: Finish is a no-op that still consumes the history.
+	n, err := ag.Finish()
+	if err != nil || n != 0 {
+		t.Fatalf("transportless Finish = (%d, %v)", n, err)
+	}
+	if ag.Disclosed() != 0 {
+		t.Fatal("transportless agent disclosed tuples")
+	}
+}
+
+func TestLifecycleMisusePanics(t *testing.T) {
+	env := testEnv(t)
+	newAgent := func() *agent.Agent {
+		ag, err := agent.New(agent.Config{Policy: agent.PolicyTabular, Arms: testArms, Encoder: testEncoder(t, env), Rand: rng.New(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ag
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	x := make([]float64, testDim)
+	x[0] = 1
+	ag := newAgent()
+	mustPanic("Observe before Select", func() { ag.Observe(0, 1) })
+	ag = newAgent()
+	ag.Select(x)
+	mustPanic("double Select", func() { ag.Select(x) })
+	ag = newAgent()
+	ag.Select(x)
+	mustPanic("Finish mid-interaction", func() { _, _ = ag.Finish() })
+	ag = newAgent()
+	ag.Select(x)
+	mustPanic("out-of-range action", func() { ag.Observe(testArms, 1) })
+}
+
+func TestRandomizedParticipation(t *testing.T) {
+	env := testEnv(t)
+	enc := testEncoder(t, env)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+	const users = 800
+	disclosed := 0
+	for u := 0; u < users; u++ {
+		ag, err := agent.New(agent.Config{
+			Policy:    agent.PolicyTabular,
+			P:         0.5,
+			Arms:      testArms,
+			Encoder:   enc,
+			Source:    loop,
+			Transport: loop,
+			Rand:      rng.New(1).SplitIndex("user", u),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSession(t, ag, env, u, 10)
+		n, err := ag.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n > 1 {
+			t.Fatalf("user %d disclosed %d tuples in the single-disclosure regime", u, n)
+		}
+		disclosed += n
+	}
+	rate := float64(disclosed) / users
+	if math.Abs(rate-0.5) > 0.06 {
+		t.Fatalf("participation rate %v, want about 0.5", rate)
+	}
+	if got := shuf.Stats().Received; got != int64(disclosed) {
+		t.Fatalf("shuffler received %d, agents disclosed %d", got, disclosed)
+	}
+}
+
+func TestReportWindowsMultiplyOpportunities(t *testing.T) {
+	env := testEnv(t)
+	enc := testEncoder(t, env)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+	const users = 400
+	disclosed := 0
+	for u := 0; u < users; u++ {
+		ag, err := agent.New(agent.Config{
+			Policy:       agent.PolicyTabular,
+			P:            0.5,
+			ReportWindow: 10, // 40 interactions -> 4 windows -> ~2 tuples
+			Arms:         testArms,
+			Encoder:      enc,
+			Source:       loop,
+			Transport:    loop,
+			Rand:         rng.New(2).SplitIndex("user", u),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSession(t, ag, env, u, 40)
+		n, err := ag.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		disclosed += n
+	}
+	rate := float64(disclosed) / users
+	if rate < 1.6 || rate > 2.4 {
+		t.Fatalf("windowed disclosure rate %v, want about 2", rate)
+	}
+}
+
+func TestFinishWindowsAdvanceAcrossSessions(t *testing.T) {
+	// A long-lived device alternating sessions and Finish calls must draw
+	// fresh participation randomness each time: with P=0.5, 40 one-window
+	// sessions disclosing identically would mean the window index is stuck.
+	env := testEnv(t)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+	ag, err := agent.New(agent.Config{
+		Policy:    agent.PolicyTabular,
+		P:         0.5,
+		Arms:      testArms,
+		Encoder:   testEncoder(t, env),
+		Source:    loop,
+		Transport: loop,
+		Rand:      rng.New(5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for round := 0; round < 40; round++ {
+		runSession(t, ag, env, round, 5)
+		n, err := ag.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n]++
+	}
+	if len(counts) < 2 {
+		t.Fatalf("every session disclosed identically (%v): participation windows are not advancing", counts)
+	}
+}
+
+func TestWarmStartFromLoopback(t *testing.T) {
+	env := testEnv(t)
+	enc := testEncoder(t, env)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+
+	// Contribution phase: feed the global model.
+	for u := 0; u < 200; u++ {
+		ag, err := agent.New(agent.Config{
+			Policy: agent.PolicyTabular, P: 0.9, Arms: testArms,
+			Encoder: enc, Source: loop, Transport: loop,
+			Rand: rng.New(3).SplitIndex("user", u),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSession(t, ag, env, u, 10)
+		if _, err := ag.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := loop.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().TuplesIngested == 0 {
+		t.Fatal("contribution phase fed nothing")
+	}
+
+	fresh, err := agent.New(agent.Config{
+		Policy: agent.PolicyTabular, Arms: testArms, Encoder: enc,
+		Source: loop, Rand: rng.New(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh.WarmStarted() {
+		t.Fatal("agent with a source did not warm-start")
+	}
+	if fresh.ModelVersion() != srv.ModelVersion() {
+		t.Fatalf("agent warm-started at version %d, server at %d", fresh.ModelVersion(), srv.ModelVersion())
+	}
+}
+
+func TestShapeMismatchesFailLoudly(t *testing.T) {
+	env := testEnv(t)
+	enc := testEncoder(t, env)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+
+	// Wrong arms against the model.
+	if _, err := agent.New(agent.Config{
+		Policy: agent.PolicyTabular, Arms: testArms + 2, Encoder: enc, Source: loop, Rand: rng.New(1),
+	}); err == nil {
+		t.Fatal("arms mismatch accepted")
+	}
+	// Wrong code space against the model.
+	small, err := encoding.FitKMeans(env.SampleContexts(256, rng.New(10)), testK/2, 10, 1e-6, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.New(agent.Config{
+		Policy: agent.PolicyTabular, Encoder: small, Source: loop, Rand: rng.New(1),
+	}); err == nil {
+		t.Fatal("encoder K mismatch accepted")
+	}
+	// Missing encoder.
+	if _, err := agent.New(agent.Config{Policy: agent.PolicyTabular, Arms: testArms}); err == nil {
+		t.Fatal("tabular policy without encoder accepted")
+	}
+	// Centroid needs a decoding encoder.
+	lsh, err := encoding.NewLSH(testDim, 3, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.New(agent.Config{
+		Policy: agent.PolicyCentroid, Arms: testArms, Dim: testDim, Encoder: lsh,
+	}); err == nil {
+		t.Fatal("centroid policy accepted a non-decoding encoder")
+	}
+	// Cold starts need explicit shapes.
+	if _, err := agent.New(agent.Config{Policy: agent.PolicyLinUCB}); err == nil {
+		t.Fatal("cold linucb without shapes accepted")
+	}
+	// Bad participation probability.
+	if _, err := agent.New(agent.Config{Policy: agent.PolicyLinUCB, Arms: testArms, Dim: testDim, P: 1}); err == nil {
+		t.Fatal("P=1 accepted")
+	}
+}
+
+func TestRawBaselineReportsThroughRawReporter(t *testing.T) {
+	env := testEnv(t)
+	shuf, srv := testPipeline(0)
+	loop := agent.NewLoopback(shuf, srv)
+	const users = 300
+	for u := 0; u < users; u++ {
+		ag, err := agent.New(agent.Config{
+			Policy: agent.PolicyLinUCB, P: 0.5,
+			Source: loop, Transport: loop,
+			Rand: rng.New(6).SplitIndex("user", u),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runSession(t, ag, env, u, 10)
+		if _, err := ag.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := srv.Stats()
+	if st.RawIngested < users*4/10 || st.RawIngested > users*6/10 {
+		t.Fatalf("raw ingested %d, want about %d", st.RawIngested, users/2)
+	}
+	if st.TuplesIngested != 0 || shuf.Stats().Received != 0 {
+		t.Fatal("raw baseline leaked into the private pipeline")
+	}
+}
+
+// encodedOnlyTransport implements Transport but not RawReporter.
+type encodedOnlyTransport struct{}
+
+func (encodedOnlyTransport) Report(agent.Envelope) error { return nil }
+func (encodedOnlyTransport) Flush() error                { return nil }
+
+func TestRawPolicyRequiresRawReporter(t *testing.T) {
+	// The misconfiguration fails at construction, before any session can
+	// record history that would be impossible to ship.
+	var err error
+	_, err = agent.New(agent.Config{
+		Policy: agent.PolicyLinUCB, P: 0.9, Arms: testArms, Dim: testDim,
+		Transport: encodedOnlyTransport{}, Rand: rng.New(1),
+	})
+	if err == nil {
+		t.Fatal("raw policy accepted an encoded-only transport")
+	}
+	// With P = 0 the transport is never used for raw reports, so the same
+	// transport is fine.
+	if _, err := agent.New(agent.Config{
+		Policy: agent.PolicyLinUCB, Arms: testArms, Dim: testDim,
+		Transport: encodedOnlyTransport{}, Rand: rng.New(1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportMetaStampsEnvelopes(t *testing.T) {
+	env := testEnv(t)
+	var seen []agent.Envelope
+	tr := captureTransport{sink: &seen}
+	ag, err := agent.New(agent.Config{
+		Policy: agent.PolicyTabular, P: 0.9, Arms: testArms,
+		Encoder: testEncoder(t, env), Transport: tr,
+		ReportMeta: func(w int) agent.Metadata {
+			return agent.Metadata{DeviceID: "device-x", SentAt: int64(w) + 1}
+		},
+		Rand: rng.New(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(seen) == 0 {
+		runSession(t, ag, env, 0, 10)
+		if _, err := ag.Finish(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen[0].Meta.DeviceID != "device-x" || seen[0].Meta.SentAt == 0 {
+		t.Fatalf("metadata not stamped: %+v", seen[0].Meta)
+	}
+}
+
+type captureTransport struct{ sink *[]agent.Envelope }
+
+func (c captureTransport) Report(e agent.Envelope) error {
+	*c.sink = append(*c.sink, e)
+	return nil
+}
+func (c captureTransport) Flush() error { return nil }

@@ -1,0 +1,151 @@
+package agent_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2b/agent"
+	"p2b/internal/httpapi"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+// modelStatusRecorder captures the status code a handler wrote.
+type modelStatusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (s *modelStatusRecorder) WriteHeader(c int) {
+	s.code = c
+	s.ResponseWriter.WriteHeader(c)
+}
+
+// TestHTTPFleetWarmStartsWith304s is the end-to-end acceptance path: a
+// fleet of SDK agents against a real node HTTP surface, warm-starting via
+// GET /server/model, reporting over the batched wire, with 304s served
+// while the model version is unchanged.
+func TestHTTPFleetWarmStartsWith304s(t *testing.T) {
+	srv := server.New(server.Config{K: testK, Arms: testArms, D: testDim, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 16, Threshold: 0}, srv, rng.New(3))
+	handler := httpapi.NewNodeHandler(shuf, srv)
+	var ok200, notModified atomic.Int64
+	counting := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/server/model" && r.Method == http.MethodGet {
+			rec := &modelStatusRecorder{ResponseWriter: w, code: http.StatusOK}
+			handler.ServeHTTP(rec, r)
+			switch rec.code {
+			case http.StatusOK:
+				ok200.Add(1)
+			case http.StatusNotModified:
+				notModified.Add(1)
+			}
+			return
+		}
+		handler.ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counting)
+	defer ts.Close()
+
+	env := testEnv(t)
+	enc := testEncoder(t, env)
+	h, err := agent.FetchHealth(ts.URL)
+	if err != nil {
+		t.Fatalf("preflight health check: %v", err)
+	}
+	// The health probe advertises the node's model shapes, so a fleet can
+	// validate its configuration without downloading a model.
+	if h.Model.K != testK || h.Model.Arms != testArms || h.Model.D != testDim {
+		t.Fatalf("healthz shapes %+v do not match the node", h.Model)
+	}
+
+	src := agent.NewHTTPSource(ts.URL, agent.HTTPSourceOptions{})
+	defer src.Close()
+	tr := agent.NewHTTPTransport(ts.URL, agent.HTTPTransportOptions{MaxBatch: 32, MaxAge: 50 * time.Millisecond})
+
+	runFleet := func(start, n int) {
+		t.Helper()
+		for u := start; u < start+n; u++ {
+			ur := rng.New(1).SplitIndex("user", u)
+			ag, err := agent.New(agent.Config{
+				Policy:    agent.PolicyTabular,
+				P:         0.9,
+				Arms:      testArms,
+				Encoder:   enc,
+				Source:    src,
+				Transport: tr,
+				Rand:      ur,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ag.WarmStarted() {
+				t.Fatalf("user %d did not warm-start", u)
+			}
+			session := env.User(u, ur.Split("session"))
+			for step := 0; step < 10; step++ {
+				x := session.Context(step)
+				a := ag.Select(x)
+				ag.Observe(a, session.Reward(step, a))
+			}
+			if _, err := ag.Finish(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Contribution phase: the whole fleet warm-starts off one cached model
+	// payload.
+	runFleet(0, 150)
+	if got := ok200.Load(); got != 1 {
+		t.Fatalf("fleet of 150 cost %d model payloads, want 1", got)
+	}
+	// Settle the wire and push the node's privacy batch through.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.FlushNode(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats().TuplesIngested == 0 {
+		t.Fatal("no tuples reached the server")
+	}
+
+	// Revalidate: the model changed, so one payload; revalidating again
+	// while the node is quiescent must be answered 304 on the unchanged
+	// model version.
+	if err := src.Refresh(agent.ModelTabular); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Refresh(agent.ModelTabular); err != nil {
+		t.Fatal(err)
+	}
+	if notModified.Load() == 0 {
+		t.Fatal("no 304 served on an unchanged model version")
+	}
+
+	// Evaluation cohort: warm-starts from the refreshed model at the
+	// server's current version.
+	m, err := src.Model(agent.ModelTabular)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Version != srv.ModelVersion() {
+		t.Fatalf("cache at version %d, server at %d", m.Version, srv.ModelVersion())
+	}
+	if m.Version == 0 {
+		t.Fatal("evaluation cohort would warm-start cold")
+	}
+	runFleet(1_000_000, 20)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := src.Stats()
+	if st.NotModified == 0 || st.Refreshed < 2 {
+		t.Fatalf("model sync stats do not show revalidation: %+v", st)
+	}
+}

@@ -1,0 +1,391 @@
+// HTTP transport and model source: the deployment seam real device fleets
+// use against a running p2bnode.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"p2b/internal/httpapi"
+	"p2b/internal/rng"
+)
+
+// WireMode selects how an HTTPTransport ships reports.
+type WireMode int
+
+const (
+	// WireBatch coalesces reports into binary batch POSTs (the scale path).
+	WireBatch WireMode = iota
+	// WireNDJSON coalesces reports into newline-delimited JSON batches (the
+	// debuggable fallback).
+	WireNDJSON
+	// WireSingle ships one JSON POST per report (diagnostics only).
+	WireSingle
+)
+
+// HTTPTransportOptions tunes an HTTPTransport. The zero value selects the
+// batched binary wire with the BatchingClient defaults.
+type HTTPTransportOptions struct {
+	// Wire selects the report encoding (default WireBatch).
+	Wire WireMode
+	// MaxBatch is the reports-per-POST flush trigger (batch wires only).
+	MaxBatch int
+	// MaxAge bounds how long a partial batch may wait (batch wires only).
+	MaxAge time.Duration
+	// Seed seeds the retry jitter stream (default 1).
+	Seed uint64
+	// HTTPClient overrides the underlying client (default: 10s timeout).
+	HTTPClient *http.Client
+}
+
+// HTTPTransport ships agent reports to a p2bnode. On the batch wires it
+// wraps a BatchingClient: reports coalesce into binary (or NDJSON) batch
+// POSTs with size- and age-based flushing, bounded in-flight buffering and
+// jittered retry — one transport instance serves a whole fleet of agents.
+// It also implements RawReporter for the non-private baseline.
+type HTTPTransport struct {
+	client *httpapi.Client
+	bc     *httpapi.BatchingClient // nil on WireSingle
+}
+
+// NewHTTPTransport returns a transport posting to the node at nodeURL.
+// Callers running a batch wire must Close the transport to flush the tail.
+func NewHTTPTransport(nodeURL string, opts HTTPTransportOptions) *HTTPTransport {
+	client := httpapi.NewNodeClient(nodeURL)
+	if opts.HTTPClient != nil {
+		client.HTTP = opts.HTTPClient
+	}
+	t := &HTTPTransport{client: client}
+	if opts.Wire != WireSingle {
+		t.bc = httpapi.NewBatchingClient(client, httpapi.BatchingConfig{
+			MaxBatch: opts.MaxBatch,
+			MaxAge:   opts.MaxAge,
+			NDJSON:   opts.Wire == WireNDJSON,
+			Seed:     opts.Seed,
+		})
+	}
+	return t
+}
+
+// Report submits one envelope, through the batching pipeline on the batch
+// wires or as an individual POST on WireSingle.
+func (t *HTTPTransport) Report(e Envelope) error {
+	if t.bc != nil {
+		return t.bc.Report(e)
+	}
+	return t.client.Report(e)
+}
+
+// ReportRaw submits one unencoded observation to the server's baseline
+// ingestion route.
+func (t *HTTPTransport) ReportRaw(rt RawTuple) error {
+	return t.client.SendRaw(rt)
+}
+
+// Flush settles the client side: every coalesced batch is delivered (or
+// abandoned after retries) before Flush returns. It does not force the
+// node's shuffler batch; see FlushNode.
+func (t *HTTPTransport) Flush() error {
+	if t.bc != nil {
+		return t.bc.Flush()
+	}
+	return nil
+}
+
+// FlushNode asks the node's shuffler to push its pending privacy batch
+// through thresholding — an end-of-round operation, not part of the normal
+// reporting path.
+func (t *HTTPTransport) FlushNode() error {
+	if err := t.Flush(); err != nil {
+		return err
+	}
+	return t.client.Flush()
+}
+
+// Close flushes the tail and stops the batching senders. Report fails
+// after Close.
+func (t *HTTPTransport) Close() error {
+	if t.bc != nil {
+		return t.bc.Close()
+	}
+	return nil
+}
+
+// Stats returns the batching delivery counters (zero value on WireSingle).
+func (t *HTTPTransport) Stats() httpapi.BatchStats {
+	if t.bc != nil {
+		return t.bc.Stats()
+	}
+	return httpapi.BatchStats{}
+}
+
+// Health is a node's decoded /healthz response.
+type Health = httpapi.Health
+
+// FetchHealth probes a node's liveness route. It fails on connection
+// errors, non-200 statuses and unhealthy payloads — the preflight check a
+// fleet runs before simulating devices.
+func FetchHealth(nodeURL string) (*Health, error) {
+	return httpapi.NewNodeClient(nodeURL).FetchHealth()
+}
+
+// HTTPSourceOptions tunes an HTTPSource. The zero value fetches the binary
+// encoding on demand with no background refresh.
+type HTTPSourceOptions struct {
+	// Refresh, when positive, starts a background goroutine that
+	// conditionally re-fetches every model kind the source has served, once
+	// per interval. Unchanged models cost a 304, not a payload.
+	Refresh time.Duration
+	// Jitter spreads the refresh interval by a uniform factor in
+	// [1-Jitter, 1+Jitter), so a fleet of sources started together does not
+	// poll in lockstep (default 0.2; 0 < Jitter < 1).
+	Jitter float64
+	// JSON switches model fetches from the P2BM binary encoding to JSON.
+	JSON bool
+	// Seed seeds the refresh jitter stream (default 1).
+	Seed uint64
+	// HTTPClient overrides the underlying client (default: 10s timeout).
+	HTTPClient *http.Client
+
+	// after is the timer used by the refresh loop; tests substitute a fake
+	// clock. Nil means time.After.
+	after func(d time.Duration) <-chan time.Time
+}
+
+// HTTPSourceStats counts an HTTPSource's traffic.
+type HTTPSourceStats struct {
+	Fetches     int64 // model GETs issued (conditional or not)
+	NotModified int64 // fetches answered with 304
+	Refreshed   int64 // fetches that replaced a cached model
+	Errors      int64 // background refresh failures (kept serving the cache)
+}
+
+type sourceEntry struct {
+	model Model
+	etag  string
+}
+
+// inflightFetch dedups concurrent fetches of one kind: joiners wait on
+// done and share the fetch's outcome instead of stampeding the node.
+type inflightFetch struct {
+	done chan struct{}
+	err  error // valid after done is closed
+}
+
+// HTTPSource serves versioned global models from a p2bnode with local
+// caching: the first request for a kind fetches it, later requests are
+// answered from the cache, and the cache is kept current by conditional
+// re-fetches (If-None-Match against the server's version ETag) — manually
+// via Refresh or periodically via Options.Refresh. A whole fleet of agents
+// shares one HTTPSource, so a thousand warm starts cost one model payload
+// plus 304-cheap polls.
+type HTTPSource struct {
+	client *httpapi.Client
+	opts   HTTPSourceOptions
+
+	mu       sync.Mutex
+	cache    map[ModelKind]*sourceEntry
+	inflight map[ModelKind]*inflightFetch
+	stats    HTTPSourceStats
+	jr       *rng.Rand
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewHTTPSource returns a model source fetching from the node at nodeURL.
+// Callers that enable background refresh must Close the source.
+func NewHTTPSource(nodeURL string, opts HTTPSourceOptions) *HTTPSource {
+	if opts.Jitter <= 0 || opts.Jitter >= 1 {
+		opts.Jitter = 0.2
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.after == nil {
+		opts.after = time.After
+	}
+	client := httpapi.NewNodeClient(nodeURL)
+	if opts.HTTPClient != nil {
+		client.HTTP = opts.HTTPClient
+	}
+	s := &HTTPSource{
+		client:   client,
+		opts:     opts,
+		cache:    map[ModelKind]*sourceEntry{},
+		inflight: map[ModelKind]*inflightFetch{},
+		jr:       rng.New(opts.Seed).Split("model-refresh-jitter"),
+		stop:     make(chan struct{}),
+	}
+	if opts.Refresh > 0 {
+		s.wg.Add(1)
+		go s.refreshLoop()
+	}
+	return s
+}
+
+// Model returns the cached model of the given kind, fetching it on first
+// use. Staleness is bounded by the refresh interval (or by explicit
+// Refresh calls); a model served from cache costs no network traffic and
+// never waits on a fetch that happens to be in flight for the same kind.
+func (s *HTTPSource) Model(kind ModelKind) (Model, error) {
+	s.mu.Lock()
+	if e, ok := s.cache[kind]; ok {
+		m := e.model
+		s.mu.Unlock()
+		return m, nil
+	}
+	s.mu.Unlock()
+	if err := s.Refresh(kind); err != nil {
+		return Model{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache[kind]; ok {
+		return e.model, nil
+	}
+	// Unreachable in practice: the first fetch sends no ETag, so the node
+	// cannot answer 304 and a nil error implies a stored payload.
+	return Model{}, errors.New("agent: model fetch completed without a model")
+}
+
+// Refresh conditionally re-fetches one model kind: the cached ETag rides
+// along as If-None-Match, so an unchanged model costs a 304 and the cache
+// is kept. A kind never fetched before is fetched unconditionally.
+// Concurrent Refresh calls for one kind collapse into a single GET whose
+// outcome they share — a fleet pointed at one source cannot stampede the
+// node — while cache reads proceed untouched: the lock is never held
+// across the network call.
+func (s *HTTPSource) Refresh(kind ModelKind) error {
+	s.mu.Lock()
+	if f, ok := s.inflight[kind]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.err
+	}
+	f := &inflightFetch{done: make(chan struct{})}
+	s.inflight[kind] = f
+	var etag string
+	if e, ok := s.cache[kind]; ok {
+		etag = e.etag
+	}
+	s.stats.Fetches++
+	s.mu.Unlock()
+
+	fm, err := s.client.FetchModel(kind.String(), etag, !s.opts.JSON)
+
+	s.mu.Lock()
+	delete(s.inflight, kind)
+	switch {
+	case err != nil:
+	case fm.NotModified:
+		s.stats.NotModified++
+	default:
+		m := Model{Version: fm.Version, Tabular: fm.Tabular, Linear: fm.Linear}
+		if m.Tabular == nil && m.Linear == nil {
+			err = errors.New("agent: node returned an empty model payload")
+			break
+		}
+		s.cache[kind] = &sourceEntry{model: m, etag: fm.ETag}
+		s.stats.Refreshed++
+	}
+	s.mu.Unlock()
+	f.err = err
+	close(f.done)
+	return err
+}
+
+// Stats returns a snapshot of the fetch counters.
+func (s *HTTPSource) Stats() HTTPSourceStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the background refresh loop. The cache keeps serving.
+func (s *HTTPSource) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// refreshLoop periodically re-fetches every cached kind, each wait scaled
+// by the jitter factor so fleets decorrelate.
+func (s *HTTPSource) refreshLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.opts.after(s.jitterInterval()):
+		}
+		s.mu.Lock()
+		kinds := make([]ModelKind, 0, len(s.cache))
+		for k := range s.cache {
+			kinds = append(kinds, k)
+		}
+		s.mu.Unlock()
+		for _, k := range kinds {
+			if err := s.Refresh(k); err != nil {
+				// A refresh failure is not fatal: the cache keeps serving
+				// the last good model and the next tick retries.
+				s.mu.Lock()
+				s.stats.Errors++
+				s.mu.Unlock()
+			}
+		}
+	}
+}
+
+// jitterInterval scales the refresh interval by a uniform factor in
+// [1-Jitter, 1+Jitter).
+func (s *HTTPSource) jitterInterval() time.Duration {
+	s.mu.Lock()
+	f := 1 - s.opts.Jitter + 2*s.opts.Jitter*s.jr.Float64()
+	s.mu.Unlock()
+	return time.Duration(float64(s.opts.Refresh) * f)
+}
+
+var _ interface {
+	Transport
+	RawReporter
+	ModelSource
+} = (*Loopback)(nil)
+
+var _ interface {
+	Transport
+	RawReporter
+} = (*HTTPTransport)(nil)
+
+var _ ModelSource = (*HTTPSource)(nil)
+
+// String renders the wire mode as the p2bagent -wire flag spells it.
+func (m WireMode) String() string {
+	switch m {
+	case WireBatch:
+		return "batch"
+	case WireNDJSON:
+		return "ndjson"
+	case WireSingle:
+		return "single"
+	default:
+		return fmt.Sprintf("wire(%d)", int(m))
+	}
+}
+
+// ParseWireMode parses the p2bagent -wire flag values.
+func ParseWireMode(s string) (WireMode, error) {
+	switch s {
+	case "batch":
+		return WireBatch, nil
+	case "ndjson":
+		return WireNDJSON, nil
+	case "single":
+		return WireSingle, nil
+	default:
+		return 0, fmt.Errorf("agent: unknown wire mode %q (want batch, ndjson or single)", s)
+	}
+}

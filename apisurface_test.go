@@ -1,0 +1,67 @@
+package p2b_test
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+
+	"p2b/internal/apisurface"
+)
+
+var updateAPISurface = flag.Bool("update-api", false, "regenerate testdata/public_api.txt from the current source")
+
+const apiSurfaceGolden = "testdata/public_api.txt"
+
+// publicPackages lists every package whose exported surface is frozen by
+// the golden file. Extend it when a new public package ships.
+var publicPackages = [][2]string{
+	{"p2b", "."},
+	{"p2b/agent", "agent"},
+}
+
+// TestPublicAPISurface is the API compatibility gate: it renders the
+// exported surface of the public packages and diffs it against the
+// committed golden file, so a PR cannot change the public API by accident.
+// After an intentional API change, regenerate with
+//
+//	go test . -run TestPublicAPISurface -update-api
+//
+// and review the golden diff like any other code change.
+func TestPublicAPISurface(t *testing.T) {
+	got, err := apisurface.Packages(publicPackages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *updateAPISurface {
+		if err := os.WriteFile(apiSurfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", apiSurfaceGolden, len(got))
+		return
+	}
+	wantBytes, err := os.ReadFile(apiSurfaceGolden)
+	if err != nil {
+		t.Fatalf("reading golden file: %v (regenerate with -update-api)", err)
+	}
+	want := string(wantBytes)
+	if got == want {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("public API surface changed at line %d:\n  committed: %q\n  current:   %q\n\n"+
+				"If the change is intentional, run `go test . -run TestPublicAPISurface -update-api` and commit the diff.",
+				i+1, w, g)
+		}
+	}
+	t.Fatal("public API surface changed (length mismatch); regenerate with -update-api")
+}

@@ -1,22 +1,26 @@
 // Command p2bagent simulates a fleet of P2B devices against a running
-// p2bnode: every simulated user fetches the current global model over HTTP,
-// runs its local interactions on the synthetic preference benchmark, and
-// participates in randomized reporting through the node's shuffler surface.
+// p2bnode, driving the same public p2b/agent SDK a real deployment embeds:
+// every simulated user is an agent.Agent that warm-starts from the node's
+// versioned model route, runs its local interactions on the synthetic
+// preference benchmark, and participates in randomized reporting through
+// the node's shuffler surface.
 //
-// Reports travel over the batched wire protocol by default: an
-// httpapi.BatchingClient coalesces them into binary batch POSTs against
-// /shuffler/reports (flushing on size or age, with bounded in-flight
-// buffering and retry), which is what lets one agent process stand in for
-// tens of thousands of devices. -wire switches to the NDJSON batch
-// fallback or to the one-POST-per-report path for comparison.
+// Model sync is versioned: the fleet shares one agent.HTTPSource, so a
+// thousand warm starts cost one model payload plus conditional re-fetches
+// (If-None-Match against the node's model-version ETag) that come back as
+// 304s while the global model is unchanged. Reports travel over the
+// batched wire protocol by default through a shared agent.HTTPTransport;
+// -wire switches to the NDJSON batch fallback or to the
+// one-POST-per-report path for comparison.
+//
+// On startup the command preflights the node: /healthz must answer ok, and
+// the -d/-arms/-k flags must match the node's model shapes — a mismatch
+// fails fast with a clear error instead of silently producing
+// shape-mismatched reports the server would drop.
 //
 // Usage (with `p2bnode -addr :8080 -k 64 -arms 20 -d 10 -threshold 4` running):
 //
 //	p2bagent -node http://localhost:8080 -users 2000 -k 64 -arms 20 -d 10
-//
-// The -k/-arms/-d flags must match the node's model shapes; the encoder is
-// fitted locally from the public context distribution, mirroring a real
-// deployment where the encoder ships inside the app.
 package main
 
 import (
@@ -26,13 +30,11 @@ import (
 	"os"
 	"time"
 
-	"p2b/internal/bandit"
+	"p2b/agent"
 	"p2b/internal/encoding"
-	"p2b/internal/httpapi"
 	"p2b/internal/privacy"
 	"p2b/internal/rng"
 	"p2b/internal/synthetic"
-	"p2b/internal/transport"
 )
 
 func main() {
@@ -49,102 +51,127 @@ func main() {
 		wire     = flag.String("wire", "batch", "report path: batch (binary frames), ndjson, or single (one POST per report)")
 		maxBatch = flag.Int("max-batch", 256, "reports per batch POST (batch/ndjson wire)")
 		maxAge   = flag.Duration("max-age", 250*time.Millisecond, "max report age before a partial batch ships")
+		refresh  = flag.Duration("model-refresh", 2*time.Second, "background model refresh interval (0 disables; unchanged models cost a 304)")
+		jsonWire = flag.Bool("model-json", false, "fetch models as JSON instead of the binary encoding")
 	)
 	flag.Parse()
+
+	wireMode, err := agent.ParseWireMode(*wire)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p2bagent: %v\n", err)
+		os.Exit(2)
+	}
 
 	root := rng.New(*seed)
 	env, err := synthetic.New(synthetic.Config{D: *d, Arms: *arms, Beta: 0.1, Sigma: 0.1}, root.Split("env"))
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The encoder is fitted locally from the public context distribution,
+	// mirroring a real deployment where the encoder ships inside the app.
 	enc, err := encoding.FitKMeans(
 		env.SampleContexts(4096, root.Split("encoder-sample")),
 		*k, 50, 1e-6, root.Split("encoder-fit"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	client := httpapi.NewNodeClient(*node)
-	sampler := privacy.NewSampler(*p, root.Split("sampler"))
 
-	// report ships one envelope; finish settles the pipeline at the end.
-	var report func(transport.Envelope) error
-	finish := func() error { return nil }
-	switch *wire {
-	case "batch", "ndjson":
-		bc := httpapi.NewBatchingClient(client, httpapi.BatchingConfig{
-			MaxBatch: *maxBatch,
-			MaxAge:   *maxAge,
-			NDJSON:   *wire == "ndjson",
-			Seed:     *seed,
-		})
-		report = bc.Report
-		finish = bc.Close
-	case "single":
-		report = client.Report
-	default:
-		fmt.Fprintf(os.Stderr, "p2bagent: unknown -wire %q (want batch, ndjson or single)\n", *wire)
-		os.Exit(2)
+	src := agent.NewHTTPSource(*node, agent.HTTPSourceOptions{
+		Refresh: *refresh,
+		JSON:    *jsonWire,
+		Seed:    *seed,
+	})
+	defer src.Close()
+	if err := preflight(*node, *d, *arms, *k); err != nil {
+		fmt.Fprintf(os.Stderr, "p2bagent: preflight failed: %v\n", err)
+		os.Exit(1)
 	}
 
+	tr := agent.NewHTTPTransport(*node, agent.HTTPTransportOptions{
+		Wire:     wireMode,
+		MaxBatch: *maxBatch,
+		MaxAge:   *maxAge,
+		Seed:     *seed,
+	})
+
 	fmt.Printf("p2bagent: %d devices -> %s over %s wire (epsilon per disclosure %.4f)\n",
-		*users, *node, *wire, privacy.Epsilon(*p))
+		*users, *node, wireMode, privacy.Epsilon(*p))
 
 	var totalReward float64
 	var interactions, submitted int64
 	start := time.Now()
 	for u := 0; u < *users; u++ {
 		ur := root.SplitIndex("user", u)
-		state, err := client.FetchTabular()
+		device := fmt.Sprintf("device-%08d", u)
+		ag, err := agent.New(agent.Config{
+			Policy:    agent.PolicyTabular,
+			P:         *p,
+			Arms:      *arms,
+			Encoder:   enc,
+			Source:    src,
+			Transport: tr,
+			Rand:      ur,
+			ReportMeta: func(int) agent.Metadata {
+				return agent.Metadata{DeviceID: device, SentAt: time.Now().UnixNano()}
+			},
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "p2bagent: fetching model: %v\n", err)
-			os.Exit(1)
-		}
-		agent, err := bandit.NewTabularUCBFromState(state, ur.Split("agent"))
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "p2bagent: node model unusable: %v\n", err)
+			fmt.Fprintf(os.Stderr, "p2bagent: building device agent: %v\n", err)
 			os.Exit(1)
 		}
 		session := env.User(u, ur.Split("session"))
-		history := make([]transport.Tuple, 0, *t)
 		for step := 0; step < *t; step++ {
 			x := session.Context(step)
-			y := enc.Encode(x)
-			a := agent.SelectCode(y)
+			a := ag.Select(x)
 			reward := session.Reward(step, a)
-			agent.UpdateCode(y, a, reward)
+			ag.Observe(a, reward)
 			totalReward += reward
 			interactions++
-			history = append(history, transport.Tuple{Code: y, Action: a, Reward: reward})
 		}
-		if sampler.Participates() {
-			tup := history[ur.Split("pick").IntN(len(history))]
-			err := report(transport.Envelope{
-				Meta: transport.Metadata{
-					DeviceID: fmt.Sprintf("device-%08d", u),
-					SentAt:   time.Now().UnixNano(),
-				},
-				Tuple: tup,
-			})
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "p2bagent: report failed: %v\n", err)
-				os.Exit(1)
-			}
-			submitted++
+		n, err := ag.Finish()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2bagent: report failed: %v\n", err)
+			os.Exit(1)
 		}
+		submitted += int64(n)
 		if *every > 0 && (u+1)%*every == 0 {
 			fmt.Printf("  %6d devices done, mean reward %.5f, %d tuples submitted\n",
 				u+1, totalReward/float64(interactions), submitted)
 		}
 	}
-	if err := finish(); err != nil {
+	if err := tr.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "p2bagent: settling batches: %v\n", err)
 		os.Exit(1)
 	}
-	if err := client.Flush(); err != nil {
+	if err := tr.FlushNode(); err != nil {
 		fmt.Fprintf(os.Stderr, "p2bagent: flush failed: %v\n", err)
 		os.Exit(1)
 	}
+	st := src.Stats()
 	fmt.Printf("done in %v: %d devices, mean reward %.5f, %d tuples submitted (rate %.3f)\n",
 		time.Since(start).Round(time.Millisecond), *users,
 		totalReward/float64(interactions), submitted, float64(submitted)/float64(*users))
+	fmt.Printf("model sync: %d fetches, %d not-modified (304), %d refreshed\n",
+		st.Fetches, st.NotModified, st.Refreshed)
+}
+
+// preflight fails fast when the node is unreachable, unhealthy, or shaped
+// differently from the fleet's flags. One /healthz probe carries the
+// node's model shapes, so no model payload is downloaded before the fleet
+// actually needs one.
+func preflight(node string, d, arms, k int) error {
+	h, err := agent.FetchHealth(node)
+	if err != nil {
+		return err
+	}
+	if h.Model.K != k {
+		return fmt.Errorf("-k %d does not match the node's code space K=%d", k, h.Model.K)
+	}
+	if h.Model.Arms != arms {
+		return fmt.Errorf("-arms %d does not match the node's action count Arms=%d", arms, h.Model.Arms)
+	}
+	if h.Model.D != d {
+		return fmt.Errorf("-d %d does not match the node's context dimension D=%d", d, h.Model.D)
+	}
+	return nil
 }

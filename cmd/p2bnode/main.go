@@ -13,6 +13,11 @@
 //	                        (application/x-ndjson)
 //	POST /shuffler/flush
 //	GET  /shuffler/stats
+//	GET  /server/model      versioned model sync for agent fleets: the
+//	                        model version is the ETag, so an If-None-Match
+//	                        poll of an unchanged model costs a 304; the
+//	                        body is binary (Accept: application/x-p2b-model)
+//	                        or JSON; ?kind=tabular|linucb|centroid
 //	GET  /server/model/tabular
 //	GET  /server/model/linucb
 //	POST /server/raw        (non-private baseline ingestion)
@@ -123,7 +128,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("p2bnode listening on %s (k=%d arms=%d threshold=%d batch=%d)", *addr, *k, *arms, *threshold, *batch)
+	log.Printf("p2bnode listening on %s (k=%d arms=%d d=%d threshold=%d batch=%d)", *addr, *k, *arms, *d, *threshold, *batch)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,131 @@
+// Example deviceagent shows the device SDK end to end: it starts an
+// in-process P2B node (shuffler + analyzer server behind the real HTTP
+// surface), then runs a small fleet of agent.Agent devices against it —
+// warm-starting through the versioned model route, reporting through the
+// batched wire — and finally measures what a fresh cohort gains from the
+// collected model.
+//
+// Everything a real deployment does happens here, just inside one process:
+// swap the httptest listener for a p2bnode address and the code is a real
+// fleet. Run with:
+//
+//	go run ./examples/deviceagent
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"time"
+
+	"p2b"
+	"p2b/agent"
+)
+
+const (
+	dim      = 6
+	arms     = 5
+	k        = 16
+	perUser  = 10
+	fleet    = 2000
+	evalSize = 300
+)
+
+func main() {
+	// The workload: the paper's synthetic preference benchmark.
+	env, err := p2b.NewSyntheticEnvironment(p2b.SyntheticConfig{
+		D: dim, Arms: arms, Beta: 0.1, Sigma: 0.1,
+	}, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := p2b.NewRand(1)
+
+	// The encoder ships inside the app: fitted on a public context sample.
+	enc, err := p2b.FitKMeansEncoder(env.SampleContexts(4096, root.Split("sample")), k, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An in-process node. A real deployment runs `p2bnode` instead and the
+	// SDK code below is unchanged.
+	srv := p2b.NewAnalyzerServer(p2b.AnalyzerConfig{K: k, Arms: arms, D: dim, Alpha: 1})
+	shuf := p2b.NewShuffler(p2b.ShufflerConfig{BatchSize: 64, Threshold: 2}, srv, root.Split("shuffler"))
+	node := httptest.NewServer(p2b.NewNodeHandler(shuf, srv))
+	defer node.Close()
+
+	// The SDK seams, shared by the whole fleet: one model cache (304-cheap
+	// revalidation), one batching report pipeline.
+	src := agent.NewHTTPSource(node.URL, agent.HTTPSourceOptions{Refresh: 500 * time.Millisecond})
+	defer src.Close()
+	tr := agent.NewHTTPTransport(node.URL, agent.HTTPTransportOptions{MaxBatch: 128, MaxAge: 100 * time.Millisecond})
+
+	fmt.Printf("deviceagent: %d devices -> %s (epsilon per disclosure %.4f)\n",
+		fleet, node.URL, p2b.Epsilon(0.5))
+
+	runUser := func(u int, transport agent.Transport, p float64) float64 {
+		ur := root.SplitIndex("user", u)
+		device := fmt.Sprintf("device-%08d", u)
+		ag, err := agent.New(agent.Config{
+			Policy:    agent.PolicyTabular,
+			P:         p,
+			Arms:      arms,
+			Encoder:   enc,
+			Source:    src,
+			Transport: transport,
+			Rand:      ur,
+			ReportMeta: func(int) agent.Metadata {
+				return agent.Metadata{DeviceID: device, SentAt: time.Now().UnixNano()}
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		session := env.User(u, ur.Split("session"))
+		total := 0.0
+		for t := 0; t < perUser; t++ {
+			x := session.Context(t)
+			a := ag.Select(x)
+			reward := session.Reward(t, a)
+			ag.Observe(a, reward)
+			total += reward
+		}
+		if _, err := ag.Finish(); err != nil {
+			log.Fatal(err)
+		}
+		return total
+	}
+
+	// Contribution phase: devices improve the global model through the
+	// private pipeline.
+	for u := 0; u < fleet; u++ {
+		runUser(u, tr, 0.5)
+	}
+	if err := tr.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tr.FlushNode(); err != nil {
+		log.Fatal(err)
+	}
+	if err := src.Refresh(agent.ModelTabular); err != nil {
+		log.Fatal(err)
+	}
+
+	// Evaluation: a fresh cohort warm-starts from the collected model but
+	// shares nothing.
+	warm := 0.0
+	for u := 0; u < evalSize; u++ {
+		warm += runUser(1_000_000+u, nil, 0)
+	}
+
+	// One more revalidation against the now-quiescent node: the model
+	// version is unchanged, so this costs a 304, not a payload.
+	if err := src.Refresh(agent.ModelTabular); err != nil {
+		log.Fatal(err)
+	}
+	st := src.Stats()
+	fmt.Printf("model sync: %d fetches, %d not-modified (304), %d payloads\n",
+		st.Fetches, st.NotModified, st.Refreshed)
+	fmt.Printf("evaluation cohort mean reward: %.5f (model version %d)\n",
+		warm/float64(evalSize*perUser), srv.ModelVersion())
+}

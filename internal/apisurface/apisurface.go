@@ -1,0 +1,252 @@
+// Package apisurface renders the exported API surface of a Go package as a
+// stable text document: every exported constant, variable, type, function
+// and method, with bodies stripped, unexported struct fields and interface
+// methods elided, and declarations sorted. The golden-file test at the
+// repository root diffs this rendering against testdata/public_api.txt, so
+// an accidental change to the public API fails CI instead of slipping into
+// a release.
+//
+// The rendering is declaration-level (what the source spells), not
+// type-level: a re-exported alias shows as the alias, and a change behind
+// it in an internal package will not show here. That is the right
+// granularity for a surface gate — it catches renames, removals and
+// signature changes, the mistakes a refactor actually makes.
+package apisurface
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package renders the exported surface of the package in dir, labelled with
+// the given import path. Test files are ignored.
+func Package(importPath, dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", fmt.Errorf("apisurface: %w", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	pkgName := ""
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return "", fmt.Errorf("apisurface: %w", err)
+		}
+		files = append(files, f)
+		pkgName = f.Name.Name
+	}
+	if len(files) == 0 {
+		return "", fmt.Errorf("apisurface: no Go files in %s", dir)
+	}
+	var decls []string
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if s := renderDecl(fset, d); s != "" {
+				decls = append(decls, s)
+			}
+		}
+	}
+	sort.Strings(decls)
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s // import %q\n", pkgName, importPath)
+	for _, d := range decls {
+		b.WriteString("\n")
+		b.WriteString(d)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+// Packages concatenates the surface of several packages; pairs are
+// (importPath, dir) tuples.
+func Packages(pairs [][2]string) (string, error) {
+	var b strings.Builder
+	for i, p := range pairs {
+		s, err := Package(p[0], p[1])
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(s)
+	}
+	return b.String(), nil
+}
+
+// renderDecl returns the canonical rendering of one top-level declaration,
+// or "" when nothing in it is exported.
+func renderDecl(fset *token.FileSet, d ast.Decl) string {
+	switch decl := d.(type) {
+	case *ast.FuncDecl:
+		if !decl.Name.IsExported() || !receiverExported(decl) {
+			return ""
+		}
+		clone := *decl
+		clone.Body = nil
+		clone.Doc = nil
+		return render(fset, &clone)
+	case *ast.GenDecl:
+		if decl.Tok == token.IMPORT {
+			return ""
+		}
+		kept := filterSpecs(decl)
+		if len(kept) == 0 {
+			return ""
+		}
+		clone := *decl
+		clone.Doc = nil
+		clone.Specs = kept
+		// A block that kept a single spec still renders as a block when the
+		// source had parens; normalize to the single-spec form for
+		// stability under regrouping.
+		if len(kept) == 1 {
+			clone.Lparen = token.NoPos
+			clone.Rparen = token.NoPos
+		}
+		return render(fset, &clone)
+	default:
+		return ""
+	}
+}
+
+// receiverExported reports whether a method's receiver base type is
+// exported (methods on unexported types are not part of the surface).
+func receiverExported(decl *ast.FuncDecl) bool {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return true
+	}
+	t := decl.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// filterSpecs keeps the specs of a const/var/type declaration that declare
+// at least one exported name, eliding unexported struct fields and
+// interface methods inside kept type specs.
+func filterSpecs(decl *ast.GenDecl) []ast.Spec {
+	var kept []ast.Spec
+	for _, spec := range decl.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			exported := false
+			for _, n := range s.Names {
+				if n.IsExported() {
+					exported = true
+				}
+			}
+			if exported {
+				clone := *s
+				clone.Doc = nil
+				clone.Comment = nil
+				kept = append(kept, &clone)
+			}
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			clone := *s
+			clone.Doc = nil
+			clone.Comment = nil
+			clone.Type = filterType(s.Type)
+			kept = append(kept, &clone)
+		}
+	}
+	return kept
+}
+
+// filterType elides unexported members of struct and interface types.
+func filterType(t ast.Expr) ast.Expr {
+	switch tt := t.(type) {
+	case *ast.StructType:
+		clone := *tt
+		fl := *tt.Fields
+		fl.List = filterFields(tt.Fields.List)
+		clone.Fields = &fl
+		return &clone
+	case *ast.InterfaceType:
+		clone := *tt
+		fl := *tt.Methods
+		fl.List = filterFields(tt.Methods.List)
+		clone.Methods = &fl
+		return &clone
+	default:
+		return t
+	}
+}
+
+// filterFields keeps exported named fields/methods and exported embedded
+// types, stripping docs and comments.
+func filterFields(fields []*ast.Field) []*ast.Field {
+	var kept []*ast.Field
+	for _, f := range fields {
+		clone := *f
+		clone.Doc = nil
+		clone.Comment = nil
+		if len(f.Names) == 0 {
+			// Embedded field or interface embedding: keep if its terminal
+			// identifier is exported (selector embeds like io.Reader are).
+			if embeddedExported(f.Type) {
+				kept = append(kept, &clone)
+			}
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) > 0 {
+			clone.Names = names
+			kept = append(kept, &clone)
+		}
+	}
+	return kept
+}
+
+func embeddedExported(t ast.Expr) bool {
+	switch tt := t.(type) {
+	case *ast.StarExpr:
+		return embeddedExported(tt.X)
+	case *ast.SelectorExpr:
+		return tt.Sel.IsExported()
+	case *ast.Ident:
+		return tt.IsExported()
+	default:
+		return false
+	}
+}
+
+func render(fset *token.FileSet, node any) string {
+	var b strings.Builder
+	cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+	if err := cfg.Fprint(&b, fset, node); err != nil {
+		return fmt.Sprintf("/* apisurface: render error: %v */", err)
+	}
+	return b.String()
+}

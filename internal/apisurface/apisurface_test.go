@@ -1,0 +1,117 @@
+package apisurface
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFiles(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestSurfaceFiltersUnexported(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"a.go": `package demo
+
+// Exported is part of the surface.
+type Exported struct {
+	Public  int
+	private string
+}
+
+type hidden struct{ X int }
+
+// Do does.
+func Do(x int) (int, error) { return x, nil }
+
+func internal() {}
+
+func (e *Exported) Method() int { return e.Public }
+
+func (h hidden) Method() int { return 0 }
+
+const (
+	Visible  = 1
+	invisible = 2
+)
+
+type Iface interface {
+	Call() error
+	secret()
+}
+`,
+		"a_test.go": `package demo
+
+func TestOnly() {}
+`,
+	})
+	got, err := Package("example.com/demo", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package demo",
+		"type Exported struct",
+		"Public",
+		"func Do(x int) (int, error)",
+		"func (e *Exported) Method() int",
+		"Visible",
+		"Call() error",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("surface misses %q:\n%s", want, got)
+		}
+	}
+	for _, reject := range []string{"private", "hidden", "internal", "invisible", "secret", "TestOnly", "return"} {
+		if strings.Contains(got, reject) {
+			t.Fatalf("surface leaks %q:\n%s", reject, got)
+		}
+	}
+}
+
+func TestSurfaceIsDeterministic(t *testing.T) {
+	dir := writeFiles(t, map[string]string{
+		"z.go": "package demo\n\nfunc Zed() {}\n",
+		"a.go": "package demo\n\nfunc Abc() {}\n",
+	})
+	first, err := Package("example.com/demo", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Package("example.com/demo", dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatal("surface rendering is not deterministic")
+		}
+	}
+	// Sorted output: Abc before Zed regardless of file order.
+	if strings.Index(first, "Abc") > strings.Index(first, "Zed") {
+		t.Fatalf("declarations not sorted:\n%s", first)
+	}
+}
+
+func TestSurfaceDetectsSignatureChange(t *testing.T) {
+	before, err := Package("d", writeFiles(t, map[string]string{"a.go": "package demo\n\nfunc Do(x int) {}\n"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := Package("d", writeFiles(t, map[string]string{"a.go": "package demo\n\nfunc Do(x int, y int) {}\n"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before == after {
+		t.Fatal("signature change invisible to the surface")
+	}
+}

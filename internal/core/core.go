@@ -3,6 +3,12 @@
 // (paper §3, Figure 1). It provides the population simulator every
 // experiment in the evaluation runs on.
 //
+// Every simulated user is a real device agent: core drives the public
+// p2b/agent SDK (Select/Observe/Finish over an in-process agent.Loopback
+// transport and model source), so the simulator exercises exactly the code
+// a deployed fleet ships — the device-side loop exists once, in the SDK,
+// not here.
+//
 // A System is configured with one of three modes, matching the paper's
 // §5 comparison:
 //
@@ -28,14 +34,13 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"p2b/internal/bandit"
+	"p2b/agent"
 	"p2b/internal/encoding"
 	"p2b/internal/privacy"
 	"p2b/internal/rng"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
 	"p2b/internal/stats"
-	"p2b/internal/transport"
 )
 
 // Mode selects which of the paper's three regimes a System runs.
@@ -218,6 +223,7 @@ type System struct {
 	enc  encoding.Encoder
 	srv  *server.Server
 	shuf *shuffler.Shuffler
+	loop *agent.Loopback // the Transport + ModelSource simulated agents run on
 	acct *privacy.Accountant
 	root *rng.Rand
 
@@ -287,6 +293,7 @@ func NewSystem(cfg Config, env Environment, enc encoding.Encoder) (*System, erro
 		enc:  enc,
 		srv:  srv,
 		shuf: shuf,
+		loop: agent.NewLoopback(shuf, srv),
 		acct: privacy.NewAccountant(privacy.Epsilon(cfg.P)),
 		root: root,
 	}, nil
@@ -411,156 +418,103 @@ func (s *System) RunRange(start, n int, participate bool) RunResult {
 	return s.RunUsers(ids, participate)
 }
 
+// agentFor builds the device agent of one simulated user. All three modes
+// run on the same public agent.Agent; they differ only in policy and in
+// which deployment seams are wired:
+//
+//   - Cold: LinUCB over raw contexts, no source, no transport.
+//   - WarmNonPrivate: LinUCB over raw contexts, warm-started from the
+//     global LinUCB model, raw tuples reported through the loopback's
+//     RawReporter. The baseline follows the same randomized reporting
+//     protocol as P2B — per window, with probability P, one sampled tuple
+//     — but transmits the context in its original form. This keeps the
+//     data volumes of the two warm regimes identical, so their gap
+//     isolates the cost of encoding + privacy rather than of sample
+//     count; it is the only reading under which the paper's few-percent
+//     gaps are reachable.
+//   - WarmPrivate: the P2B pipeline — encoded contexts, warm start from
+//     the tabular (or centroid) global model, envelopes through the
+//     shuffler.
+func (s *System) agentFor(id int, r *rng.Rand) (*agent.Agent, error) {
+	cfg := agent.Config{
+		Alpha: s.cfg.Alpha,
+		Rand:  r,
+	}
+	switch s.cfg.Mode {
+	case Cold:
+		cfg.Policy = agent.PolicyLinUCB
+		cfg.Arms = s.env.Arms()
+		cfg.Dim = s.env.Dim()
+	case WarmNonPrivate:
+		cfg.Policy = agent.PolicyLinUCB
+		cfg.P = s.cfg.P
+		cfg.ReportWindow = s.cfg.ReportWindow
+		cfg.Source = s.loop
+		cfg.Transport = s.loop
+	case WarmPrivate:
+		if s.cfg.PrivateLearner == LearnerCentroid {
+			cfg.Policy = agent.PolicyCentroid
+		} else {
+			cfg.Policy = agent.PolicyTabular
+		}
+		cfg.P = s.cfg.P
+		cfg.ReportWindow = s.cfg.ReportWindow
+		cfg.Encoder = s.enc
+		cfg.Source = s.loop
+		cfg.Transport = s.loop
+		device := fmt.Sprintf("device-%08d", id)
+		cfg.ReportMeta = func(w int) agent.Metadata {
+			// Simulated identity a real network stack would expose, so the
+			// shuffler has something to prove it strips.
+			return agent.Metadata{
+				DeviceID: device,
+				Addr:     fmt.Sprintf("10.%d.%d.%d:443", id>>16&0xff, id>>8&0xff, id&0xff),
+				SentAt:   int64(id)*1_000_003 + int64(w) + 1,
+			}
+		}
+	}
+	return agent.New(cfg)
+}
+
 // runUser simulates one user's T local interactions and (optionally) its
-// participation in data collection. It returns the user's reward profile.
+// participation in data collection, by driving the public SDK lifecycle:
+// Select/Observe per interaction, Finish for the randomized reporting
+// step. It returns the user's reward profile.
 func (s *System) runUser(id int, participate bool) RunResult {
 	r := s.root.SplitIndex("user", id)
 	session := s.env.User(id, r.Split("session"))
 	res := RunResult{ByStep: make([]stats.Running, s.cfg.T)}
 	s.usersRun.Add(1)
 
-	switch s.cfg.Mode {
-	case Cold:
-		agent := bandit.NewLinUCB(s.env.Arms(), s.env.Dim(), s.cfg.Alpha, r.Split("agent"))
-		for t := 0; t < s.cfg.T; t++ {
-			x := session.Context(t)
-			a := agent.Select(x)
-			reward := session.Reward(t, a)
-			agent.Update(x, a, reward)
-			res.Overall.Add(reward)
-			res.ByStep[t].Add(reward)
+	ag, err := s.agentFor(id, r)
+	if err != nil {
+		// NewSystem validated every shape the agent re-checks, so this is a
+		// bug (e.g. the server produced an invalid snapshot), not bad input.
+		panic("core: building user agent: " + err.Error())
+	}
+	for t := 0; t < s.cfg.T; t++ {
+		x := session.Context(t)
+		a := ag.Select(x)
+		reward := session.Reward(t, a)
+		ag.Observe(a, reward)
+		res.Overall.Add(reward)
+		res.ByStep[t].Add(reward)
+	}
+	if !participate {
+		return res
+	}
+	n, err := ag.Finish()
+	if err != nil {
+		panic("core: user reporting rejected: " + err.Error())
+	}
+	if s.cfg.Mode == WarmPrivate && n > 0 {
+		device := fmt.Sprintf("device-%08d", id)
+		for i := 0; i < n; i++ {
+			s.acct.Record(device)
 		}
-
-	case WarmNonPrivate:
-		agent, err := bandit.NewLinUCBFromState(s.srv.LinUCBSnapshot(), r.Split("agent"))
-		if err != nil {
-			panic("core: server produced invalid LinUCB snapshot: " + err.Error())
-		}
-		raws := make([]transport.RawTuple, 0, s.cfg.T)
-		for t := 0; t < s.cfg.T; t++ {
-			x := session.Context(t)
-			a := agent.Select(x)
-			reward := session.Reward(t, a)
-			agent.Update(x, a, reward)
-			res.Overall.Add(reward)
-			res.ByStep[t].Add(reward)
-			raws = append(raws, transport.RawTuple{Context: x, Action: a, Reward: reward})
-		}
-		if participate {
-			// The baseline follows the same randomized reporting protocol
-			// as P2B — per window, with probability P, one sampled tuple —
-			// but transmits the context in its original form. This keeps
-			// the data volumes of the two warm regimes identical, so their
-			// gap isolates the cost of encoding + privacy rather than of
-			// sample count; it is the only reading under which the paper's
-			// few-percent gaps are reachable.
-			s.reportRaw(raws, r)
-		}
-
-	case WarmPrivate:
-		// Both learners observe only the encoded context; they differ in
-		// how they generalize across codes (see Learner docs).
-		var selectAction func(y int) int
-		var updateAgent func(y, a int, reward float64)
-		switch s.cfg.PrivateLearner {
-		case LearnerCentroid:
-			agent, err := bandit.NewLinUCBFromState(s.srv.CentroidSnapshot(), r.Split("agent"))
-			if err != nil {
-				panic("core: server produced invalid centroid snapshot: " + err.Error())
-			}
-			dec := s.enc.(encoding.Decoder) // checked in NewSystem
-			// Decode into a per-user scratch buffer when the encoder
-			// supports it, so the per-interaction loop stays allocation-free.
-			decode := dec.Decode
-			if dt, ok := dec.(encoding.DecoderTo); ok {
-				buf := make([]float64, s.env.Dim())
-				decode = func(y int) []float64 {
-					buf = dt.DecodeTo(buf, y)
-					return buf
-				}
-			}
-			selectAction = func(y int) int { return agent.Select(decode(y)) }
-			updateAgent = func(y, a int, reward float64) { agent.Update(decode(y), a, reward) }
-		default:
-			agent, err := bandit.NewTabularUCBFromState(s.srv.TabularSnapshot(), r.Split("agent"))
-			if err != nil {
-				panic("core: server produced invalid tabular snapshot: " + err.Error())
-			}
-			selectAction = agent.SelectCode
-			updateAgent = agent.UpdateCode
-		}
-		history := make([]transport.Tuple, 0, s.cfg.T)
-		for t := 0; t < s.cfg.T; t++ {
-			x := session.Context(t)
-			y := s.enc.Encode(x)
-			a := selectAction(y)
-			reward := session.Reward(t, a)
-			updateAgent(y, a, reward)
-			res.Overall.Add(reward)
-			res.ByStep[t].Add(reward)
-			history = append(history, transport.Tuple{Code: y, Action: a, Reward: reward})
-		}
-		if participate {
-			s.report(id, history, r)
-		}
+		s.submitted.Add(int64(n))
 	}
 	return res
-}
-
-// reportRaw mirrors report for the non-private baseline: the same window
-// and Bernoulli(P) schedule, but raw tuples straight to the server.
-func (s *System) reportRaw(history []transport.RawTuple, r *rng.Rand) {
-	window := s.cfg.ReportWindow
-	if window <= 0 || window > len(history) {
-		window = len(history)
-	}
-	for w, start := 0, 0; start < len(history); w, start = w+1, start+window {
-		end := start + window
-		if end > len(history) {
-			end = len(history)
-		}
-		wr := r.SplitIndex("participate", w)
-		if !wr.Bernoulli(s.cfg.P) {
-			continue
-		}
-		raw := history[start+wr.IntN(end-start)]
-		if err := s.srv.IngestRaw(raw); err != nil {
-			panic("core: raw ingestion rejected: " + err.Error())
-		}
-	}
-}
-
-// report runs the randomized data reporting step over the user's history:
-// one independent Bernoulli(P) opportunity per report window (or one for
-// the whole session when ReportWindow is 0), each disclosing a single
-// uniformly chosen tuple from its window.
-func (s *System) report(id int, history []transport.Tuple, r *rng.Rand) {
-	window := s.cfg.ReportWindow
-	if window <= 0 || window > len(history) {
-		window = len(history)
-	}
-	device := fmt.Sprintf("device-%08d", id)
-	for w, start := 0, 0; start < len(history); w, start = w+1, start+window {
-		end := start + window
-		if end > len(history) {
-			end = len(history)
-		}
-		wr := r.SplitIndex("participate", w)
-		if !wr.Bernoulli(s.cfg.P) {
-			continue
-		}
-		tup := history[start+wr.IntN(end-start)]
-		s.shuf.Submit(transport.Envelope{
-			Meta: transport.Metadata{
-				DeviceID: device,
-				Addr:     fmt.Sprintf("10.%d.%d.%d:443", id>>16&0xff, id>>8&0xff, id&0xff),
-				SentAt:   int64(id)*1_000_003 + int64(w) + 1,
-			},
-			Tuple: tup,
-		})
-		s.acct.Record(device)
-		s.submitted.Add(1)
-	}
 }
 
 // Flush pushes any pending shuffler buffer through thresholding to the

@@ -6,7 +6,10 @@
 //	           POST /reports        a batch stream (binary frames or NDJSON)
 //	           POST /flush          force the pending batch through
 //	           GET  /stats          shuffler.Stats
-//	server:    GET  /model/tabular  bandit.TabularState
+//	server:    GET  /model          versioned model sync (ETag/304, binary
+//	                                or JSON negotiated via Accept;
+//	                                ?kind=tabular|linucb|centroid)
+//	           GET  /model/tabular  bandit.TabularState
 //	           GET  /model/linucb   bandit.LinUCBState
 //	           POST /raw            one transport.RawTuple (baseline path)
 //	           GET  /stats          server.Stats
@@ -41,6 +44,8 @@ import (
 	"math"
 	"mime"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -126,22 +131,26 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 	mux := http.NewServeMux()
 	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandler(shuf, ing)))
 	mux.Handle("/server/", http.StripPrefix("/server", NewServerHandler(srv)))
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		cfg := srv.Config()
 		status := struct {
-			Status  string `json:"status"`
-			Persist any    `json:"persist,omitempty"`
-		}{Status: "ok"}
+			Status  string      `json:"status"`
+			Model   ModelShapes `json:"model"`
+			Persist any         `json:"persist,omitempty"`
+		}{
+			Status: "ok",
+			// Shapes ride along so a fleet's preflight can validate its
+			// -k/-arms/-d flags with this one cheap probe instead of
+			// downloading full model payloads.
+			Model: ModelShapes{K: cfg.K, Arms: cfg.Arms, D: cfg.D, Version: srv.ModelVersion()},
+		}
 		if opts.Health != nil {
 			status.Persist = opts.Health()
 		}
 		writeJSON(w, status)
 	})
 	if opts.Checkpoint != nil {
-		mux.HandleFunc("/admin/checkpoint", func(w http.ResponseWriter, r *http.Request) {
-			if r.Method != http.MethodPost {
-				http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-				return
-			}
+		mux.HandleFunc("POST /admin/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 			if err := opts.Checkpoint(); err != nil {
 				http.Error(w, fmt.Sprintf("httpapi: checkpoint failed: %v", err), http.StatusInternalServerError)
 				return
@@ -153,9 +162,11 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 }
 
 // NewNodeClient returns a client whose shuffler and server URLs point at a
-// single node handler.
+// single node handler, and which can probe that node's /healthz.
 func NewNodeClient(nodeURL string) *Client {
-	return NewClient(nodeURL+"/shuffler", nodeURL+"/server")
+	c := NewClient(nodeURL+"/shuffler", nodeURL+"/server")
+	c.NodeURL = nodeURL
+	return c
 }
 
 // NewShufflerHandler returns the HTTP surface of a shuffler.
@@ -167,11 +178,7 @@ func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
 // going through ing (the durable path when a persist manager is wired in).
 func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("POST /report", func(w http.ResponseWriter, r *http.Request) {
 		var e transport.Envelope
 		if err := decodeJSON(r, &e); err != nil {
 			http.Error(w, err.Error(), statusForBodyError(err))
@@ -196,11 +203,7 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 		}
 		w.WriteHeader(http.StatusAccepted)
 	})
-	mux.HandleFunc("/reports", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
 		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 		if err != nil {
 			http.Error(w, "httpapi: unparseable Content-Type", http.StatusUnsupportedMediaType)
@@ -231,37 +234,34 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 		// means the client went away.
 		_ = json.NewEncoder(w).Encode(ack)
 	})
-	mux.HandleFunc("/flush", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("POST /flush", func(w http.ResponseWriter, r *http.Request) {
 		if err := ing.Flush(); err != nil {
 			http.Error(w, fmt.Sprintf("httpapi: flush failed: %v", err), http.StatusInternalServerError)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
 	return mux
 }
 
-// NewServerHandler returns the HTTP surface of the analyzer server.
+// NewServerHandler returns the HTTP surface of the analyzer server. Routes
+// are registered with method patterns, so a wrong-method request gets the
+// mux's 405 (with an Allow header) without per-handler boilerplate.
 func NewServerHandler(s *server.Server) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/model/tabular", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
+		serveModel(w, r, s)
+	})
+	mux.HandleFunc("GET /model/tabular", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.TabularSnapshot())
 	})
-	mux.HandleFunc("/model/linucb", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /model/linucb", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.LinUCBSnapshot())
 	})
-	mux.HandleFunc("/raw", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
+	mux.HandleFunc("POST /raw", func(w http.ResponseWriter, r *http.Request) {
 		var t transport.RawTuple
 		if err := decodeJSON(r, &t); err != nil {
 			http.Error(w, err.Error(), statusForBodyError(err))
@@ -273,10 +273,128 @@ func NewServerHandler(s *server.Server) http.Handler {
 		}
 		w.WriteHeader(http.StatusAccepted)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
 	return mux
+}
+
+// Model kinds accepted by GET /server/model?kind=...; the default is
+// tabular, the production P2B warm-start model.
+const (
+	ModelKindTabular  = "tabular"
+	ModelKindLinUCB   = "linucb"
+	ModelKindCentroid = "centroid"
+)
+
+// ModelVersionHeader carries the model version alongside the ETag, so
+// clients can log or compare versions without parsing entity tags.
+const ModelVersionHeader = "X-P2b-Model-Version"
+
+// modelETag renders the strong entity tag of one model response. The
+// encoding is part of the tag: a strong ETag names one exact
+// representation (RFC 9110 §8.8.3), and the route serves two (binary and
+// JSON), so a shared cache must never validate one against the other. The
+// epoch (the server's boot nonce) qualifies the in-memory version counter,
+// which restarts after crash recovery — without it, a version collision
+// across a restart could answer a stale client with a false 304.
+func modelETag(kind string, epoch, version uint64, binary bool) string {
+	enc := "json"
+	if binary {
+		enc = "bin"
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("p2b-%s-e%x-v%d-%s", kind, epoch, version, enc))
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags (possibly weak-prefixed) or the wildcard "*".
+func etagMatches(header, etag string) bool {
+	for _, tag := range strings.Split(header, ",") {
+		tag = strings.TrimSpace(tag)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == "*" || tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// acceptsBinaryModel reports whether the request prefers the binary model
+// encoding: an Accept member with the exact binary media type and a
+// non-zero quality selects it, everything else (including no Accept header
+// at all, or the binary type refused with q=0 per RFC 9110 §12.4.2) falls
+// back to JSON.
+func acceptsBinaryModel(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil || mt != transport.ContentTypeModel {
+			continue
+		}
+		if q, ok := params["q"]; ok {
+			if qv, err := strconv.ParseFloat(q, 64); err == nil && qv <= 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// serveModel is GET /server/model: the versioned model-sync surface. The
+// snapshot version doubles as a strong ETag, so a fleet whose model has not
+// changed since its last fetch is answered with 304 Not Modified; the body
+// is the P2BM binary encoding when the client Accepts it, JSON otherwise.
+func serveModel(w http.ResponseWriter, r *http.Request, s *server.Server) {
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = ModelKindTabular
+	}
+	var (
+		version uint64
+		tab     *bandit.TabularState
+		lin     *bandit.LinUCBState
+	)
+	switch kind {
+	case ModelKindTabular:
+		tab, version = s.TabularModel()
+	case ModelKindLinUCB:
+		lin, version = s.LinUCBModel()
+	case ModelKindCentroid:
+		lin, version = s.CentroidModel()
+		if lin == nil {
+			http.Error(w, "httpapi: node maintains no centroid model (no decoder configured)", http.StatusNotFound)
+			return
+		}
+	default:
+		http.Error(w, fmt.Sprintf("httpapi: unknown model kind %q (want %s, %s or %s)",
+			kind, ModelKindTabular, ModelKindLinUCB, ModelKindCentroid), http.StatusBadRequest)
+		return
+	}
+	binary := acceptsBinaryModel(r)
+	etag := modelETag(kind, s.ModelEpoch(), version, binary)
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Vary", "Accept")
+	w.Header().Set(ModelVersionHeader, strconv.FormatUint(version, 10))
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	if binary {
+		var body []byte
+		if tab != nil {
+			body = transport.AppendTabularModel(nil, version, tab)
+		} else {
+			body = transport.AppendLinearModel(nil, version, lin)
+		}
+		w.Header().Set("Content-Type", transport.ContentTypeModel)
+		_, _ = w.Write(body)
+		return
+	}
+	if tab != nil {
+		writeJSON(w, tab)
+	} else {
+		writeJSON(w, lin)
+	}
 }
 
 // ingestStream drains a batch of tuples from next into the ingestor:
@@ -402,10 +520,13 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // Client is the agent-side HTTP client. ShufflerURL and ServerURL are the
-// base URLs of the two services; either may be empty if unused.
+// base URLs of the two services; either may be empty if unused. NodeURL is
+// the node base URL (set by NewNodeClient) for node-level routes like
+// /healthz.
 type Client struct {
 	ShufflerURL string
 	ServerURL   string
+	NodeURL     string
 	HTTP        *http.Client
 }
 
@@ -449,6 +570,132 @@ func (c *Client) FetchLinUCB() (*bandit.LinUCBState, error) {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// FetchedModel is the result of one conditional model fetch. When the
+// server answered 304 Not Modified, NotModified is true and both states are
+// nil; otherwise exactly one of Tabular and Linear is set.
+type FetchedModel struct {
+	NotModified bool
+	ETag        string
+	Version     uint64
+	Tabular     *bandit.TabularState
+	Linear      *bandit.LinUCBState
+}
+
+// maxModelBodyBytes caps a model response body: 256 MiB covers any
+// plausible K*Arms tabular model with a wide margin.
+const maxModelBodyBytes = 256 << 20
+
+// FetchModel performs one conditional GET of /server/model for the given
+// kind (ModelKindTabular, ModelKindLinUCB or ModelKindCentroid). A non-empty
+// ifNoneMatch is sent as If-None-Match, so an unchanged model comes back as
+// a cheap 304. binary selects the P2BM wire encoding over JSON.
+func (c *Client) FetchModel(kind, ifNoneMatch string, binary bool) (*FetchedModel, error) {
+	url := c.ServerURL + "/model?kind=" + kind
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: building model request: %w", err)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	if binary {
+		req.Header.Set("Accept", transport.ContentTypeModel)
+	} else {
+		req.Header.Set("Accept", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	fm := &FetchedModel{ETag: resp.Header.Get("ETag")}
+	if v := resp.Header.Get(ModelVersionHeader); v != "" {
+		// The header is informative; a missing or garbled one only costs the
+		// caller version visibility, not the model.
+		fm.Version, _ = strconv.ParseUint(v, 10, 64)
+	}
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		fm.NotModified = true
+		return fm, nil
+	case http.StatusOK:
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("httpapi: get %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxModelBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: reading model body: %w", err)
+	}
+	ct, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	if ct == transport.ContentTypeModel {
+		version, tab, lin, err := transport.DecodeModel(body)
+		if err != nil {
+			return nil, fmt.Errorf("httpapi: decoding binary model: %w", err)
+		}
+		fm.Version = version
+		fm.Tabular, fm.Linear = tab, lin
+		return fm, nil
+	}
+	// JSON fallback: the two state shapes are distinguishable by kind.
+	switch kind {
+	case ModelKindTabular:
+		fm.Tabular = new(bandit.TabularState)
+		err = json.Unmarshal(body, fm.Tabular)
+	default:
+		fm.Linear = new(bandit.LinUCBState)
+		err = json.Unmarshal(body, fm.Linear)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: decoding JSON model: %w", err)
+	}
+	return fm, nil
+}
+
+// ModelShapes advertises the node's model dimensions on /healthz, so a
+// fleet can validate its configuration before simulating a single device.
+type ModelShapes struct {
+	K       int    `json:"k"`
+	Arms    int    `json:"arms"`
+	D       int    `json:"d"`
+	Version uint64 `json:"version"`
+}
+
+// Health is the decoded /healthz response of a node.
+type Health struct {
+	Status  string          `json:"status"`
+	Model   ModelShapes     `json:"model"`
+	Persist json.RawMessage `json:"persist,omitempty"`
+}
+
+// FetchHealth probes the node's /healthz route (the client must have been
+// built with NewNodeClient). It fails on connection errors, non-200
+// statuses and non-"ok" health payloads, making it the preflight check a
+// fleet runs before simulating devices.
+func (c *Client) FetchHealth() (*Health, error) {
+	if c.NodeURL == "" {
+		return nil, errors.New("httpapi: client has no node URL (use NewNodeClient)")
+	}
+	url := c.NodeURL + "/healthz"
+	resp, err := c.httpClient().Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("httpapi: get %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("httpapi: get %s: status %d: %s", url, resp.StatusCode, msg)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("httpapi: decode %s: %w", url, err)
+	}
+	if h.Status != "ok" {
+		return nil, fmt.Errorf("httpapi: node unhealthy: status %q", h.Status)
+	}
+	return &h, nil
 }
 
 func (c *Client) post(url string, v any, wantStatus int) error {

@@ -1,0 +1,240 @@
+package httpapi
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"p2b/internal/server"
+	"p2b/internal/transport"
+)
+
+func modelStack(t *testing.T) (*Client, *server.Server, func()) {
+	t.Helper()
+	srv := server.New(server.Config{K: 8, Arms: 4, D: 3, Alpha: 1, Seed: 1})
+	ts := httptest.NewServer(NewServerHandler(srv))
+	client := NewClient("", ts.URL)
+	return client, srv, ts.Close
+}
+
+func deliver(srv *server.Server, n int) {
+	batch := make([]transport.Tuple, n)
+	for i := range batch {
+		batch[i] = transport.Tuple{Code: i % 8, Action: i % 4, Reward: 1}
+	}
+	srv.Deliver(batch)
+}
+
+func TestModelETagRoundTrip(t *testing.T) {
+	client, srv, cleanup := modelStack(t)
+	defer cleanup()
+	deliver(srv, 5)
+
+	first, err := client.FetchModel(ModelKindTabular, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NotModified || first.Tabular == nil {
+		t.Fatalf("first fetch should carry a model: %+v", first)
+	}
+	if first.ETag == "" {
+		t.Fatal("no ETag on model response")
+	}
+	if first.Version != srv.ModelVersion() {
+		t.Fatalf("fetched version %d, server at %d", first.Version, srv.ModelVersion())
+	}
+
+	// Unchanged model: the conditional fetch must come back 304 with no body.
+	again, err := client.FetchModel(ModelKindTabular, first.ETag, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.NotModified || again.Tabular != nil {
+		t.Fatalf("unchanged model not answered with 304: %+v", again)
+	}
+
+	// Ingestion bumps the version: the same ETag must now miss.
+	deliver(srv, 3)
+	refreshed, err := client.FetchModel(ModelKindTabular, first.ETag, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refreshed.NotModified {
+		t.Fatal("stale ETag served 304 after ingestion")
+	}
+	if refreshed.Version <= first.Version {
+		t.Fatalf("version did not advance: %d -> %d", first.Version, refreshed.Version)
+	}
+	if refreshed.ETag == first.ETag {
+		t.Fatal("ETag unchanged across a model mutation")
+	}
+}
+
+func TestModelVersionBumpsOnIngest(t *testing.T) {
+	_, srv, cleanup := modelStack(t)
+	defer cleanup()
+	v0 := srv.ModelVersion()
+	deliver(srv, 1)
+	v1 := srv.ModelVersion()
+	if v1 <= v0 {
+		t.Fatalf("Deliver did not bump the version: %d -> %d", v0, v1)
+	}
+	if err := srv.IngestRaw(transport.RawTuple{Context: []float64{1, 0, 0}, Action: 0, Reward: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := srv.ModelVersion(); v2 <= v1 {
+		t.Fatalf("IngestRaw did not bump the version: %d -> %d", v1, v2)
+	}
+}
+
+func TestModelContentNegotiation(t *testing.T) {
+	client, srv, cleanup := modelStack(t)
+	defer cleanup()
+	deliver(srv, 4)
+
+	get := func(accept string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, client.ServerURL+"/model?kind=tabular", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Binary when asked for, with a decodable P2BM body.
+	resp := get(transport.ContentTypeModel)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != transport.ContentTypeModel {
+		t.Fatalf("binary Accept answered with %q", ct)
+	}
+	version, tab, _, err := transport.DecodeModel(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab == nil || tab.K != 8 || tab.Arms != 4 {
+		t.Fatalf("binary body decoded to %+v", tab)
+	}
+	if version != srv.ModelVersion() {
+		t.Fatalf("binary version %d, server at %d", version, srv.ModelVersion())
+	}
+
+	// JSON for everyone else: clients that send no Accept at all, and
+	// clients that explicitly refuse the binary type with q=0 (RFC 9110:
+	// q=0 means "not acceptable").
+	for _, accept := range []string{
+		"", "application/json", "text/html, */*",
+		"application/json, application/x-p2b-model;q=0",
+		"application/x-p2b-model;q=0.0",
+	} {
+		resp := get(accept)
+		blob, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("Accept %q answered with %q", accept, ct)
+		}
+		if !strings.Contains(string(blob), `"count"`) {
+			t.Fatalf("Accept %q body does not look like a tabular state: %s", accept, blob[:min(64, len(blob))])
+		}
+	}
+
+	// A strong ETag names one exact representation: the two encodings must
+	// carry distinct tags (and Vary: Accept) so a shared cache can never
+	// serve P2BM bytes to a JSON client or vice versa.
+	bin, json := get(transport.ContentTypeModel), get("application/json")
+	bin.Body.Close()
+	json.Body.Close()
+	if bin.Header.Get("ETag") == json.Header.Get("ETag") {
+		t.Fatal("binary and JSON representations share a strong ETag")
+	}
+	for _, resp := range []*http.Response{bin, json} {
+		if resp.Header.Get("Vary") != "Accept" {
+			t.Fatal("model route does not declare Vary: Accept")
+		}
+	}
+	// A JSON client revalidating with the binary representation's tag must
+	// get a payload, not a 304.
+	req, err := http.NewRequest(http.MethodGet, client.ServerURL+"/model?kind=tabular", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	req.Header.Set("If-None-Match", bin.Header.Get("ETag"))
+	cross, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross.Body.Close()
+	if cross.StatusCode == http.StatusNotModified {
+		t.Fatal("cross-representation ETag validated as a match")
+	}
+}
+
+func TestModelKindsAndErrors(t *testing.T) {
+	client, srv, cleanup := modelStack(t)
+	defer cleanup()
+	deliver(srv, 4)
+
+	// linucb kind serves a linear model.
+	lin, err := client.FetchModel(ModelKindLinUCB, "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Linear == nil || lin.Linear.D != 3 {
+		t.Fatalf("linucb kind returned %+v", lin)
+	}
+	// No decoder configured: centroid is 404.
+	if _, err := client.FetchModel(ModelKindCentroid, "", true); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("centroid on a decoder-less node: %v", err)
+	}
+	// Unknown kind is 400.
+	if _, err := client.FetchModel("bogus", "", true); err == nil || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("unknown kind: %v", err)
+	}
+}
+
+func TestModelRoutesRejectNonGET(t *testing.T) {
+	client, _, cleanup := modelStack(t)
+	defer cleanup()
+	for _, path := range []string{"/model", "/model/tabular", "/model/linucb", "/stats"} {
+		resp, err := http.Post(client.ServerURL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s answered %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestETagMatching(t *testing.T) {
+	etag := modelETag("tabular", 0xabc, 9, true)
+	cases := []struct {
+		header string
+		want   bool
+	}{
+		{etag, true},
+		{"*", true},
+		{`"other", ` + etag, true},
+		{"W/" + etag, true},
+		{`"p2b-tabular-eabc-v8-bin"`, false},
+		{modelETag("tabular", 0xabc, 9, false), false}, // other representation
+		{modelETag("tabular", 0xdef, 9, true), false},  // other boot epoch
+		{"", false},
+	}
+	for _, c := range cases {
+		if got := etagMatches(c.header, etag); got != c.want {
+			t.Fatalf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		}
+	}
+}

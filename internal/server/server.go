@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"p2b/internal/bandit"
 	"p2b/internal/mat"
@@ -130,7 +131,9 @@ type shard struct {
 // Server aggregates interaction reports into global models. All methods
 // are safe for concurrent use.
 type Server struct {
-	cfg    Config
+	cfg   Config
+	epoch uint64 // boot nonce qualifying ModelVersion across restarts
+
 	shards []shard
 	// hint is the shard an uncontended caller keeps reusing. Affinity
 	// matters: consecutive batches from one goroutine then land in cells
@@ -177,7 +180,7 @@ func New(cfg Config) *Server {
 			cfg.Shards = 16
 		}
 	}
-	s := &Server{cfg: cfg, shards: make([]shard, cfg.Shards)}
+	s := &Server{cfg: cfg, epoch: uint64(time.Now().UnixNano()), shards: make([]shard, cfg.Shards)}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.cells = make([]tabCell, cfg.K*cfg.Arms)
@@ -231,6 +234,21 @@ func (s *Server) version() uint64 {
 	}
 	return v
 }
+
+// ModelVersion returns the monotonic version of the global models: it
+// increases on every ingestion (Deliver or IngestRaw) and never decreases
+// within one server process. The HTTP model route uses it as the ETag
+// value, so a fleet polling an unchanged model is answered with 304s
+// instead of payloads.
+func (s *Server) ModelVersion() uint64 { return s.version() }
+
+// ModelEpoch returns the server's boot nonce. The version counter is
+// in-memory and restarts from near zero after a crash recovery, so an ETag
+// built from the version alone could collide across restarts and validate
+// a stale client model with a false 304; qualifying the tag with the epoch
+// makes every restart invalidate fleet caches instead (one cheap re-fetch
+// per client, always correct).
+func (s *Server) ModelEpoch() uint64 { return s.epoch }
 
 // Deliver folds one shuffled batch into the tabular global model (and the
 // centroid model when a decoder is configured). It implements
@@ -305,8 +323,18 @@ func (s *Server) IngestRaw(t transport.RawTuple) error {
 // TabularSnapshot returns a deep copy of the global tabular model for
 // distribution to private agents.
 func (s *Server) TabularSnapshot() *bandit.TabularState {
+	st, _ := s.TabularModel()
+	return st
+}
+
+// TabularModel returns the tabular snapshot together with the model version
+// it is keyed under. An ingestion racing the call may already be included
+// in the snapshot while the version predates it; the version then changes
+// again once the race settles, so a poller never gets stuck on a stale tag.
+func (s *Server) TabularModel() (*bandit.TabularState, uint64) {
 	s.snapshots.Add(1)
-	return s.tabCache.get(s.version(), s.buildTabular, cloneTabular)
+	v := s.version()
+	return s.tabCache.get(v, s.buildTabular, cloneTabular), v
 }
 
 func (s *Server) buildTabular() *bandit.TabularState {
@@ -339,23 +367,40 @@ func cloneTabular(st *bandit.TabularState) *bandit.TabularState {
 // LinUCBSnapshot returns a deep copy of the global LinUCB model for
 // distribution to non-private agents.
 func (s *Server) LinUCBSnapshot() *bandit.LinUCBState {
+	st, _ := s.LinUCBModel()
+	return st
+}
+
+// LinUCBModel returns the LinUCB baseline snapshot together with the model
+// version it is keyed under (see TabularModel for the race semantics).
+func (s *Server) LinUCBModel() (*bandit.LinUCBState, uint64) {
 	s.snapshots.Add(1)
-	return s.linCache.get(s.version(), func() *bandit.LinUCBState {
+	v := s.version()
+	return s.linCache.get(v, func() *bandit.LinUCBState {
 		return s.buildLin(func(sh *shard) *linAccum { return sh.lin })
-	}, cloneLin)
+	}, cloneLin), v
 }
 
 // CentroidSnapshot returns a deep copy of the centroid global model for
 // distribution to centroid-learner private agents. It returns nil when the
 // server was built without a Decoder.
 func (s *Server) CentroidSnapshot() *bandit.LinUCBState {
+	st, _ := s.CentroidModel()
+	return st
+}
+
+// CentroidModel returns the centroid snapshot together with the model
+// version it is keyed under. The snapshot is nil when the server was built
+// without a Decoder.
+func (s *Server) CentroidModel() (*bandit.LinUCBState, uint64) {
 	if s.cfg.Decoder == nil {
-		return nil
+		return nil, s.version()
 	}
 	s.snapshots.Add(1)
-	return s.centCache.get(s.version(), func() *bandit.LinUCBState {
+	v := s.version()
+	return s.centCache.get(v, func() *bandit.LinUCBState {
 		return s.buildLin(func(sh *shard) *linAccum { return sh.cent })
-	}, cloneLin)
+	}, cloneLin), v
 }
 
 // buildLin merges the selected accumulator across shards and converts the

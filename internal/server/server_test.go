@@ -195,3 +195,56 @@ func TestConfigAccessor(t *testing.T) {
 		t.Fatalf("config %+v", cfg)
 	}
 }
+
+func TestVersionedModelGetters(t *testing.T) {
+	s := newTestServer()
+	if v := s.ModelVersion(); v != 0 {
+		t.Fatalf("fresh server at version %d", v)
+	}
+	st, v := s.TabularModel()
+	if v != 0 || st == nil {
+		t.Fatalf("empty snapshot versioned %d", v)
+	}
+	s.Deliver([]transport.Tuple{{Code: 1, Action: 1, Reward: 1}})
+	st2, v2 := s.TabularModel()
+	if v2 <= v {
+		t.Fatalf("version did not advance on Deliver: %d -> %d", v, v2)
+	}
+	if st2.Count[1*3+1] != 1 {
+		t.Fatalf("snapshot at version %d misses the delivered tuple", v2)
+	}
+	// The raw model advances the same counter.
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 0, Reward: 1}); err != nil {
+		t.Fatal(err)
+	}
+	lin, v3 := s.LinUCBModel()
+	if v3 <= v2 || lin.N[0] != 1 {
+		t.Fatalf("raw ingest not reflected: version %d -> %d, N=%v", v2, v3, lin.N)
+	}
+	// Versions are monotonic under concurrent ingestion.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		last := uint64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := s.ModelVersion()
+			if v < last {
+				t.Error("model version regressed")
+				return
+			}
+			last = v
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		s.Deliver([]transport.Tuple{{Code: i % 4, Action: i % 3, Reward: 0.5}})
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,245 @@
+// Binary model wire format. The versioned model-sync route (GET
+// /server/model) distributes global model snapshots to device fleets; this
+// file defines the compact binary encoding those snapshots travel in,
+// following the P2B1 batch codec conventions (magic header, uvarint/varint
+// prefixes, little-endian float64 payloads).
+//
+// Layout:
+//
+//	stream  := magic "P2BM" uvarint(version) byte(kind) payload
+//	kind    := 1 (tabular) | 2 (linear)
+//	tabular := uvarint(k) uvarint(arms) f64le(alpha)
+//	           k*arms f64le counts, k*arms f64le sums
+//	linear  := uvarint(d) uvarint(arms) f64le(alpha)
+//	           per arm: d*d f64le a_inv (row-major), d f64le b, uvarint(n)
+//
+// The version is the server's monotonic model version at snapshot time; it
+// doubles as the ETag value of the HTTP route, so a fleet polling an
+// unchanged model costs 304s, not payloads. Unlike the batch stream, a
+// model stream is a single bounded message, so the decoder works on a fully
+// read body rather than a frame reader.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"p2b/internal/bandit"
+)
+
+// ContentTypeModel is the content type of the binary model encoding,
+// negotiated on GET /server/model via the Accept header (JSON is the
+// fallback).
+const ContentTypeModel = "application/x-p2b-model"
+
+// ModelMagic opens every binary model stream.
+const ModelMagic = "P2BM"
+
+// Model kind tags on the wire.
+const (
+	modelKindTabular = 1
+	modelKindLinear  = 2
+)
+
+// maxModelCells bounds the cell count a decoder will allocate for: 1<<24
+// float64 cells is 128 MiB of model, far beyond any real deployment, so
+// anything larger is corruption or an attack on the client's memory.
+const maxModelCells = 1 << 24
+
+// ErrBadModelMagic reports a model stream that does not open with ModelMagic.
+var ErrBadModelMagic = errors.New(`transport: model stream does not start with magic "P2BM"`)
+
+func appendFloat64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendTabularModel appends the binary encoding of a versioned tabular
+// snapshot to dst and returns the extended slice.
+func AppendTabularModel(dst []byte, version uint64, st *bandit.TabularState) []byte {
+	dst = append(dst, ModelMagic...)
+	dst = binary.AppendUvarint(dst, version)
+	dst = append(dst, modelKindTabular)
+	dst = binary.AppendUvarint(dst, uint64(st.K))
+	dst = binary.AppendUvarint(dst, uint64(st.Arms))
+	dst = appendFloat64(dst, st.Alpha)
+	for _, v := range st.Count {
+		dst = appendFloat64(dst, v)
+	}
+	for _, v := range st.Sum {
+		dst = appendFloat64(dst, v)
+	}
+	return dst
+}
+
+// AppendLinearModel appends the binary encoding of a versioned LinUCB
+// snapshot to dst and returns the extended slice.
+func AppendLinearModel(dst []byte, version uint64, st *bandit.LinUCBState) []byte {
+	dst = append(dst, ModelMagic...)
+	dst = binary.AppendUvarint(dst, version)
+	dst = append(dst, modelKindLinear)
+	dst = binary.AppendUvarint(dst, uint64(st.D))
+	dst = binary.AppendUvarint(dst, uint64(st.Arms))
+	dst = appendFloat64(dst, st.Alpha)
+	for a := 0; a < st.Arms; a++ {
+		for _, v := range st.AInv[a] {
+			dst = appendFloat64(dst, v)
+		}
+		for _, v := range st.B[a] {
+			dst = appendFloat64(dst, v)
+		}
+		var n int64
+		if a < len(st.N) {
+			n = st.N[a]
+		}
+		dst = binary.AppendUvarint(dst, uint64(n))
+	}
+	return dst
+}
+
+// modelReader walks a fully read model stream.
+type modelReader struct {
+	data []byte
+	at   int
+}
+
+func (mr *modelReader) uvarint(what string) (uint64, error) {
+	v, w := binary.Uvarint(mr.data[mr.at:])
+	if w <= 0 {
+		return 0, fmt.Errorf("transport: model stream: malformed %s", what)
+	}
+	mr.at += w
+	return v, nil
+}
+
+func (mr *modelReader) float64s(dst []float64, what string) error {
+	need := 8 * len(dst)
+	if len(mr.data)-mr.at < need {
+		return fmt.Errorf("transport: model stream: truncated %s", what)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(mr.data[mr.at:]))
+		mr.at += 8
+	}
+	return nil
+}
+
+// DecodeModel parses one binary model stream. Exactly one of the returned
+// states is non-nil, matching the stream's kind tag.
+func DecodeModel(data []byte) (version uint64, tab *bandit.TabularState, lin *bandit.LinUCBState, err error) {
+	if len(data) < len(ModelMagic) || string(data[:len(ModelMagic)]) != ModelMagic {
+		return 0, nil, nil, ErrBadModelMagic
+	}
+	mr := &modelReader{data: data, at: len(ModelMagic)}
+	version, err = mr.uvarint("version")
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if mr.at >= len(data) {
+		return 0, nil, nil, errors.New("transport: model stream: missing kind tag")
+	}
+	kind := data[mr.at]
+	mr.at++
+	switch kind {
+	case modelKindTabular:
+		tab, err = mr.tabular()
+	case modelKindLinear:
+		lin, err = mr.linear()
+	default:
+		return 0, nil, nil, fmt.Errorf("transport: model stream: unknown kind %d", kind)
+	}
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if mr.at != len(data) {
+		return 0, nil, nil, fmt.Errorf("transport: model stream: %d trailing bytes", len(data)-mr.at)
+	}
+	return version, tab, lin, nil
+}
+
+func (mr *modelReader) tabular() (*bandit.TabularState, error) {
+	k, err := mr.uvarint("k")
+	if err != nil {
+		return nil, err
+	}
+	arms, err := mr.uvarint("arms")
+	if err != nil {
+		return nil, err
+	}
+	// Each factor is bounded before multiplying: a crafted header with
+	// k, arms near 2^32 would otherwise wrap k*arms around uint64 and
+	// slip past the cell bound into a huge (or panicking) allocation.
+	if k == 0 || arms == 0 || k > maxModelCells || arms > maxModelCells || k > maxModelCells/arms {
+		return nil, fmt.Errorf("transport: model stream: implausible tabular shape k=%d arms=%d", k, arms)
+	}
+	st := &bandit.TabularState{
+		K:     int(k),
+		Arms:  int(arms),
+		Count: make([]float64, k*arms),
+		Sum:   make([]float64, k*arms),
+	}
+	var alpha [1]float64
+	if err := mr.float64s(alpha[:], "alpha"); err != nil {
+		return nil, err
+	}
+	st.Alpha = alpha[0]
+	if err := mr.float64s(st.Count, "counts"); err != nil {
+		return nil, err
+	}
+	if err := mr.float64s(st.Sum, "sums"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (mr *modelReader) linear() (*bandit.LinUCBState, error) {
+	d, err := mr.uvarint("d")
+	if err != nil {
+		return nil, err
+	}
+	arms, err := mr.uvarint("arms")
+	if err != nil {
+		return nil, err
+	}
+	// Stepwise bounds, for the same overflow reason as the tabular guard:
+	// with d and arms individually capped at maxModelCells (2^24), d*d+d
+	// stays far below 2^64, and the final product is checked by division.
+	if d == 0 || arms == 0 || d > maxModelCells || arms > maxModelCells {
+		return nil, fmt.Errorf("transport: model stream: implausible linear shape d=%d arms=%d", d, arms)
+	}
+	if cells := d*d + d; cells > maxModelCells || arms > maxModelCells/cells {
+		return nil, fmt.Errorf("transport: model stream: implausible linear shape d=%d arms=%d", d, arms)
+	}
+	st := &bandit.LinUCBState{
+		D:    int(d),
+		Arms: int(arms),
+		AInv: make([][]float64, arms),
+		B:    make([][]float64, arms),
+		N:    make([]int64, arms),
+	}
+	var alpha [1]float64
+	if err := mr.float64s(alpha[:], "alpha"); err != nil {
+		return nil, err
+	}
+	st.Alpha = alpha[0]
+	for a := 0; a < int(arms); a++ {
+		st.AInv[a] = make([]float64, d*d)
+		if err := mr.float64s(st.AInv[a], "a_inv"); err != nil {
+			return nil, err
+		}
+		st.B[a] = make([]float64, d)
+		if err := mr.float64s(st.B[a], "b"); err != nil {
+			return nil, err
+		}
+		n, err := mr.uvarint("n")
+		if err != nil {
+			return nil, err
+		}
+		if n > math.MaxInt64 {
+			return nil, fmt.Errorf("transport: model stream: arm %d pull count overflows int64", a)
+		}
+		st.N[a] = int64(n)
+	}
+	return st, nil
+}

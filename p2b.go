@@ -25,17 +25,32 @@
 //	eval := sys.RunRange(1_000_000, 500, false) // fresh cohort, no sharing
 //	fmt.Println("reward:", eval.Overall.Mean(), "epsilon:", sys.Epsilon())
 //
+// # Device SDK
+//
+// Package p2b/agent is the device-side SDK: an embeddable agent.Agent with
+// a Select/Observe/Finish lifecycle that owns the encoder, the local
+// learner, warm-start from the global model and randomized-participation
+// reporting, behind two pluggable seams (agent.Transport, agent.ModelSource)
+// with in-process and HTTP implementations. The population simulator here
+// (System) drives exactly that SDK, so simulated results transfer to real
+// deployments.
+//
 // The full experiment harness reproducing every figure of the paper lives
 // behind cmd/p2bbench; see DESIGN.md for the per-experiment index.
 package p2b
 
 import (
+	"net/http"
+
 	"p2b/internal/adlogs"
 	"p2b/internal/core"
 	"p2b/internal/encoding"
+	"p2b/internal/httpapi"
 	"p2b/internal/mlabel"
 	"p2b/internal/privacy"
 	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
 	"p2b/internal/synthetic"
 )
 
@@ -58,6 +73,13 @@ type (
 	Encoder = encoding.Encoder
 	// Rand is the deterministic random stream all components draw from.
 	Rand = rng.Rand
+	// Server is the analyzer: it folds privacy-scrubbed batches into the
+	// global models and serves versioned snapshots. Exposed so SDK users
+	// can wire an agent.Loopback to a System's components.
+	Server = server.Server
+	// Shuffler is the trusted anonymize/shuffle/threshold stage between
+	// agents and the Server.
+	Shuffler = shuffler.Shuffler
 )
 
 // Operation modes (the paper's three evaluation regimes).
@@ -89,6 +111,35 @@ const (
 // sample from the environment.
 func NewSystem(cfg Config, env Environment, enc Encoder) (*System, error) {
 	return core.NewSystem(cfg, env, enc)
+}
+
+// AnalyzerConfig describes the model shapes a standalone analyzer Server
+// maintains; see the field docs in internal/server.
+type AnalyzerConfig = server.Config
+
+// NewAnalyzerServer builds a standalone analyzer server — the node-side
+// component that folds privacy-scrubbed batches into global models and
+// serves versioned snapshots. Combine it with NewShuffler and
+// NewNodeHandler to embed a full P2B node, or wire agent.NewLoopback to it
+// for an in-process deployment.
+func NewAnalyzerServer(cfg AnalyzerConfig) *Server { return server.New(cfg) }
+
+// ShufflerConfig holds the trusted shuffler's batch size and
+// crowd-blending threshold.
+type ShufflerConfig = shuffler.Config
+
+// NewShuffler builds a trusted shuffler delivering anonymized, shuffled,
+// thresholded batches to the analyzer server, drawing permutation
+// randomness from r.
+func NewShuffler(cfg ShufflerConfig, srv *Server, r *Rand) *Shuffler {
+	return shuffler.New(cfg, srv, r)
+}
+
+// NewNodeHandler mounts the shuffler and server HTTP surfaces on one
+// handler — the layout cmd/p2bnode serves and the agent SDK's HTTP
+// transport and model source speak to.
+func NewNodeHandler(shuf *Shuffler, srv *Server) http.Handler {
+	return httpapi.NewNodeHandler(shuf, srv)
 }
 
 // NewRand returns a seeded deterministic random stream.
