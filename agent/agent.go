@@ -159,8 +159,13 @@ type RawReporter interface {
 // agents. Implementations must be safe for concurrent use.
 type ModelSource interface {
 	// Model returns the current global model of the given kind. The
-	// snapshot is read-only and may be shared across calls: warm-starting
-	// deep-copies it into the local learner, so sharing is safe.
+	// snapshot is read-only and shared: every caller at one model version
+	// may receive the same immutable value (Loopback hands out the
+	// server's shared master, HTTPSource its cached decode), and
+	// warm-starting deep-copies it into the local learner's own buffers —
+	// so a fleet of agents shares one snapshot build and still mutates
+	// freely. Callers must never write through the returned pointers; use
+	// the state types' Clone for a private mutable copy.
 	Model(kind ModelKind) (Model, error)
 }
 

@@ -56,7 +56,11 @@ func (l *Loopback) Flush() error {
 }
 
 // Model returns the server's current snapshot of the given kind, keyed by
-// the monotonic model version.
+// the monotonic model version. The snapshot is the server's shared
+// immutable master — built once per model version and handed to every
+// caller — so a simulated fleet of any size warm-starts off one build, not
+// one copy per user. Warm-starting deep-copies into the local learner
+// (copy-on-warm-start), so holders never need to mutate it.
 func (l *Loopback) Model(kind ModelKind) (Model, error) {
 	switch kind {
 	case ModelTabular:

@@ -1,0 +1,101 @@
+package agent
+
+import (
+	"reflect"
+	"testing"
+
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/transport"
+)
+
+// codeEncoder is a deterministic test encoder over a fixed code space.
+type codeEncoder struct{ k int }
+
+func (e codeEncoder) Encode(x []float64) int { return int(x[0]*1e6) % e.k }
+func (e codeEncoder) K() int                 { return e.k }
+
+// TestWarmStartCannotMutateSharedSnapshot is the immutability referee for
+// the shared read path: the server hands every warm start the same
+// snapshot, so an agent that learns (mutates its local state) must be
+// provably unable to write through it.
+func TestWarmStartCannotMutateSharedSnapshot(t *testing.T) {
+	srv := server.New(server.Config{K: 16, Arms: 4, D: 3, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 8, Threshold: 0}, srv, rng.New(2))
+	batch := make([]transport.Tuple, 64)
+	for i := range batch {
+		batch[i] = transport.Tuple{Code: i % 16, Action: i % 4, Reward: 0.5}
+	}
+	srv.Deliver(batch)
+	for i := 0; i < 12; i++ {
+		if err := srv.IngestRaw(transport.RawTuple{Context: []float64{0.5, 0.3, 0.2}, Action: i % 4, Reward: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loop := NewLoopback(shuf, srv)
+
+	tabShared, _ := srv.TabularModel()
+	tabRef := tabShared.Clone()
+	linShared, _ := srv.LinUCBModel()
+	linRef := linShared.Clone()
+
+	// Two agents warm-start off the same shared snapshots and learn.
+	tabAgent, err := New(Config{Policy: PolicyTabular, Encoder: codeEncoder{k: 16}, Source: loop, Rand: rng.New(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linAgent, err := New(Config{Policy: PolicyLinUCB, Source: loop, Rand: rng.New(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.5, 0.3, 0.2}
+	for i := 0; i < 50; i++ {
+		tabAgent.Observe(tabAgent.Select(x), 1)
+		linAgent.Observe(linAgent.Select(x), 1)
+	}
+
+	// The shared masters are bit-identical to their pre-warm-start copies:
+	// learning happened in the agents' private buffers only.
+	tabNow, _ := srv.TabularModel()
+	if tabNow != tabShared {
+		t.Fatal("tabular master rebuilt with no ingestion in between")
+	}
+	if !reflect.DeepEqual(tabNow, tabRef) {
+		t.Fatal("agent updates leaked into the shared tabular snapshot")
+	}
+	linNow, _ := srv.LinUCBModel()
+	if linNow != linShared {
+		t.Fatal("LinUCB master rebuilt with no ingestion in between")
+	}
+	if !reflect.DeepEqual(linNow, linRef) {
+		t.Fatal("agent updates leaked into the shared LinUCB snapshot")
+	}
+}
+
+// TestFleetSharesOneSnapshotBuild pins the scaling contract the paper's
+// warm-start regime rests on: N agents joining at one model version cost
+// one snapshot build, not N.
+func TestFleetSharesOneSnapshotBuild(t *testing.T) {
+	srv := server.New(server.Config{K: 16, Arms: 4, D: 3, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 8, Threshold: 0}, srv, rng.New(2))
+	srv.Deliver([]transport.Tuple{{Code: 1, Action: 1, Reward: 1}})
+	loop := NewLoopback(shuf, srv)
+	const fleet = 100
+	for i := 0; i < fleet; i++ {
+		ag, err := New(Config{Policy: PolicyTabular, Encoder: codeEncoder{k: 16}, Source: loop, Rand: rng.New(uint64(i) + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ag.WarmStarted() {
+			t.Fatalf("agent %d did not warm-start", i)
+		}
+	}
+	st := srv.Stats()
+	if st.SnapshotBuilds != 1 {
+		t.Fatalf("%d warm starts built %d snapshots, want 1 shared build", fleet, st.SnapshotBuilds)
+	}
+	if st.SnapshotHits != fleet-1 {
+		t.Fatalf("snapshot hits = %d, want %d", st.SnapshotHits, fleet-1)
+	}
+}

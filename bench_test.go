@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"testing"
 
+	"p2b/agent"
 	"p2b/internal/bandit"
 	"p2b/internal/core"
 	"p2b/internal/encoding"
@@ -319,6 +320,74 @@ func BenchmarkTabularSnapshot(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = srv.TabularSnapshot()
+	}
+}
+
+// benchCodeEncoder is a trivial deterministic Encoder: warm-start cost, not
+// encoding cost, is what the fleet benchmarks measure.
+type benchCodeEncoder struct{ k int }
+
+func (e benchCodeEncoder) Encode(x []float64) int {
+	return int(x[0]*1e6) % e.k
+}
+func (e benchCodeEncoder) K() int { return e.k }
+
+// BenchmarkFleetWarmStart measures the per-device cost of joining a warm
+// fleet: one agent.New warm-starting from the server's tabular model
+// through the in-process Loopback — the exact path a simulated 10^6-user
+// population pays once per user. The global snapshot must be built once
+// per model version and shared; per-agent cost is the learner's own
+// buffers, not another copy of the global model.
+func BenchmarkFleetWarmStart(b *testing.B) {
+	srv := server.New(server.Config{K: 1024, Arms: 20, D: 10, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 256, Threshold: 2}, srv, rng.New(2))
+	batch := make([]transport.Tuple, 4096)
+	for i := range batch {
+		batch[i] = transport.Tuple{Code: i % 1024, Action: i % 20, Reward: 0.5}
+	}
+	srv.Deliver(batch)
+	loop := agent.NewLoopback(shuf, srv)
+	enc := benchCodeEncoder{k: 1024}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag, err := agent.New(agent.Config{
+			Policy:  agent.PolicyTabular,
+			Encoder: enc,
+			Source:  loop,
+			Rand:    rng.New(uint64(i) + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ag.WarmStarted() {
+			b.Fatal("agent did not warm-start")
+		}
+	}
+}
+
+// BenchmarkLinSnapshotBuild measures one LinUCB snapshot rebuild (shard
+// merge + per-arm ridge inversions) at a size where the O(arms d^3)
+// inversions dominate — the cost every model-version bump pays once.
+func BenchmarkLinSnapshotBuild(b *testing.B) {
+	const d, arms = 48, 16
+	srv := server.New(server.Config{K: 16, Arms: arms, D: d, Alpha: 1, Seed: 1})
+	x := rng.New(5).Simplex(d)
+	for a := 0; a < arms; a++ {
+		if err := srv.IngestRaw(transport.RawTuple{Context: x, Action: a, Reward: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Bump the version so every iteration pays a real rebuild.
+		if err := srv.IngestRaw(transport.RawTuple{Context: x, Action: i % arms, Reward: 0.5}); err != nil {
+			b.Fatal(err)
+		}
+		if st, _ := srv.LinUCBModel(); st == nil {
+			b.Fatal("nil snapshot")
+		}
 	}
 }
 

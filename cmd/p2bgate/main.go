@@ -89,11 +89,13 @@ func refreshBaselines(dir string) error {
 		return err
 	}
 
-	fmt.Println("p2bgate: running http-pipeline experiment (p2bbench)")
-	bench := exec.Command("go", "run", "./cmd/p2bbench", "-experiment", "http-pipeline", "-json", "-quiet", "-out", dir)
-	bench.Stdout, bench.Stderr = os.Stdout, os.Stderr
-	if err := bench.Run(); err != nil {
-		return fmt.Errorf("p2bbench: %w", err)
+	for _, exp := range benchgate.GateExperiments {
+		fmt.Printf("p2bgate: running %s experiment (p2bbench)\n", exp)
+		bench := exec.Command("go", "run", "./cmd/p2bbench", "-experiment", exp, "-json", "-quiet", "-out", dir)
+		bench.Stdout, bench.Stderr = os.Stdout, os.Stderr
+		if err := bench.Run(); err != nil {
+			return fmt.Errorf("p2bbench %s: %w", exp, err)
+		}
 	}
 
 	fmt.Printf("p2bgate: running guard benchmarks %s\n", benchgate.GuardBenchRegex)

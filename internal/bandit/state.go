@@ -10,6 +10,14 @@ import (
 
 // LinUCBState is a serializable snapshot of a LinUCB policy. The server
 // distributes these to warm-start new agents in the non-private pipeline.
+//
+// Snapshot sharing contract: a state handed out by the server's model
+// getters is a shared immutable value — one build per model version serves
+// every reader, so holders must treat it as read-only. The explicit copy
+// points are Clone (a private mutable copy of the snapshot itself) and the
+// NewLinUCBFromState / NewTabularUCBFromState constructors, which deep-copy
+// the state into the learner's own buffers: a warm-started learner can
+// mutate freely without write access to the shared snapshot.
 type LinUCBState struct {
 	Alpha float64     `json:"alpha"`
 	D     int         `json:"d"`
@@ -36,9 +44,27 @@ func (l *LinUCB) State() *LinUCBState {
 	return s
 }
 
+// Clone returns a deep copy of the snapshot: the explicit mutable-copy API
+// for holders of a shared read-only state.
+func (s *LinUCBState) Clone() *LinUCBState {
+	out := *s
+	out.AInv = make([][]float64, len(s.AInv))
+	out.B = make([][]float64, len(s.B))
+	for a := range s.AInv {
+		out.AInv[a] = append([]float64(nil), s.AInv[a]...)
+	}
+	for a := range s.B {
+		out.B[a] = append([]float64(nil), s.B[a]...)
+	}
+	out.N = append([]int64(nil), s.N...)
+	return &out
+}
+
 // NewLinUCBFromState reconstructs a policy from a snapshot, drawing
 // tie-break randomness from r. The state is deep-copied, so the new policy
-// and later uses of the snapshot are independent.
+// and later uses of the snapshot are independent — this is the
+// copy-on-warm-start seam that lets a whole fleet warm-start off one shared
+// snapshot.
 func NewLinUCBFromState(s *LinUCBState, r *rng.Rand) (*LinUCB, error) {
 	if s.D <= 0 || s.Arms <= 0 {
 		return nil, fmt.Errorf("bandit: invalid LinUCB state shape d=%d arms=%d", s.D, s.Arms)
@@ -65,6 +91,8 @@ func (l *LinUCB) MarshalJSON() ([]byte, error) { return json.Marshal(l.State()) 
 
 // TabularState is a serializable snapshot of a TabularUCB policy. The
 // server distributes these to warm-start agents in the private pipeline.
+// Server-distributed snapshots are shared and read-only; see LinUCBState
+// for the sharing contract.
 type TabularState struct {
 	Alpha float64   `json:"alpha"`
 	K     int       `json:"k"`
@@ -84,8 +112,18 @@ func (t *TabularUCB) State() *TabularState {
 	}
 }
 
+// Clone returns a deep copy of the snapshot: the explicit mutable-copy API
+// for holders of a shared read-only state.
+func (s *TabularState) Clone() *TabularState {
+	out := *s
+	out.Count = append([]float64(nil), s.Count...)
+	out.Sum = append([]float64(nil), s.Sum...)
+	return &out
+}
+
 // NewTabularUCBFromState reconstructs a policy from a snapshot, drawing
-// tie-break randomness from r.
+// tie-break randomness from r. The state is deep-copied into the learner's
+// own buffers (copy-on-warm-start; see LinUCBState).
 func NewTabularUCBFromState(s *TabularState, r *rng.Rand) (*TabularUCB, error) {
 	if s.K <= 0 || s.Arms <= 0 {
 		return nil, fmt.Errorf("bandit: invalid tabular state shape k=%d arms=%d", s.K, s.Arms)

@@ -38,11 +38,17 @@ const DefaultTolerance = 0.30
 // It is the single source of truth: `p2bgate -update` runs it, and the
 // GUARD_BENCH_REGEX env var in .github/workflows/ci.yml must stay equal to
 // it (the workflow cannot import Go constants).
-const GuardBenchRegex = "^(BenchmarkKMeansEncode|BenchmarkLinUCBSelect|BenchmarkLinUCBUpdate|BenchmarkTabularSelect|BenchmarkServerDeliver|BenchmarkServerDeliverSerial|BenchmarkShufflerThroughput|BenchmarkIngestBinary)$"
+const GuardBenchRegex = "^(BenchmarkKMeansEncode|BenchmarkLinUCBSelect|BenchmarkLinUCBUpdate|BenchmarkTabularSelect|BenchmarkServerDeliver|BenchmarkServerDeliverSerial|BenchmarkShufflerThroughput|BenchmarkIngestBinary|BenchmarkModelGet|BenchmarkFleetWarmStart|BenchmarkLinSnapshotBuild)$"
 
 // GuardBenchPackages are the package paths `go test -bench` runs the guard
 // regex against, in the exact order the CI workflow uses.
 var GuardBenchPackages = []string{".", "./internal/httpapi/"}
+
+// GateExperiments are the p2bbench experiments whose BENCH_<id>.json
+// outputs the gate compares. Like GuardBenchRegex it is the single source
+// of truth: `p2bgate -update` regenerates every listed experiment, and the
+// CI workflow must run the same list (pinned by a test in sync_test.go).
+var GateExperiments = []string{"http-pipeline", "model_path"}
 
 // Config is the committed gate description (gate.json in the baseline
 // directory).

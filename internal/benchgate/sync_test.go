@@ -19,3 +19,19 @@ func TestGuardBenchRegexMatchesWorkflow(t *testing.T) {
 		t.Fatalf("ci.yml GUARD_BENCH_REGEX diverged from benchgate.GuardBenchRegex:\nwant line containing %s", want)
 	}
 }
+
+// The bench-gate job must run every experiment the gate compares; a
+// missing run would fail the gate with "file missing", but catching the
+// drift here names the actual mistake.
+func TestGateExperimentsMatchWorkflow(t *testing.T) {
+	data, err := os.ReadFile("../../.github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading workflow: %v", err)
+	}
+	for _, exp := range GateExperiments {
+		want := "-experiment " + exp
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("ci.yml does not run gate experiment %q (want a p2bbench invocation containing %q)", exp, want)
+		}
+	}
+}

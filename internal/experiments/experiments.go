@@ -134,11 +134,12 @@ var Registry = map[string]func(Options) (*Result, error){
 
 	// Systems experiments (no paper counterpart).
 	"http-pipeline": HTTPPipeline,
+	"model_path":    ModelPath,
 }
 
 // Names returns the registry keys in a stable order.
 func Names() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "headline",
 		"ab-encoder", "ab-p", "ab-l", "ab-k", "ab-policy", "ab-learner",
-		"http-pipeline"}
+		"http-pipeline", "model_path"}
 }

@@ -8,12 +8,15 @@
 //	           GET  /stats          shuffler.Stats
 //	server:    GET  /model          versioned model sync (ETag/304, binary
 //	                                or JSON negotiated via Accept;
-//	                                ?kind=tabular|linucb|centroid)
-//	           GET  /model/tabular  bandit.TabularState
-//	           GET  /model/linucb   bandit.LinUCBState
+//	                                ?kind=tabular|linucb|centroid; served
+//	                                from cached encoded payloads, one
+//	                                build per model version)
+//	           GET  /model/tabular  bandit.TabularState (same cached JSON)
+//	           GET  /model/linucb   bandit.LinUCBState (same cached JSON)
 //	           POST /raw            one transport.RawTuple (baseline path)
-//	           GET  /stats          server.Stats
-//	node:      GET  /healthz            liveness + persistence status
+//	           GET  /stats          server.Stats + model_reads counters
+//	node:      GET  /healthz            liveness + model shapes + read-path
+//	                                    counters + persistence status
 //	           POST /admin/checkpoint   force a durable checkpoint
 //	                                    (durable nodes only)
 //
@@ -47,6 +50,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2b/internal/bandit"
@@ -129,20 +133,32 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 		ing = shufflerIngestor{shuf}
 	}
 	mux := http.NewServeMux()
+	sh := newServerHandler(srv)
 	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandler(shuf, ing)))
-	mux.Handle("/server/", http.StripPrefix("/server", NewServerHandler(srv)))
+	mux.Handle("/server/", http.StripPrefix("/server", sh.routes()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		cfg := srv.Config()
+		// Atomic counters only — the preflight probe every device hits
+		// must not lock-sweep the ingestion shards like full Stats does.
+		snapHits, snapBuilds := srv.SnapshotCacheStats()
 		status := struct {
-			Status  string      `json:"status"`
-			Model   ModelShapes `json:"model"`
-			Persist any         `json:"persist,omitempty"`
+			Status string      `json:"status"`
+			Model  ModelShapes `json:"model"`
+			// Read-path health: snapshot-cache and encoded-payload
+			// counters, so a fleet operator can see from one probe whether
+			// model GETs are being served from shared builds (hits/304s
+			// climbing) or are rebuilding per request.
+			Snapshots  SnapshotCacheStats `json:"snapshots"`
+			ModelReads ModelReadStats     `json:"model_reads"`
+			Persist    any                `json:"persist,omitempty"`
 		}{
 			Status: "ok",
 			// Shapes ride along so a fleet's preflight can validate its
 			// -k/-arms/-d flags with this one cheap probe instead of
 			// downloading full model payloads.
-			Model: ModelShapes{K: cfg.K, Arms: cfg.Arms, D: cfg.D, Version: srv.ModelVersion()},
+			Model:      ModelShapes{K: cfg.K, Arms: cfg.Arms, D: cfg.D, Version: srv.ModelVersion()},
+			Snapshots:  SnapshotCacheStats{Hits: snapHits, Builds: snapBuilds},
+			ModelReads: sh.ReadStats(),
 		}
 		if opts.Health != nil {
 			status.Persist = opts.Health()
@@ -251,15 +267,77 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 // are registered with method patterns, so a wrong-method request gets the
 // mux's 405 (with an Allow header) without per-handler boilerplate.
 func NewServerHandler(s *server.Server) http.Handler {
+	return newServerHandler(s).routes()
+}
+
+// ModelReadStats counts the encoded-payload cache traffic of the model
+// routes. Together with the server's SnapshotHits/SnapshotBuilds it tells
+// a fleet operator whether the read path is healthy: steady state is
+// PayloadHits and NotModified growing while PayloadBuilds tracks model
+// version bumps.
+type ModelReadStats struct {
+	PayloadHits   int64 `json:"payload_hits"`   // responses served from cached encoded bytes
+	PayloadBuilds int64 `json:"payload_builds"` // snapshot-encode rebuilds (version advanced)
+	NotModified   int64 `json:"not_modified"`   // If-None-Match revalidations answered 304
+}
+
+// modelPayload is one immutable encoded model response: the exact body and
+// validator headers of GET /server/model for one (kind, epoch, version,
+// representation). Once published it is only ever read, so concurrent
+// requests share the bytes without copying.
+type modelPayload struct {
+	version     uint64
+	versionStr  string
+	etag        string
+	contentType string
+	body        []byte
+}
+
+// payloadSlot caches the newest payload of one (kind, representation)
+// pair. Reads are one atomic load; rebuilds are serialized per slot.
+type payloadSlot struct {
+	cur atomic.Pointer[modelPayload]
+	mu  sync.Mutex
+}
+
+// serverHandler owns the analyzer's HTTP surface plus the encoded-payload
+// cache that makes the model read path O(1): steady-state GETs compare a
+// version counter and write cached bytes; If-None-Match revalidations are
+// answered from the version counters alone, never building a snapshot.
+type serverHandler struct {
+	s *server.Server
+	// payload slots: 3 kinds x 2 representations, indexed by payloadIndex.
+	payloads [6]payloadSlot
+
+	payloadHits   atomic.Int64
+	payloadBuilds atomic.Int64
+	notModified   atomic.Int64
+}
+
+func newServerHandler(s *server.Server) *serverHandler {
+	return &serverHandler{s: s}
+}
+
+// ReadStats returns a snapshot of the payload-cache counters.
+func (h *serverHandler) ReadStats() ModelReadStats {
+	return ModelReadStats{
+		PayloadHits:   h.payloadHits.Load(),
+		PayloadBuilds: h.payloadBuilds.Load(),
+		NotModified:   h.notModified.Load(),
+	}
+}
+
+func (h *serverHandler) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /model", func(w http.ResponseWriter, r *http.Request) {
-		serveModel(w, r, s)
-	})
+	mux.HandleFunc("GET /model", h.serveModel)
+	// The legacy inspection routes serve the same cached encoded-JSON
+	// payloads as /model — a debugging curl costs cached bytes, not a
+	// fresh snapshot copy plus a fresh encode.
 	mux.HandleFunc("GET /model/tabular", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.TabularSnapshot())
+		h.servePayload(w, r, ModelKindTabular, false)
 	})
 	mux.HandleFunc("GET /model/linucb", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.LinUCBSnapshot())
+		h.servePayload(w, r, ModelKindLinUCB, false)
 	})
 	mux.HandleFunc("POST /raw", func(w http.ResponseWriter, r *http.Request) {
 		var t transport.RawTuple
@@ -267,16 +345,23 @@ func NewServerHandler(s *server.Server) http.Handler {
 			http.Error(w, err.Error(), statusForBodyError(err))
 			return
 		}
-		if err := s.IngestRaw(t); err != nil {
+		if err := h.s.IngestRaw(t); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Stats())
+		writeJSON(w, serverStatsPayload{Stats: h.s.Stats(), ModelReads: h.ReadStats()})
 	})
 	return mux
+}
+
+// serverStatsPayload is the GET /server/stats response: the ingestion
+// counters extended with the read-path health counters.
+type serverStatsPayload struct {
+	server.Stats
+	ModelReads ModelReadStats `json:"model_reads"`
 }
 
 // Model kinds accepted by GET /server/model?kind=...; the default is
@@ -307,9 +392,16 @@ func modelETag(kind string, epoch, version uint64, binary bool) string {
 }
 
 // etagMatches implements the If-None-Match comparison: a comma-separated
-// list of entity tags (possibly weak-prefixed) or the wildcard "*".
+// list of entity tags (possibly weak-prefixed) or the wildcard "*". It is
+// allocation-free — it runs on every revalidation of every polling device.
 func etagMatches(header, etag string) bool {
-	for _, tag := range strings.Split(header, ",") {
+	for len(header) > 0 {
+		var tag string
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			tag, header = header[:i], header[i+1:]
+		} else {
+			tag, header = header, ""
+		}
 		tag = strings.TrimSpace(tag)
 		tag = strings.TrimPrefix(tag, "W/")
 		if tag == "*" || tag == etag {
@@ -323,9 +415,22 @@ func etagMatches(header, etag string) bool {
 // encoding: an Accept member with the exact binary media type and a
 // non-zero quality selects it, everything else (including no Accept header
 // at all, or the binary type refused with q=0 per RFC 9110 §12.4.2) falls
-// back to JSON.
+// back to JSON. The exact-match fast paths keep the steady-state fleet
+// request (Accept set to precisely one media type) allocation-free.
 func acceptsBinaryModel(r *http.Request) bool {
-	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+	accept := r.Header.Get("Accept")
+	switch accept {
+	case "":
+		return false
+	case transport.ContentTypeModel:
+		return true
+	case "application/json":
+		return false
+	}
+	// Anything else takes the full parse: media types are case-insensitive
+	// (RFC 9110 §8.3.1), so a byte-level Contains shortcut would wrongly
+	// downgrade e.g. "Application/X-P2B-Model" to JSON.
+	for _, part := range strings.Split(accept, ",") {
 		mt, params, err := mime.ParseMediaType(strings.TrimSpace(part))
 		if err != nil || mt != transport.ContentTypeModel {
 			continue
@@ -340,28 +445,51 @@ func acceptsBinaryModel(r *http.Request) bool {
 	return false
 }
 
+// modelKindParam extracts the ?kind= query parameter. The switch on the
+// raw query covers every value real clients send without parsing a
+// url.Values map per request.
+func modelKindParam(r *http.Request) string {
+	switch r.URL.RawQuery {
+	case "":
+		return ModelKindTabular
+	case "kind=" + ModelKindTabular:
+		return ModelKindTabular
+	case "kind=" + ModelKindLinUCB:
+		return ModelKindLinUCB
+	case "kind=" + ModelKindCentroid:
+		return ModelKindCentroid
+	}
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		return kind
+	}
+	return ModelKindTabular
+}
+
+// payloadIndex maps a (kind, representation) pair to its cache slot.
+func payloadIndex(kind string, binary bool) int {
+	i := 0
+	switch kind {
+	case ModelKindLinUCB:
+		i = 1
+	case ModelKindCentroid:
+		i = 2
+	}
+	if binary {
+		i += 3
+	}
+	return i
+}
+
 // serveModel is GET /server/model: the versioned model-sync surface. The
 // snapshot version doubles as a strong ETag, so a fleet whose model has not
 // changed since its last fetch is answered with 304 Not Modified; the body
 // is the P2BM binary encoding when the client Accepts it, JSON otherwise.
-func serveModel(w http.ResponseWriter, r *http.Request, s *server.Server) {
-	kind := r.URL.Query().Get("kind")
-	if kind == "" {
-		kind = ModelKindTabular
-	}
-	var (
-		version uint64
-		tab     *bandit.TabularState
-		lin     *bandit.LinUCBState
-	)
+func (h *serverHandler) serveModel(w http.ResponseWriter, r *http.Request) {
+	kind := modelKindParam(r)
 	switch kind {
-	case ModelKindTabular:
-		tab, version = s.TabularModel()
-	case ModelKindLinUCB:
-		lin, version = s.LinUCBModel()
+	case ModelKindTabular, ModelKindLinUCB:
 	case ModelKindCentroid:
-		lin, version = s.CentroidModel()
-		if lin == nil {
+		if h.s.Config().Decoder == nil {
 			http.Error(w, "httpapi: node maintains no centroid model (no decoder configured)", http.StatusNotFound)
 			return
 		}
@@ -370,31 +498,112 @@ func serveModel(w http.ResponseWriter, r *http.Request, s *server.Server) {
 			kind, ModelKindTabular, ModelKindLinUCB, ModelKindCentroid), http.StatusBadRequest)
 		return
 	}
-	binary := acceptsBinaryModel(r)
-	etag := modelETag(kind, s.ModelEpoch(), version, binary)
-	w.Header().Set("ETag", etag)
-	w.Header().Set("Vary", "Accept")
-	w.Header().Set(ModelVersionHeader, strconv.FormatUint(version, 10))
-	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatches(inm, etag) {
-		w.WriteHeader(http.StatusNotModified)
-		return
+	h.servePayload(w, r, kind, acceptsBinaryModel(r))
+}
+
+// servePayload answers one model request from the encoded-payload cache.
+//
+// The order of operations is what makes the read path cheap under fleet
+// load: the model version is read first (a handful of atomic loads — no
+// locks, no snapshot), so an If-None-Match revalidation at an unchanged
+// version is answered 304 from the version counters alone. Only a request
+// that actually needs bytes consults the payload cache, and only a version
+// bump rebuilds: snapshot fetch (shared, one build per version) + encode,
+// once per (kind, version, representation) for the whole fleet.
+func (h *serverHandler) servePayload(w http.ResponseWriter, r *http.Request, kind string, binary bool) {
+	version := h.s.ModelVersion()
+	slot := &h.payloads[payloadIndex(kind, binary)]
+	p := slot.cur.Load()
+	if inm := r.Header.Get("If-None-Match"); inm != "" {
+		etag := ""
+		if p != nil && p.version == version {
+			etag = p.etag // steady state: no formatting, no allocation
+		} else {
+			etag = modelETag(kind, h.s.ModelEpoch(), version, binary)
+		}
+		if etagMatches(inm, etag) {
+			hd := w.Header()
+			hd.Set("ETag", etag)
+			hd.Set("Vary", "Accept")
+			hd.Set(ModelVersionHeader, strconv.FormatUint(version, 10))
+			w.WriteHeader(http.StatusNotModified)
+			h.notModified.Add(1)
+			return
+		}
+	}
+	if p == nil || p.version != version {
+		p = h.buildPayload(slot, kind, binary, version)
+	} else {
+		h.payloadHits.Add(1)
+	}
+	hd := w.Header()
+	hd.Set("ETag", p.etag)
+	hd.Set("Vary", "Accept")
+	hd.Set(ModelVersionHeader, p.versionStr)
+	hd.Set("Content-Type", p.contentType)
+	_, _ = w.Write(p.body)
+}
+
+// buildPayload encodes the current snapshot of one (kind, representation)
+// into an immutable payload and publishes it in slot. Concurrent builders
+// of one slot collapse: the loser of the lock race finds a fresh payload
+// and returns it. wantVersion is the version the caller observed; the
+// snapshot getter may return a newer one (ingestion racing the read), in
+// which case the payload is keyed — consistently, headers and body — under
+// the newer version.
+func (h *serverHandler) buildPayload(slot *payloadSlot, kind string, binary bool, wantVersion uint64) *modelPayload {
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	if p := slot.cur.Load(); p != nil && p.version >= wantVersion {
+		h.payloadHits.Add(1)
+		return p
+	}
+	var (
+		version uint64
+		tab     *bandit.TabularState
+		lin     *bandit.LinUCBState
+	)
+	switch kind {
+	case ModelKindTabular:
+		tab, version = h.s.TabularModel()
+	case ModelKindLinUCB:
+		lin, version = h.s.LinUCBModel()
+	case ModelKindCentroid:
+		lin, version = h.s.CentroidModel()
+	}
+	p := &modelPayload{
+		version:    version,
+		versionStr: strconv.FormatUint(version, 10),
+		etag:       modelETag(kind, h.s.ModelEpoch(), version, binary),
 	}
 	if binary {
-		var body []byte
+		p.contentType = transport.ContentTypeModel
 		if tab != nil {
-			body = transport.AppendTabularModel(nil, version, tab)
+			p.body = transport.AppendTabularModel(nil, version, tab)
 		} else {
-			body = transport.AppendLinearModel(nil, version, lin)
+			p.body = transport.AppendLinearModel(nil, version, lin)
 		}
-		w.Header().Set("Content-Type", transport.ContentTypeModel)
-		_, _ = w.Write(body)
-		return
-	}
-	if tab != nil {
-		writeJSON(w, tab)
 	} else {
-		writeJSON(w, lin)
+		p.contentType = "application/json"
+		var blob []byte
+		var err error
+		if tab != nil {
+			blob, err = json.Marshal(tab)
+		} else {
+			blob, err = json.Marshal(lin)
+		}
+		if err != nil {
+			// The state types marshal by construction; this is unreachable
+			// short of memory corruption.
+			panic("httpapi: encoding model snapshot: " + err.Error())
+		}
+		// Trailing newline keeps the body byte-identical to the
+		// json.Encoder output the route historically produced.
+		p.body = append(blob, '\n')
 	}
+	slot.cur.Store(p)
+	h.payloadBuilds.Add(1)
+	return p
 }
 
 // ingestStream drains a batch of tuples from next into the ingestor:
@@ -663,11 +872,21 @@ type ModelShapes struct {
 	Version uint64 `json:"version"`
 }
 
+// SnapshotCacheStats is the snapshot-cache section of /healthz: how often
+// model reads were answered from the shared per-version snapshot versus
+// how often a version bump forced a rebuild.
+type SnapshotCacheStats struct {
+	Hits   int64 `json:"hits"`
+	Builds int64 `json:"builds"`
+}
+
 // Health is the decoded /healthz response of a node.
 type Health struct {
-	Status  string          `json:"status"`
-	Model   ModelShapes     `json:"model"`
-	Persist json.RawMessage `json:"persist,omitempty"`
+	Status     string             `json:"status"`
+	Model      ModelShapes        `json:"model"`
+	Snapshots  SnapshotCacheStats `json:"snapshots"`
+	ModelReads ModelReadStats     `json:"model_reads"`
+	Persist    json.RawMessage    `json:"persist,omitempty"`
 }
 
 // FetchHealth probes the node's /healthz route (the client must have been

@@ -69,11 +69,16 @@ type Config struct {
 	Shards int
 }
 
-// Stats counts what the server has ingested.
+// Stats counts what the server has ingested and how the snapshot read
+// path is behaving: a healthy steady-state fleet shows SnapshotHits
+// growing much faster than SnapshotBuilds (reads share one build per
+// model version).
 type Stats struct {
 	TuplesIngested int64 // encoded tuples from the shuffler
 	RawIngested    int64 // raw tuples from the non-private baseline
 	Snapshots      int64 // snapshots served
+	SnapshotHits   int64 // snapshot fetches answered from the shared cache
+	SnapshotBuilds int64 // snapshot rebuilds (model version advanced)
 }
 
 // linAccum is an additive sufficient-statistics accumulator for one LinUCB
@@ -149,24 +154,42 @@ type Server struct {
 	decodeTo func(dst []float64, code int) []float64 // nil without Decoder
 }
 
-// snapshotCache memoizes a merged snapshot against the server's mutation
-// version. Callers receive deep copies of the cached master.
+// snapshotCache memoizes the merged snapshot of one model kind against the
+// server's mutation version. The cached master is immutable once published:
+// a read at an unchanged version is one atomic load returning the shared
+// value (no copy, no lock), and concurrent reads crossing a version bump
+// collapse into a single build (singleflight) whose result they all share.
 type snapshotCache[T any] struct {
-	mu      sync.Mutex
+	cur    atomic.Pointer[snapshotEntry[T]]
+	mu     sync.Mutex // serializes rebuilds
+	hits   atomic.Int64
+	builds atomic.Int64
+}
+
+type snapshotEntry[T any] struct {
 	version uint64
-	valid   bool
 	state   T
 }
 
-func (c *snapshotCache[T]) get(version uint64, build func() T, clone func(T) T) T {
+// get returns the shared snapshot for version, building it at most once
+// per version bump. Every caller at one version receives the same value;
+// it must be treated as immutable (bandit state Clone is the explicit
+// mutable-copy API).
+func (c *snapshotCache[T]) get(version uint64, build func() T) T {
+	if e := c.cur.Load(); e != nil && e.version == version {
+		c.hits.Add(1)
+		return e.state
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if !c.valid || c.version != version {
-		c.state = build()
-		c.version = version
-		c.valid = true
+	if e := c.cur.Load(); e != nil && e.version == version {
+		c.hits.Add(1)
+		return e.state
 	}
-	return clone(c.state)
+	st := build()
+	c.builds.Add(1)
+	c.cur.Store(&snapshotEntry[T]{version: version, state: st})
+	return st
 }
 
 // New returns a server with empty global models.
@@ -320,21 +343,25 @@ func (s *Server) IngestRaw(t transport.RawTuple) error {
 	return nil
 }
 
-// TabularSnapshot returns a deep copy of the global tabular model for
-// distribution to private agents.
+// TabularSnapshot returns a private deep copy of the global tabular model:
+// the explicit-copy API for callers that want to mutate. Distribution paths
+// (warm starts, the HTTP model route) use TabularModel and share one build.
 func (s *Server) TabularSnapshot() *bandit.TabularState {
 	st, _ := s.TabularModel()
-	return st
+	return st.Clone()
 }
 
-// TabularModel returns the tabular snapshot together with the model version
-// it is keyed under. An ingestion racing the call may already be included
-// in the snapshot while the version predates it; the version then changes
-// again once the race settles, so a poller never gets stuck on a stale tag.
+// TabularModel returns the shared immutable tabular snapshot together with
+// the model version it is keyed under. Every caller at one version receives
+// the same value and must treat it as read-only (Clone for a mutable copy;
+// warm-starting a learner already copies). An ingestion racing the call may
+// already be included in the snapshot while the version predates it; the
+// version then changes again once the race settles, so a poller never gets
+// stuck on a stale tag.
 func (s *Server) TabularModel() (*bandit.TabularState, uint64) {
 	s.snapshots.Add(1)
 	v := s.version()
-	return s.tabCache.get(v, s.buildTabular, cloneTabular), v
+	return s.tabCache.get(v, s.buildTabular), v
 }
 
 func (s *Server) buildTabular() *bandit.TabularState {
@@ -357,41 +384,38 @@ func (s *Server) buildTabular() *bandit.TabularState {
 	return st
 }
 
-func cloneTabular(st *bandit.TabularState) *bandit.TabularState {
-	out := *st
-	out.Count = append([]float64(nil), st.Count...)
-	out.Sum = append([]float64(nil), st.Sum...)
-	return &out
-}
-
-// LinUCBSnapshot returns a deep copy of the global LinUCB model for
-// distribution to non-private agents.
+// LinUCBSnapshot returns a private deep copy of the global LinUCB model
+// (see TabularSnapshot for the copy semantics).
 func (s *Server) LinUCBSnapshot() *bandit.LinUCBState {
 	st, _ := s.LinUCBModel()
-	return st
+	return st.Clone()
 }
 
-// LinUCBModel returns the LinUCB baseline snapshot together with the model
-// version it is keyed under (see TabularModel for the race semantics).
+// LinUCBModel returns the shared immutable LinUCB baseline snapshot
+// together with the model version it is keyed under (see TabularModel for
+// the sharing and race semantics).
 func (s *Server) LinUCBModel() (*bandit.LinUCBState, uint64) {
 	s.snapshots.Add(1)
 	v := s.version()
 	return s.linCache.get(v, func() *bandit.LinUCBState {
 		return s.buildLin(func(sh *shard) *linAccum { return sh.lin })
-	}, cloneLin), v
+	}), v
 }
 
-// CentroidSnapshot returns a deep copy of the centroid global model for
-// distribution to centroid-learner private agents. It returns nil when the
-// server was built without a Decoder.
+// CentroidSnapshot returns a private deep copy of the centroid global model,
+// or nil when the server was built without a Decoder.
 func (s *Server) CentroidSnapshot() *bandit.LinUCBState {
 	st, _ := s.CentroidModel()
-	return st
+	if st == nil {
+		return nil
+	}
+	return st.Clone()
 }
 
-// CentroidModel returns the centroid snapshot together with the model
-// version it is keyed under. The snapshot is nil when the server was built
-// without a Decoder.
+// CentroidModel returns the shared immutable centroid snapshot together
+// with the model version it is keyed under (see TabularModel for the
+// sharing and race semantics). The snapshot is nil when the server was
+// built without a Decoder.
 func (s *Server) CentroidModel() (*bandit.LinUCBState, uint64) {
 	if s.cfg.Decoder == nil {
 		return nil, s.version()
@@ -400,7 +424,7 @@ func (s *Server) CentroidModel() (*bandit.LinUCBState, uint64) {
 	v := s.version()
 	return s.centCache.get(v, func() *bandit.LinUCBState {
 		return s.buildLin(func(sh *shard) *linAccum { return sh.cent })
-	}, cloneLin), v
+	}), v
 }
 
 // buildLin merges the selected accumulator across shards and converts the
@@ -433,41 +457,89 @@ func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
 		}
 		sh.mu.Unlock()
 	}
-	for a := 0; a < arms; a++ {
-		// The ridge identity is applied after the merge, not before: the
-		// outer-product sums then accumulate in pure shard order, so a
-		// merged-on-write export (which sums shards the same way) is
-		// bit-identical to what this builder sees. Seeding with the identity
-		// would entangle the ridge with the merge's rounding.
+	invertArms(st, aSum, d, 0)
+	return st
+}
+
+// invertArms applies the ridge identity to every merged design matrix and
+// inverts it into st.AInv, spreading arms across workers when the total
+// work is large enough to pay for goroutines. Arms are independent, so any
+// schedule produces bit-identical results. workers <= 0 selects
+// GOMAXPROCS.
+//
+// The ridge is applied after the merge, not before: the outer-product sums
+// then accumulate in pure shard order, so a merged-on-write export (which
+// sums shards the same way) is bit-identical to what this builder sees.
+// Seeding with the identity would entangle the ridge with the merge's
+// rounding.
+func invertArms(st *bandit.LinUCBState, aSum []*mat.Dense, d, workers int) {
+	arms := len(aSum)
+	errs := make([]error, arms)
+	invert := func(a int) {
 		for i := 0; i < d; i++ {
 			aSum[a].Data[i*d+i]++
 		}
 		inv, err := aSum[a].Inverse()
 		if err != nil {
-			// I + PSD is positive definite; failure means the accumulators
-			// were poisoned with non-finite contexts.
-			panic("server: global design matrix not invertible: " + err.Error())
+			errs[a] = err
+			return
 		}
 		st.AInv[a] = inv.Data
 	}
-	return st
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > arms {
+		workers = arms
+	}
+	// Each inversion is O(d^3); below ~64k total flops the goroutine
+	// handoff costs more than it saves.
+	if workers < 2 || arms*d*d*d < 1<<16 {
+		for a := 0; a < arms; a++ {
+			invert(a)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					a := int(next.Add(1)) - 1
+					if a >= arms {
+						return
+					}
+					invert(a)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for a, err := range errs {
+		if err != nil {
+			// I + PSD is positive definite; failure means the accumulators
+			// were poisoned with non-finite contexts. Panic from the calling
+			// goroutine so the failure stays catchable.
+			panic(fmt.Sprintf("server: global design matrix of arm %d not invertible: %v", a, err))
+		}
+	}
 }
 
-func cloneLin(st *bandit.LinUCBState) *bandit.LinUCBState {
-	out := *st
-	out.AInv = make([][]float64, len(st.AInv))
-	out.B = make([][]float64, len(st.B))
-	for a := range st.AInv {
-		out.AInv[a] = append([]float64(nil), st.AInv[a]...)
-		out.B[a] = append([]float64(nil), st.B[a]...)
-	}
-	out.N = append([]int64(nil), st.N...)
-	return &out
+// SnapshotCacheStats returns just the snapshot-cache counters. Unlike
+// Stats it touches no ingestion shard — the counters are atomics — so
+// high-frequency probes (every device's /healthz preflight) never
+// serialize against Deliver/IngestRaw on the hot path.
+func (s *Server) SnapshotCacheStats() (hits, builds int64) {
+	hits = s.tabCache.hits.Load() + s.linCache.hits.Load() + s.centCache.hits.Load()
+	builds = s.tabCache.builds.Load() + s.linCache.builds.Load() + s.centCache.builds.Load()
+	return hits, builds
 }
 
 // Stats returns a snapshot of the ingestion counters.
 func (s *Server) Stats() Stats {
 	st := Stats{Snapshots: s.snapshots.Load()}
+	st.SnapshotHits, st.SnapshotBuilds = s.SnapshotCacheStats()
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()

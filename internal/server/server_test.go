@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"p2b/internal/bandit"
+	"p2b/internal/mat"
 	"p2b/internal/rng"
 	"p2b/internal/transport"
 )
@@ -247,4 +248,104 @@ func TestVersionedModelGetters(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+func TestSharedSnapshotIdentity(t *testing.T) {
+	s := newTestServer()
+	s.Deliver([]transport.Tuple{{Code: 0, Action: 0, Reward: 1}})
+	// Reads at an unchanged version share one immutable master: the very
+	// point of the read path is that a fleet-wide warm start costs one
+	// build, not one copy per caller.
+	st1, v1 := s.TabularModel()
+	st2, v2 := s.TabularModel()
+	if v1 != v2 || st1 != st2 {
+		t.Fatalf("unchanged version did not share the snapshot: %p/%d vs %p/%d", st1, v1, st2, v2)
+	}
+	// The explicit-copy API hands out private state.
+	snap := s.TabularSnapshot()
+	if snap == st1 {
+		t.Fatal("TabularSnapshot returned the shared master, not a copy")
+	}
+	snap.Count[0] = 1e9
+	if st3, _ := s.TabularModel(); st3.Count[0] == 1e9 {
+		t.Fatal("mutating a TabularSnapshot clone reached the shared master")
+	}
+	// A version bump publishes a fresh master.
+	s.Deliver([]transport.Tuple{{Code: 1, Action: 1, Reward: 1}})
+	st4, v4 := s.TabularModel()
+	if v4 <= v1 || st4 == st1 {
+		t.Fatalf("version bump did not rebuild: %p/%d vs %p/%d", st1, v1, st4, v4)
+	}
+	// Same contract on the linear models.
+	if err := s.IngestRaw(transport.RawTuple{Context: []float64{1, 0}, Action: 0, Reward: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := s.LinUCBModel()
+	l2, _ := s.LinUCBModel()
+	if l1 != l2 {
+		t.Fatal("unchanged version did not share the LinUCB snapshot")
+	}
+	if c := s.LinUCBSnapshot(); c == l1 {
+		t.Fatal("LinUCBSnapshot returned the shared master, not a copy")
+	}
+}
+
+func TestStatsCountSnapshotCache(t *testing.T) {
+	s := newTestServer()
+	s.Deliver([]transport.Tuple{{Code: 0, Action: 0, Reward: 1}})
+	s.TabularModel() // build
+	s.TabularModel() // hit
+	s.TabularModel() // hit
+	st := s.Stats()
+	if st.SnapshotBuilds != 1 {
+		t.Fatalf("builds = %d, want 1", st.SnapshotBuilds)
+	}
+	if st.SnapshotHits != 2 {
+		t.Fatalf("hits = %d, want 2", st.SnapshotHits)
+	}
+	s.Deliver([]transport.Tuple{{Code: 0, Action: 0, Reward: 1}})
+	s.TabularModel() // rebuild
+	if st := s.Stats(); st.SnapshotBuilds != 2 || st.SnapshotHits != 2 {
+		t.Fatalf("after bump: builds=%d hits=%d, want 2/2", st.SnapshotBuilds, st.SnapshotHits)
+	}
+}
+
+// TestInvertArmsParallelBitExact pins the exactness contract of the
+// parallelized snapshot build: per-arm inversions are independent, so any
+// worker count must produce bit-identical state.
+func TestInvertArmsParallelBitExact(t *testing.T) {
+	const d, arms = 24, 8
+	build := func() []*mat.Dense {
+		rr := rng.New(11) // same accumulators for every schedule
+		sums := make([]*mat.Dense, arms)
+		for a := range sums {
+			sums[a] = mat.NewDense(d)
+			for i := 0; i < 50; i++ {
+				x := rr.Simplex(d)
+				sums[a].AddOuter(x, 1)
+			}
+		}
+		return sums
+	}
+	run := func(workers int) *bandit.LinUCBState {
+		st := &bandit.LinUCBState{
+			D: d, Arms: arms,
+			AInv: make([][]float64, arms),
+			B:    make([][]float64, arms),
+			N:    make([]int64, arms),
+		}
+		invertArms(st, build(), d, workers)
+		return st
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for a := 0; a < arms; a++ {
+			for i, v := range got.AInv[a] {
+				if v != serial.AInv[a][i] {
+					t.Fatalf("workers=%d arm %d element %d: %v != %v", workers, a, i, v, serial.AInv[a][i])
+				}
+			}
+		}
+	}
 }
