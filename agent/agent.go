@@ -205,6 +205,21 @@ type Config struct {
 	// Rand is the agent's deterministic random stream (tie-breaking and
 	// participation draws). Nil seeds a fresh stream from 1.
 	Rand *Rand
+	// ColdStartOnError degrades a failed warm start instead of failing New:
+	// when the model source errors (node down, network partition), the agent
+	// falls back to a cold local learner and reports Degraded() true until a
+	// successful Resync. Only source failures qualify — a model that WAS
+	// fetched but mismatches the configuration still fails loudly. Requires
+	// Arms (and Dim for the linear policies) so the cold learner's shapes
+	// are pinned without a model.
+	ColdStartOnError bool
+	// DeferReports, when positive, bounds a buffer of disclosures whose
+	// transport submission failed: instead of surfacing the error, Finish
+	// parks the report and re-attempts delivery at the start of the next
+	// Finish (and after a successful Resync). When the buffer is full the
+	// oldest report is dropped and counted in DroppedReports. 0 disables
+	// deferral: a transport error fails Finish.
+	DeferReports int
 }
 
 // Agent is one on-device P2B learner. An Agent is single-goroutine: the
@@ -231,6 +246,20 @@ type Agent struct {
 	rawHistory []RawTuple // PolicyLinUCB
 	windowBase int        // windows consumed by earlier Finish calls
 	disclosed  int64
+
+	// graceful-degradation state
+	degraded        bool             // cold-started because the source failed
+	deferred        []deferredReport // disclosures awaiting redelivery
+	deferredDropped int64
+}
+
+// deferredReport is one disclosure whose transport submission failed and
+// is parked for redelivery. Exactly one of env/raw is meaningful,
+// selected by isRaw (an agent's policy fixes which).
+type deferredReport struct {
+	env   Envelope
+	raw   RawTuple
+	isRaw bool
 }
 
 // New builds an agent: it fetches the warm-start model from cfg.Source (or
@@ -250,6 +279,9 @@ func New(cfg Config) (*Agent, error) {
 	}
 	if cfg.ReportWindow < 0 {
 		return nil, errors.New("agent: ReportWindow must be >= 0")
+	}
+	if cfg.DeferReports < 0 {
+		return nil, errors.New("agent: DeferReports must be >= 0")
 	}
 	if cfg.Rand == nil {
 		cfg.Rand = rng.New(1)
@@ -296,6 +328,21 @@ func (a *Agent) fetch(kind ModelKind) (Model, error) {
 	return m, nil
 }
 
+// coldFallback decides whether a failed warm-start fetch degrades to a
+// cold learner instead of failing construction. It requires the opt-in
+// and a configuration that pins every shape a model would otherwise
+// provide; when it returns true the agent is marked degraded.
+func (a *Agent) coldFallback() bool {
+	if !a.cfg.ColdStartOnError || a.cfg.Arms <= 0 {
+		return false
+	}
+	if a.cfg.Policy != PolicyTabular && a.cfg.Dim <= 0 {
+		return false
+	}
+	a.degraded = true
+	return true
+}
+
 func (a *Agent) initTabular() error {
 	if a.cfg.Encoder == nil {
 		return errors.New("agent: the tabular policy requires an Encoder")
@@ -304,20 +351,23 @@ func (a *Agent) initTabular() error {
 	var learner *bandit.TabularUCB
 	if a.cfg.Source != nil {
 		m, err := a.fetch(ModelTabular)
-		if err != nil {
+		if err != nil && !a.coldFallback() {
 			return err
 		}
-		if m.Tabular.K != k {
-			return fmt.Errorf("agent: encoder has %d codes but the global model has %d", k, m.Tabular.K)
+		if err == nil {
+			if m.Tabular.K != k {
+				return fmt.Errorf("agent: encoder has %d codes but the global model has %d", k, m.Tabular.K)
+			}
+			if a.cfg.Arms != 0 && a.cfg.Arms != m.Tabular.Arms {
+				return fmt.Errorf("agent: configured %d arms but the global model has %d", a.cfg.Arms, m.Tabular.Arms)
+			}
+			learner, err = bandit.NewTabularUCBFromState(m.Tabular, a.r.Split("agent"))
+			if err != nil {
+				return fmt.Errorf("agent: global tabular model unusable: %w", err)
+			}
 		}
-		if a.cfg.Arms != 0 && a.cfg.Arms != m.Tabular.Arms {
-			return fmt.Errorf("agent: configured %d arms but the global model has %d", a.cfg.Arms, m.Tabular.Arms)
-		}
-		learner, err = bandit.NewTabularUCBFromState(m.Tabular, a.r.Split("agent"))
-		if err != nil {
-			return fmt.Errorf("agent: global tabular model unusable: %w", err)
-		}
-	} else {
+	}
+	if learner == nil {
 		if a.cfg.Arms <= 0 {
 			return errors.New("agent: Arms required when no model source is configured")
 		}
@@ -396,20 +446,22 @@ func (a *Agent) initLinUCB() error {
 func (a *Agent) linearLearner(kind ModelKind) (*bandit.LinUCB, error) {
 	if a.cfg.Source != nil {
 		m, err := a.fetch(kind)
-		if err != nil {
+		if err != nil && !a.coldFallback() {
 			return nil, err
 		}
-		if a.cfg.Dim != 0 && a.cfg.Dim != m.Linear.D {
-			return nil, fmt.Errorf("agent: configured dimension %d but the global model has %d", a.cfg.Dim, m.Linear.D)
+		if err == nil {
+			if a.cfg.Dim != 0 && a.cfg.Dim != m.Linear.D {
+				return nil, fmt.Errorf("agent: configured dimension %d but the global model has %d", a.cfg.Dim, m.Linear.D)
+			}
+			if a.cfg.Arms != 0 && a.cfg.Arms != m.Linear.Arms {
+				return nil, fmt.Errorf("agent: configured %d arms but the global model has %d", a.cfg.Arms, m.Linear.Arms)
+			}
+			learner, err := bandit.NewLinUCBFromState(m.Linear, a.r.Split("agent"))
+			if err != nil {
+				return nil, fmt.Errorf("agent: global %s model unusable: %w", kind, err)
+			}
+			return learner, nil
 		}
-		if a.cfg.Arms != 0 && a.cfg.Arms != m.Linear.Arms {
-			return nil, fmt.Errorf("agent: configured %d arms but the global model has %d", a.cfg.Arms, m.Linear.Arms)
-		}
-		learner, err := bandit.NewLinUCBFromState(m.Linear, a.r.Split("agent"))
-		if err != nil {
-			return nil, fmt.Errorf("agent: global %s model unusable: %w", kind, err)
-		}
-		return learner, nil
 	}
 	if a.cfg.Arms <= 0 || a.cfg.Dim <= 0 {
 		return nil, fmt.Errorf("agent: Arms and Dim required when no model source is configured (policy %s)", a.cfg.Policy)
@@ -433,8 +485,64 @@ func (a *Agent) ModelVersion() uint64 { return a.version }
 // Interactions returns how many Select/Observe pairs the agent has run.
 func (a *Agent) Interactions() int64 { return a.steps }
 
-// Disclosed returns how many tuples Finish has submitted in total.
+// Disclosed returns how many tuples Finish has disclosed in total. A
+// disclosure parked by DeferReports counts when the participation draw
+// picks it, not when redelivery finally succeeds — the privacy decision
+// is made exactly once.
 func (a *Agent) Disclosed() int64 { return a.disclosed }
+
+// Degraded reports whether the agent is running on a cold fallback
+// learner because its model source failed (see Config.ColdStartOnError).
+// A successful Resync clears it.
+func (a *Agent) Degraded() bool { return a.degraded }
+
+// PendingReports returns how many disclosed reports are parked awaiting
+// redelivery (see Config.DeferReports).
+func (a *Agent) PendingReports() int { return len(a.deferred) }
+
+// DroppedReports returns how many deferred reports were discarded because
+// the DeferReports buffer overflowed (oldest first).
+func (a *Agent) DroppedReports() int64 { return a.deferredDropped }
+
+// Resync re-attempts the warm start against the model source: it fetches
+// the current global model, replaces the local learner with it (local
+// cold-start learning is superseded, exactly as if New had succeeded
+// warm) and clears the degraded flag. Unlike construction with
+// ColdStartOnError, a failed Resync does NOT fall back — the agent keeps
+// its current learner and stays degraded, and the error says why.
+// Deferred reports are re-attempted on success. Resync also serves
+// non-degraded agents as an explicit model refresh.
+func (a *Agent) Resync() error {
+	if a.awaiting {
+		return errors.New("agent: Resync called with an unanswered Select")
+	}
+	if a.cfg.Source == nil {
+		return errors.New("agent: Resync requires a model source")
+	}
+	// Re-run the policy init with the fallback disabled so a source
+	// failure surfaces instead of rebuilding another cold learner. On any
+	// failure the agent keeps its pre-call learner and version.
+	cold := a.cfg.ColdStartOnError
+	version, warm := a.version, a.warm
+	a.cfg.ColdStartOnError = false
+	var err error
+	switch a.cfg.Policy {
+	case PolicyTabular:
+		err = a.initTabular()
+	case PolicyCentroid:
+		err = a.initCentroid()
+	default:
+		err = a.initLinUCB()
+	}
+	a.cfg.ColdStartOnError = cold
+	if err != nil {
+		a.version, a.warm = version, warm
+		return err
+	}
+	a.degraded = false
+	a.drainDeferred()
+	return nil
+}
 
 // Select returns the action to play for context x. Every Select must be
 // answered by exactly one Observe before the next Select; the SDK panics on
@@ -487,6 +595,9 @@ func (a *Agent) Finish() (int, error) {
 	if a.awaiting {
 		panic("agent: Finish called with an unanswered Select")
 	}
+	// Reports parked by an earlier transport failure get first claim on a
+	// recovered node, in their original order.
+	a.drainDeferred()
 	n := len(a.history) + len(a.rawHistory) // one of the two is always empty
 	defer func() {
 		a.history = a.history[:0]
@@ -532,6 +643,16 @@ func (a *Agent) Finish() (int, error) {
 			err = a.cfg.Transport.Report(Envelope{Meta: meta, Tuple: a.history[pick]})
 		}
 		if err != nil {
+			if a.cfg.DeferReports > 0 {
+				// The participation draw stands; only delivery is deferred.
+				if raw != nil {
+					a.deferReport(deferredReport{raw: a.rawHistory[pick], isRaw: true})
+				} else {
+					a.deferReport(deferredReport{env: Envelope{Meta: meta, Tuple: a.history[pick]}})
+				}
+				count++
+				continue
+			}
 			a.disclosed += int64(count)
 			return count, fmt.Errorf("agent: reporting window %d: %w", base+w, err)
 		}
@@ -539,4 +660,44 @@ func (a *Agent) Finish() (int, error) {
 	}
 	a.disclosed += int64(count)
 	return count, nil
+}
+
+// drainDeferred redelivers parked reports in order, stopping at the first
+// failure (the node is still down; the rest wait for the next attempt).
+// Failures are silent by design — deferral exists so transport trouble
+// never fails the interaction loop.
+func (a *Agent) drainDeferred() {
+	if len(a.deferred) == 0 || a.cfg.Transport == nil {
+		return
+	}
+	raw, _ := a.cfg.Transport.(RawReporter)
+	i := 0
+	for ; i < len(a.deferred); i++ {
+		d := a.deferred[i]
+		var err error
+		if d.isRaw {
+			if raw == nil {
+				break // checked at construction; unreachable in practice
+			}
+			err = raw.ReportRaw(d.raw)
+		} else {
+			err = a.cfg.Transport.Report(d.env)
+		}
+		if err != nil {
+			break
+		}
+	}
+	if i > 0 {
+		a.deferred = append(a.deferred[:0], a.deferred[i:]...)
+	}
+}
+
+// deferReport parks one failed disclosure, dropping the oldest entries
+// when the buffer is at its DeferReports cap.
+func (a *Agent) deferReport(d deferredReport) {
+	if over := len(a.deferred) - a.cfg.DeferReports + 1; over > 0 {
+		a.deferredDropped += int64(over)
+		a.deferred = append(a.deferred[:0], a.deferred[over:]...)
+	}
+	a.deferred = append(a.deferred, d)
 }

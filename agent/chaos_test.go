@@ -1,0 +1,288 @@
+package agent
+
+// The chaos acceptance test: a deterministic device fleet driven through
+// the chaos proxy against a durable node with a WAL fsync fault armed
+// must converge to a model BIT-IDENTICAL to the same fleet against a
+// clean node — with zero dropped reports and zero leaked goroutines.
+//
+// Why this can be exact: the fault placement is idempotency-aware
+// (resets/503s strictly pre-forward, truncation GET-only), the transport
+// runs one in-flight sender so retried batches still arrive in cut order,
+// the node ingests with a single shard, and every random stream involved
+// is seeded. Faults may change WHEN things happen, never WHAT arrives.
+
+import (
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"p2b/internal/faultinject"
+	"p2b/internal/httpapi"
+	"p2b/internal/persist"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+	"p2b/internal/transport"
+
+	"net/http/httptest"
+)
+
+const (
+	chaosUsers = 60
+	chaosSteps = 8
+)
+
+// chaosNode is one durable p2bnode surface plus the handles the test
+// asserts against.
+type chaosNode struct {
+	srv  *server.Server
+	shuf *shuffler.Shuffler
+	mgr  *persist.Manager
+	ts   *httptest.Server
+}
+
+func newChaosNode(t *testing.T, dir string) *chaosNode {
+	t.Helper()
+	srv := server.New(server.Config{K: httpK, Arms: httpArms, D: httpDim, Alpha: 1, Seed: 1, Shards: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 8, Threshold: 2}, srv, rng.New(5))
+	mgr, err := persist.Open(dir, shuf, srv, persist.Options{SyncInterval: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := httpapi.NodeOptions{
+		Ingest:     mgr,
+		Checkpoint: mgr.Checkpoint,
+		Health:     func() any { return mgr.Info() },
+	}
+	n := &chaosNode{srv: srv, shuf: shuf, mgr: mgr}
+	n.ts = httptest.NewServer(httpapi.NewNodeHandlerOpts(shuf, srv, opts))
+	return n
+}
+
+func (n *chaosNode) close(t *testing.T) {
+	t.Helper()
+	n.ts.Close()
+	if err := n.mgr.Close(); err != nil {
+		t.Errorf("closing persist manager: %v", err)
+	}
+}
+
+// runChaosFleet drives the deterministic fleet against url (directly or
+// through a chaos proxy) and returns how many tuples it disclosed. Every
+// seed is fixed, the warm-start model is fetched exactly once (before any
+// ingestion, so both runs start from the identical version-1 model), and
+// delivery runs a single in-flight sender with a deep retry budget.
+func runChaosFleet(t *testing.T, url string) int {
+	t.Helper()
+	src := NewHTTPSource(url, HTTPSourceOptions{Seed: 9})
+	defer src.Close()
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		if err = src.Refresh(ModelTabular); err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("warm-start fetch never survived the chaos: %v", err)
+	}
+
+	tr := NewHTTPTransport(url, HTTPTransportOptions{
+		MaxBatch:      8,
+		MaxAge:        time.Hour, // only deterministic size-triggered cuts
+		MaxInFlight:   1,         // retried batches still arrive in cut order
+		MaxRetries:    10,
+		RetryBase:     time.Millisecond,
+		MaxRetryDelay: 10 * time.Millisecond, // collapse the proxy's 1s Retry-After hints
+		Seed:          9,
+	})
+
+	root := rng.New(42)
+	submitted := 0
+	for u := 0; u < chaosUsers; u++ {
+		ag, err := New(Config{
+			Policy:       PolicyTabular,
+			P:            0.9, // one disclosure chance per interaction: enough
+			ReportWindow: 1,   // traffic for the proxy's fault stream to bite
+			Encoder:      codeEncoder{httpK},
+			Source:       src,
+			Transport:    tr,
+			Rand:         root.SplitIndex("user", u),
+		})
+		if err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		for step := 0; step < chaosSteps; step++ {
+			x := []float64{float64((u*7+step*3)%100) / 100, 0, 0, 0}
+			a := ag.Select(x)
+			// Real-valued rewards make the accumulators order-sensitive in
+			// their low bits — exactly what the bit-exactness claim is about.
+			ag.Observe(a, 0.25*float64((u+a+step)%5))
+		}
+		n, err := ag.Finish()
+		if err != nil {
+			t.Fatalf("user %d finish: %v", u, err)
+		}
+		submitted += n
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("settling batches: %v (a dropped batch breaks the zero-loss claim)", err)
+	}
+	if st := tr.Stats(); st.DroppedBatches != 0 || st.DroppedReports != 0 {
+		t.Fatalf("transport dropped work: %+v", st)
+	}
+	return submitted
+}
+
+func TestChaosRunConvergesBitExactly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e in -short mode")
+	}
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// Referee run: same fleet, clean network, healthy disk.
+	clean := newChaosNode(t, filepath.Join(t.TempDir(), "clean"))
+	cleanSubmitted := runChaosFleet(t, clean.ts.URL)
+	cleanClient := httpapi.NewNodeClient(clean.ts.URL)
+	if err := cleanClient.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cleanModel, err := cleanClient.FetchModel("tabular", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanShuf := clean.shuf.Stats()
+	clean.close(t)
+
+	// Chaos run: WAL fsync fault armed, all traffic through the proxy.
+	reg := faultinject.NewRegistry(7)
+	reg.Enable(faultinject.FPWALSync, faultinject.Spec{Count: 1})
+	chaos := newChaosNode(t, filepath.Join(t.TempDir(), "chaos"))
+	persist.SetFSHooks(&persist.FSHooks{
+		BeforeWrite:    reg.FSWrite,
+		BeforeSync:     reg.FSSync,
+		BeforeTruncate: reg.FSTruncate,
+	})
+	defer persist.SetFSHooks(nil)
+
+	proxy, err := faultinject.NewProxy(faultinject.ProxyConfig{
+		Upstream:     chaos.ts.URL,
+		Seed:         13,
+		LatencyProb:  0.2,
+		Latency:      4 * time.Millisecond,
+		ResetProb:    0.1,
+		ErrorProb:    0.08,
+		ErrorBurst:   2,
+		TruncateProb: 0.5, // hits the warm-start model GETs
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyTS := httptest.NewServer(proxy)
+
+	chaosSubmitted := runChaosFleet(t, proxyTS.URL)
+	persist.SetFSHooks(nil)
+	// End-of-run control plane goes direct: the flush and the model read
+	// are the experiment's measurement, not its subject.
+	chaosClient := httpapi.NewNodeClient(chaos.ts.URL)
+	if err := chaosClient.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chaosModel, err := chaosClient.FetchModel("tabular", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosShuf := chaos.shuf.Stats()
+	proxyStats := proxy.Stats()
+	proxyTS.Close()
+	chaos.close(t)
+
+	// The chaos must have actually happened.
+	if proxyStats.Resets == 0 || proxyStats.Errors == 0 || proxyStats.Delayed == 0 {
+		t.Fatalf("proxy injected too little: %+v", proxyStats)
+	}
+	if reg.Fired(faultinject.FPWALSync) != 1 {
+		t.Fatalf("WAL fsync failpoint fired %d times, want 1", reg.Fired(faultinject.FPWALSync))
+	}
+
+	// Zero dropped reports: the same disclosures were made and every one
+	// reached the shuffler.
+	if chaosSubmitted != cleanSubmitted {
+		t.Fatalf("chaos fleet disclosed %d tuples, clean fleet %d — the fleets diverged", chaosSubmitted, cleanSubmitted)
+	}
+	if chaosShuf.Received != cleanShuf.Received || int(chaosShuf.Received) != cleanSubmitted {
+		t.Fatalf("shuffler received %d under chaos vs %d clean (fleet disclosed %d)",
+			chaosShuf.Received, cleanShuf.Received, cleanSubmitted)
+	}
+	if chaosShuf != cleanShuf {
+		t.Fatalf("shuffler stats diverged:\n  chaos: %+v\n  clean: %+v", chaosShuf, cleanShuf)
+	}
+
+	// The headline: bit-identical converged models, version and all.
+	if !reflect.DeepEqual(chaosModel.Tabular, cleanModel.Tabular) {
+		for i := range cleanModel.Tabular.Count {
+			if chaosModel.Tabular.Count[i] != cleanModel.Tabular.Count[i] || chaosModel.Tabular.Sum[i] != cleanModel.Tabular.Sum[i] {
+				t.Logf("cell %d (code %d, action %d): chaos count=%v sum=%v, clean count=%v sum=%v",
+					i, i/httpArms, i%httpArms,
+					chaosModel.Tabular.Count[i], chaosModel.Tabular.Sum[i],
+					cleanModel.Tabular.Count[i], cleanModel.Tabular.Sum[i])
+			}
+		}
+		t.Fatal("converged models are not bit-identical")
+	}
+	// The ETag is deliberately NOT compared: it embeds each server's boot
+	// epoch, which differs between any two node instances by design.
+	if chaosModel.Version != cleanModel.Version {
+		t.Fatalf("model version diverged: chaos %d vs clean %d", chaosModel.Version, cleanModel.Version)
+	}
+
+	// Zero leaked goroutines: everything the run spawned has exited.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > goroutinesBefore {
+		t.Fatalf("%d goroutines after the chaos run, %d before — leak", got, goroutinesBefore)
+	}
+}
+
+// A tuple-level sanity check on the same machinery: reports shipped
+// through a resetting proxy are never double-ingested (resets happen
+// before forwarding, so a retry is the FIRST delivery).
+func TestChaosProxyRetriesDoNotDoubleIngest(t *testing.T) {
+	srv := server.New(server.Config{K: httpK, Arms: httpArms, D: httpDim, Alpha: 1, Seed: 1, Shards: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 64, Threshold: 0}, srv, rng.New(5))
+	node := httptest.NewServer(httpapi.NewNodeHandler(shuf, srv))
+	defer node.Close()
+	proxy, err := faultinject.NewProxy(faultinject.ProxyConfig{
+		Upstream:  node.URL,
+		Seed:      3,
+		ResetProb: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxyTS := httptest.NewServer(proxy)
+	defer proxyTS.Close()
+
+	tr := NewHTTPTransport(proxyTS.URL, HTTPTransportOptions{
+		MaxBatch: 4, MaxAge: time.Hour, MaxInFlight: 1,
+		MaxRetries: 20, RetryBase: time.Millisecond,
+	})
+	const reports = 40
+	for i := 0; i < reports; i++ {
+		if err := tr.Report(Envelope{Tuple: transport.Tuple{Code: i % httpK, Action: i % httpArms, Reward: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := shuf.Stats().Received; got != reports {
+		t.Fatalf("shuffler received %d tuples, want exactly %d (no loss, no duplication)", got, reports)
+	}
+	if st := proxy.Stats(); st.Resets == 0 {
+		t.Fatalf("proxy injected no resets: %+v", st)
+	}
+}

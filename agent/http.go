@@ -13,6 +13,37 @@ import (
 	"p2b/internal/rng"
 )
 
+// Circuit-breaker types re-exported for SDK users (the implementation
+// lives beside the batching client). One breaker instance shared between
+// an HTTPTransport and an HTTPSource lets the report path and the
+// model-sync path learn about a node outage from each other's traffic.
+type (
+	// CircuitBreaker refuses requests locally while the node is known down.
+	CircuitBreaker = httpapi.CircuitBreaker
+	// BreakerConfig tunes a CircuitBreaker.
+	BreakerConfig = httpapi.BreakerConfig
+	// BreakerStats counts a breaker's decisions.
+	BreakerStats = httpapi.BreakerStats
+	// BreakerState names a breaker's position in its state machine.
+	BreakerState = httpapi.BreakerState
+)
+
+// The breaker states, re-exported alongside the type.
+const (
+	BreakerClosed   = httpapi.BreakerClosed
+	BreakerOpen     = httpapi.BreakerOpen
+	BreakerHalfOpen = httpapi.BreakerHalfOpen
+)
+
+// NewCircuitBreaker returns a closed breaker with cfg's thresholds.
+func NewCircuitBreaker(cfg BreakerConfig) *CircuitBreaker {
+	return httpapi.NewCircuitBreaker(cfg)
+}
+
+// ErrBreakerOpen is returned (wrapped) by operations refused locally
+// because a circuit breaker is open.
+var ErrBreakerOpen = httpapi.ErrBreakerOpen
+
 // WireMode selects how an HTTPTransport ships reports.
 type WireMode int
 
@@ -35,10 +66,26 @@ type HTTPTransportOptions struct {
 	MaxBatch int
 	// MaxAge bounds how long a partial batch may wait (batch wires only).
 	MaxAge time.Duration
+	// MaxInFlight bounds concurrently outstanding batch POSTs (default 4;
+	// batch wires only). 1 makes delivery order deterministic — what the
+	// chaos harness's bit-exactness check runs with.
+	MaxInFlight int
+	// MaxRetries is the per-batch retry budget for transient failures
+	// (default 3; batch wires only).
+	MaxRetries int
+	// RetryBase is the first retry backoff delay (default 50ms; batch
+	// wires only).
+	RetryBase time.Duration
+	// MaxRetryDelay caps any single retry wait, including server
+	// Retry-After hints (default 30s; batch wires only).
+	MaxRetryDelay time.Duration
 	// Seed seeds the retry jitter stream (default 1).
 	Seed uint64
 	// HTTPClient overrides the underlying client (default: 10s timeout).
 	HTTPClient *http.Client
+	// Breaker, when non-nil, short-circuits report delivery while the node
+	// is known down (batch wires only). Share it with the HTTPSource.
+	Breaker *CircuitBreaker
 }
 
 // HTTPTransport ships agent reports to a p2bnode. On the batch wires it
@@ -61,10 +108,15 @@ func NewHTTPTransport(nodeURL string, opts HTTPTransportOptions) *HTTPTransport 
 	t := &HTTPTransport{client: client}
 	if opts.Wire != WireSingle {
 		t.bc = httpapi.NewBatchingClient(client, httpapi.BatchingConfig{
-			MaxBatch: opts.MaxBatch,
-			MaxAge:   opts.MaxAge,
-			NDJSON:   opts.Wire == WireNDJSON,
-			Seed:     opts.Seed,
+			MaxBatch:      opts.MaxBatch,
+			MaxAge:        opts.MaxAge,
+			MaxInFlight:   opts.MaxInFlight,
+			MaxRetries:    opts.MaxRetries,
+			RetryBase:     opts.RetryBase,
+			MaxRetryDelay: opts.MaxRetryDelay,
+			NDJSON:        opts.Wire == WireNDJSON,
+			Seed:          opts.Seed,
+			Breaker:       opts.Breaker,
 		})
 	}
 	return t
@@ -149,6 +201,11 @@ type HTTPSourceOptions struct {
 	Seed uint64
 	// HTTPClient overrides the underlying client (default: 10s timeout).
 	HTTPClient *http.Client
+	// Breaker, when non-nil, short-circuits model fetches while the node
+	// is known down: a refused Refresh fails fast with ErrBreakerOpen and
+	// the cache keeps serving the last good model. Share it with the
+	// HTTPTransport.
+	Breaker *CircuitBreaker
 
 	// after is the timer used by the refresh loop; tests substitute a fake
 	// clock. Nil means time.After.
@@ -273,10 +330,22 @@ func (s *HTTPSource) Refresh(kind ModelKind) error {
 	if e, ok := s.cache[kind]; ok {
 		etag = e.etag
 	}
-	s.stats.Fetches++
 	s.mu.Unlock()
 
-	fm, err := s.client.FetchModel(kind.String(), etag, !s.opts.JSON)
+	var fm *httpapi.FetchedModel
+	var err error
+	if s.opts.Breaker.Allow() {
+		s.mu.Lock()
+		s.stats.Fetches++
+		s.mu.Unlock()
+		fm, err = s.client.FetchModel(kind.String(), etag, !s.opts.JSON)
+		s.opts.Breaker.Record(err == nil)
+	} else {
+		// Fail fast without touching the network: the node is known down,
+		// the cache keeps serving, and the next Refresh after the cooldown
+		// is the probe.
+		err = fmt.Errorf("agent: refresh %s: %w", kind, ErrBreakerOpen)
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, kind)

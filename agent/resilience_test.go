@@ -1,0 +1,353 @@
+package agent
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"p2b/internal/httpapi"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+// flakySource fails every fetch until healed, then delegates.
+type flakySource struct {
+	mu     sync.Mutex
+	broken bool
+	inner  ModelSource
+}
+
+var errSourceDown = errors.New("node unreachable")
+
+func (f *flakySource) Model(kind ModelKind) (Model, error) {
+	f.mu.Lock()
+	broken := f.broken
+	f.mu.Unlock()
+	if broken {
+		return Model{}, errSourceDown
+	}
+	return f.inner.Model(kind)
+}
+
+func (f *flakySource) heal() {
+	f.mu.Lock()
+	f.broken = false
+	f.mu.Unlock()
+}
+
+// flakyTransport fails every report until healed, then records them.
+type flakyTransport struct {
+	mu     sync.Mutex
+	broken bool
+	got    []Envelope
+}
+
+func (f *flakyTransport) Report(e Envelope) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return errors.New("node down")
+	}
+	f.got = append(f.got, e)
+	return nil
+}
+
+func (f *flakyTransport) Flush() error { return nil }
+
+func (f *flakyTransport) setBroken(b bool) {
+	f.mu.Lock()
+	f.broken = b
+	f.mu.Unlock()
+}
+
+func (f *flakyTransport) received() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.got)
+}
+
+func newLoopbackSource(t *testing.T, k int) *Loopback {
+	t.Helper()
+	srv := server.New(server.Config{K: k, Arms: httpArms, D: httpDim, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 16, Threshold: 0}, srv, rng.New(3))
+	return NewLoopback(shuf, srv)
+}
+
+// ColdStartOnError turns a dead model source into a degraded cold start
+// instead of a failed construction — with the shapes pinned by Config.
+func TestAgentColdStartOnError(t *testing.T) {
+	src := &flakySource{broken: true, inner: newLoopbackSource(t, httpK)}
+
+	// Without the opt-in the source failure is fatal, as before.
+	_, err := New(Config{Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Source: src, Arms: httpArms})
+	if !errors.Is(err, errSourceDown) {
+		t.Fatalf("New without ColdStartOnError = %v, want the source error", err)
+	}
+
+	// With the opt-in but no Arms the shapes are unpinned: still fatal.
+	_, err = New(Config{Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Source: src, ColdStartOnError: true})
+	if !errors.Is(err, errSourceDown) {
+		t.Fatalf("New without Arms = %v, want the source error", err)
+	}
+
+	// Opt-in plus pinned shapes: a degraded cold agent that works.
+	ag, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Source: src,
+		Arms: httpArms, ColdStartOnError: true, Rand: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ag.Degraded() || ag.WarmStarted() || ag.ModelVersion() != 0 {
+		t.Fatalf("degraded=%v warm=%v version=%d, want a flagged cold start",
+			ag.Degraded(), ag.WarmStarted(), ag.ModelVersion())
+	}
+	a := ag.Select([]float64{0.5, 0, 0, 0})
+	ag.Observe(a, 1)
+	if ag.Interactions() != 1 {
+		t.Fatal("degraded agent did not run the interaction loop")
+	}
+
+	// The linear policies additionally need Dim.
+	_, err = New(Config{Policy: PolicyLinUCB, Source: src, Arms: httpArms, ColdStartOnError: true})
+	if !errors.Is(err, errSourceDown) {
+		t.Fatalf("linucb New without Dim = %v, want the source error", err)
+	}
+	lag, err := New(Config{Policy: PolicyLinUCB, Source: src, Arms: httpArms, Dim: httpDim, ColdStartOnError: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lag.Degraded() {
+		t.Fatal("linucb fallback agent not flagged degraded")
+	}
+}
+
+// A model that WAS fetched but mismatches the configuration is a bug, not
+// an outage: ColdStartOnError must not mask it.
+func TestAgentColdStartDoesNotMaskShapeMismatch(t *testing.T) {
+	src := newLoopbackSource(t, httpK)
+	_, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{2 * httpK}, Source: src,
+		Arms: httpArms, ColdStartOnError: true,
+	})
+	if err == nil || errors.Is(err, errSourceDown) {
+		t.Fatalf("mismatched encoder = %v, want a loud shape error", err)
+	}
+}
+
+// Resync upgrades a degraded agent to the global model once the source
+// recovers, and refuses to silently rebuild another cold learner.
+func TestAgentResync(t *testing.T) {
+	src := &flakySource{broken: true, inner: newLoopbackSource(t, httpK)}
+	ag, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Source: src,
+		Arms: httpArms, ColdStartOnError: true, Rand: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Still down: Resync surfaces the failure and the agent stays degraded.
+	if err := ag.Resync(); !errors.Is(err, errSourceDown) {
+		t.Fatalf("Resync against a dead source = %v, want the source error", err)
+	}
+	if !ag.Degraded() {
+		t.Fatal("failed Resync cleared the degraded flag")
+	}
+
+	src.heal()
+	if err := ag.Resync(); err != nil {
+		t.Fatal(err)
+	}
+	if ag.Degraded() || !ag.WarmStarted() {
+		t.Fatalf("degraded=%v warm=%v after Resync, want a warm agent", ag.Degraded(), ag.WarmStarted())
+	}
+	a := ag.Select([]float64{0.5, 0, 0, 0})
+	ag.Observe(a, 1)
+
+	// No source at all: Resync is meaningless and says so.
+	cold, err := New(Config{Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Arms: httpArms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Resync(); err == nil {
+		t.Fatal("Resync without a model source succeeded")
+	}
+}
+
+// DeferReports parks failed disclosures instead of failing Finish, drains
+// them once the transport recovers, and drops oldest-first at the cap.
+func TestAgentDeferReports(t *testing.T) {
+	tr := &flakyTransport{broken: true}
+	ag, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Arms: httpArms,
+		P: 0.99, ReportWindow: 1, Transport: tr, DeferReports: 32, Rand: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a := ag.Select([]float64{float64(i) / 10, 0, 0, 0})
+		ag.Observe(a, 1)
+	}
+	count, err := ag.Finish()
+	if err != nil {
+		t.Fatalf("Finish with deferral enabled failed: %v", err)
+	}
+	if count == 0 {
+		t.Fatal("no window disclosed at P=0.99 over 10 windows")
+	}
+	if got := ag.PendingReports(); got != count {
+		t.Fatalf("PendingReports = %d, want all %d disclosures parked", got, count)
+	}
+	if got := tr.received(); got != 0 {
+		t.Fatalf("broken transport received %d reports", got)
+	}
+	if got := ag.Disclosed(); got != int64(count) {
+		t.Fatalf("Disclosed = %d, want %d — the privacy decision counts at draw time", got, count)
+	}
+
+	// Recovery: the next Finish redelivers everything, in order, once.
+	tr.setBroken(false)
+	if _, err := ag.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ag.PendingReports(); got != 0 {
+		t.Fatalf("PendingReports = %d after recovery, want 0", got)
+	}
+	if got := tr.received(); got != count {
+		t.Fatalf("transport received %d reports after recovery, want %d", got, count)
+	}
+	if got := ag.Disclosed(); got != int64(count) {
+		t.Fatalf("Disclosed = %d after redelivery, want still %d (no double count)", got, count)
+	}
+	if ag.DroppedReports() != 0 {
+		t.Fatalf("DroppedReports = %d with a roomy buffer", ag.DroppedReports())
+	}
+}
+
+// Overflowing the deferral buffer drops the oldest reports and counts
+// them — bounded memory, visible loss.
+func TestAgentDeferReportsOverflow(t *testing.T) {
+	tr := &flakyTransport{broken: true}
+	ag, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Arms: httpArms,
+		P: 0.99, ReportWindow: 1, Transport: tr, DeferReports: 2, Rand: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a := ag.Select([]float64{float64(i) / 10, 0, 0, 0})
+		ag.Observe(a, 1)
+	}
+	count, err := ag.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count <= 2 {
+		t.Fatalf("only %d disclosures; the overflow path needs more than the cap", count)
+	}
+	if got := ag.PendingReports(); got != 2 {
+		t.Fatalf("PendingReports = %d, want the cap 2", got)
+	}
+	if got := ag.DroppedReports(); got != int64(count-2) {
+		t.Fatalf("DroppedReports = %d, want %d", got, count-2)
+	}
+	// The survivors are the newest: delivery after recovery ships exactly 2.
+	tr.setBroken(false)
+	if _, err := ag.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.received(); got != 2 {
+		t.Fatalf("transport received %d, want the 2 surviving reports", got)
+	}
+}
+
+// Without DeferReports a transport failure still fails Finish — deferral
+// is opt-in.
+func TestAgentFinishFailsWithoutDeferral(t *testing.T) {
+	tr := &flakyTransport{broken: true}
+	ag, err := New(Config{
+		Policy: PolicyTabular, Encoder: codeEncoder{httpK}, Arms: httpArms,
+		P: 0.99, ReportWindow: 1, Transport: tr, Rand: rng.New(7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a := ag.Select([]float64{float64(i) / 10, 0, 0, 0})
+		ag.Observe(a, 1)
+	}
+	if _, err := ag.Finish(); err == nil {
+		t.Fatal("Finish against a dead transport succeeded without DeferReports")
+	}
+	if got := ag.PendingReports(); got != 0 {
+		t.Fatalf("PendingReports = %d without opt-in, want 0", got)
+	}
+}
+
+// An HTTPSource with a breaker fails fast while the node is down — no
+// connection attempts — and the cache keeps serving the last good model.
+func TestHTTPSourceBreakerFailsFastAndServesCache(t *testing.T) {
+	srv := server.New(server.Config{K: httpK, Arms: httpArms, D: httpDim, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 16, Threshold: 0}, srv, rng.New(3))
+	inner := httpapi.NewNodeHandler(shuf, srv)
+	var broken atomic.Bool
+	var modelHits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/server/model" {
+			modelHits.Add(1)
+			if broken.Load() {
+				http.Error(w, "melting", http.StatusInternalServerError)
+				return
+			}
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	cb := NewCircuitBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: 30 * time.Millisecond})
+	src := NewHTTPSource(ts.URL, HTTPSourceOptions{Breaker: cb})
+	defer src.Close()
+
+	m, err := src.Model(ModelTabular)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Node melts: the first refresh fails over the wire and opens the
+	// breaker; the second is refused locally without a request.
+	broken.Store(true)
+	if err := src.Refresh(ModelTabular); err == nil {
+		t.Fatal("refresh against a melting node succeeded")
+	}
+	before := modelHits.Load()
+	err = src.Refresh(ModelTabular)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("refresh with an open breaker = %v, want ErrBreakerOpen", err)
+	}
+	if got := modelHits.Load(); got != before {
+		t.Fatalf("open breaker let %d requests through", got-before)
+	}
+	// The cache keeps serving the last good model the whole time.
+	m2, err := src.Model(ModelTabular)
+	if err != nil || m2.Version != m.Version {
+		t.Fatalf("cached model unavailable during the outage: %v (version %d vs %d)", err, m2.Version, m.Version)
+	}
+
+	// Node recovers, cooldown elapses: the probe refresh closes the breaker.
+	broken.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	if err := src.Refresh(ModelTabular); err != nil {
+		t.Fatalf("probe refresh after recovery: %v", err)
+	}
+	if got := cb.State(); got != BreakerClosed {
+		t.Fatalf("breaker state after recovery = %v, want closed", got)
+	}
+}

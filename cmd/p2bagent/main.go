@@ -51,6 +51,9 @@ func main() {
 		wire     = flag.String("wire", "batch", "report path: batch (binary frames), ndjson, or single (one POST per report)")
 		maxBatch = flag.Int("max-batch", 256, "reports per batch POST (batch/ndjson wire)")
 		maxAge   = flag.Duration("max-age", 250*time.Millisecond, "max report age before a partial batch ships")
+		inflight = flag.Int("inflight", 4, "concurrently outstanding batch POSTs (1 = deterministic delivery order, what chaos bit-exactness runs use)")
+		retries  = flag.Int("retries", 3, "per-batch retry budget for transient failures (429/503/408/5xx, resets)")
+		retryAt  = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
 		refresh  = flag.Duration("model-refresh", 2*time.Second, "background model refresh interval (0 disables; unchanged models cost a 304)")
 		jsonWire = flag.Bool("model-json", false, "fetch models as JSON instead of the binary encoding")
 	)
@@ -82,16 +85,26 @@ func main() {
 		Seed:    *seed,
 	})
 	defer src.Close()
-	if err := preflight(*node, *d, *arms, *k); err != nil {
+	// Preflight and the first model fetch ride plain GETs with no retry
+	// layer of their own; behind a chaos proxy (or against a node still
+	// coming up) a transient failure here should not kill the fleet.
+	if err := withRetries(10, func() error { return preflight(*node, *d, *arms, *k) }); err != nil {
 		fmt.Fprintf(os.Stderr, "p2bagent: preflight failed: %v\n", err)
+		os.Exit(1)
+	}
+	if err := withRetries(10, func() error { return src.Refresh(agent.ModelTabular) }); err != nil {
+		fmt.Fprintf(os.Stderr, "p2bagent: warm-start model fetch failed: %v\n", err)
 		os.Exit(1)
 	}
 
 	tr := agent.NewHTTPTransport(*node, agent.HTTPTransportOptions{
-		Wire:     wireMode,
-		MaxBatch: *maxBatch,
-		MaxAge:   *maxAge,
-		Seed:     *seed,
+		Wire:        wireMode,
+		MaxBatch:    *maxBatch,
+		MaxAge:      *maxAge,
+		MaxInFlight: *inflight,
+		MaxRetries:  *retries,
+		RetryBase:   *retryAt,
+		Seed:        *seed,
 	})
 
 	fmt.Printf("p2bagent: %d devices -> %s over %s wire (epsilon per disclosure %.4f)\n",
@@ -153,6 +166,21 @@ func main() {
 		totalReward/float64(interactions), submitted, float64(submitted)/float64(*users))
 	fmt.Printf("model sync: %d fetches, %d not-modified (304), %d refreshed\n",
 		st.Fetches, st.NotModified, st.Refreshed)
+	bst := tr.Stats()
+	fmt.Printf("delivery: %d batches, %d retries, %d dropped batches, %d dropped reports\n",
+		bst.Batches, bst.Retries, bst.DroppedBatches, bst.DroppedReports)
+}
+
+// withRetries runs fn up to attempts times, 200ms apart.
+func withRetries(attempts int, fn func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	return err
 }
 
 // preflight fails fast when the node is unreachable, unhealthy, or shaped

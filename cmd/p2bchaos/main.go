@@ -1,0 +1,103 @@
+// Command p2bchaos runs the chaos HTTP proxy between an agent fleet and a
+// p2bnode: it forwards everything, deterministically injecting the network
+// failure modes a real deployment meets — added latency, connection
+// resets, 5xx bursts with Retry-After, truncated model downloads.
+//
+// Faults are drawn from a seeded stream, so a chaos run is reproducible:
+// the same seed and the same request arrival order yield the same fault
+// sequence. Resets and synthesized 503s happen strictly before a request
+// is forwarded (the node never sees it, so a client retry cannot
+// double-ingest), and body truncation applies only to GET responses.
+//
+// GET /chaosz answers with the injected-fault counters as JSON (the one
+// route the proxy does not forward), and the same counters are printed on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	p2bchaos -addr :8081 -upstream http://localhost:8080 \
+//	         -seed 42 -latency-prob 0.2 -latency 50ms \
+//	         -reset-prob 0.05 -error-prob 0.05 -error-burst 2 \
+//	         -truncate-prob 0.1
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"p2b/internal/faultinject"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8081", "listen address")
+		upstream     = flag.String("upstream", "http://localhost:8080", "p2bnode base URL to forward to")
+		seed         = flag.Uint64("seed", 1, "seed for the fault decision stream")
+		latencyProb  = flag.Float64("latency-prob", 0, "per-request chance of added latency")
+		latency      = flag.Duration("latency", 50*time.Millisecond, "maximum injected delay")
+		resetProb    = flag.Float64("reset-prob", 0, "per-request chance of a connection reset before forwarding")
+		errorProb    = flag.Float64("error-prob", 0, "per-request chance of starting a synthesized 503 burst")
+		errorBurst   = flag.Int("error-burst", 1, "consecutive requests per 503 burst")
+		retryAfter   = flag.Duration("retry-after", time.Second, "Retry-After hint on synthesized 503s")
+		truncateProb = flag.Float64("truncate-prob", 0, "per-request chance of truncating a GET response body")
+	)
+	flag.Parse()
+
+	proxy, err := faultinject.NewProxy(faultinject.ProxyConfig{
+		Upstream:     *upstream,
+		Seed:         *seed,
+		LatencyProb:  *latencyProb,
+		Latency:      *latency,
+		ResetProb:    *resetProb,
+		ErrorProb:    *errorProb,
+		ErrorBurst:   *errorBurst,
+		RetryAfter:   *retryAfter,
+		TruncateProb: *truncateProb,
+	})
+	if err != nil {
+		log.Fatalf("p2bchaos: %v", err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /chaosz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(proxy.Stats())
+	})
+	mux.Handle("/", proxy)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("p2bchaos listening on %s -> %s (seed %d)", *addr, *upstream, *seed)
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("p2bchaos: drain incomplete: %v", err)
+	}
+	st := proxy.Stats()
+	log.Printf("p2bchaos: final: %d requests (%d forwarded, %d delayed, %d resets, %d 503s, %d truncated)",
+		st.Requests, st.Forwarded, st.Delayed, st.Resets, st.Errors, st.Truncated)
+}

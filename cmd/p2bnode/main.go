@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"p2b/internal/faultinject"
 	"p2b/internal/httpapi"
 	"p2b/internal/persist"
 	"p2b/internal/rng"
@@ -83,6 +84,15 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "automatic checkpoint interval (0 = manual via /admin/checkpoint and shutdown)")
 		walSync   = flag.Duration("wal-sync", 100*time.Millisecond, "WAL fsync batching interval (0 = fsync every append; strongest durability)")
 		walRetain = flag.Bool("wal-retain", false, "keep checkpoint-covered WAL segments instead of pruning (full input stream stays replayable)")
+		walPolicy = flag.String("wal-policy", "fail-closed", "ingest behavior when the WAL refuses a write: fail-closed (503 + Retry-After) or degrade (accept into memory, flag degraded on /healthz)")
+
+		maxInFlight      = flag.Int("max-inflight", 256, "max concurrently admitted ingest requests (0 = unbounded)")
+		maxInFlightBytes = flag.Int64("max-inflight-bytes", 64<<20, "max summed declared body bytes of admitted ingest requests (0 = unbounded)")
+		readTimeout      = flag.Duration("read-timeout", 30*time.Second, "per-request body read deadline on admitted ingest requests (0 = none)")
+		retryAfter       = flag.Duration("retry-after", time.Second, "Retry-After hint on shed (429) responses")
+
+		faults    = flag.String("faults", "", "failpoint specs for chaos runs, e.g. \"wal/sync:after=100,count=1;wal/torn:count=1\" (see internal/faultinject)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic failpoints")
 	)
 	flag.Parse()
 	if *batch == 0 {
@@ -92,10 +102,37 @@ func main() {
 		}
 	}
 
+	policy, err := httpapi.ParseWALPolicy(*walPolicy)
+	if err != nil {
+		log.Fatalf("p2bnode: %v", err)
+	}
+	if *faults != "" {
+		specs, err := faultinject.ParseSpecs(*faults)
+		if err != nil {
+			log.Fatalf("p2bnode: %v", err)
+		}
+		reg := faultinject.NewRegistry(*faultSeed)
+		reg.EnableAll(specs)
+		persist.SetFSHooks(&persist.FSHooks{
+			BeforeWrite:    reg.FSWrite,
+			BeforeSync:     reg.FSSync,
+			BeforeTruncate: reg.FSTruncate,
+		})
+		log.Printf("p2bnode: CHAOS MODE: failpoints armed (%s, seed %d) — not for production", *faults, *faultSeed)
+	}
+
 	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed, Shards: *shards})
 	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, srv, rng.New(*seed).Split("shuffler"))
 
-	var opts httpapi.NodeOptions
+	opts := httpapi.NodeOptions{
+		WALPolicy: policy,
+		Admission: httpapi.NewAdmission(httpapi.AdmissionConfig{
+			MaxInFlight:      *maxInFlight,
+			MaxInFlightBytes: *maxInFlightBytes,
+			RetryAfter:       *retryAfter,
+			ReadTimeout:      *readTimeout,
+		}),
+	}
 	var mgr *persist.Manager
 	if *dataDir != "" {
 		var err error
@@ -110,11 +147,9 @@ func main() {
 		rec := mgr.Recovery()
 		log.Printf("p2bnode: durable in %s (checkpoint seq %d, replayed %d records, wal at seq %d)",
 			*dataDir, rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq)
-		opts = httpapi.NodeOptions{
-			Ingest:     mgr,
-			Checkpoint: mgr.Checkpoint,
-			Health:     func() any { return mgr.Info() },
-		}
+		opts.Ingest = mgr
+		opts.Checkpoint = mgr.Checkpoint
+		opts.Health = func() any { return mgr.Info() }
 	}
 
 	httpSrv := &http.Server{

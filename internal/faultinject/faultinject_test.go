@@ -1,0 +1,306 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHitUnregisteredNeverFires(t *testing.T) {
+	g := NewRegistry(1)
+	for i := 0; i < 100; i++ {
+		if err := g.Hit("nothing/here"); err != nil {
+			t.Fatalf("unregistered failpoint fired: %v", err)
+		}
+	}
+}
+
+func TestAfterAndCount(t *testing.T) {
+	g := NewRegistry(1)
+	g.Enable("p", Spec{After: 3, Count: 2})
+	var fired []int
+	for i := 1; i <= 10; i++ {
+		if err := g.Hit("p"); err != nil {
+			fired = append(fired, i)
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+			}
+		}
+	}
+	if len(fired) != 2 || fired[0] != 4 || fired[1] != 5 {
+		t.Fatalf("fired on hits %v, want [4 5]", fired)
+	}
+	if got := g.Fired("p"); got != 2 {
+		t.Fatalf("Fired = %d, want 2", got)
+	}
+}
+
+func TestProbDeterministic(t *testing.T) {
+	run := func() []int {
+		g := NewRegistry(42)
+		g.Enable("p", Spec{Prob: 0.3})
+		var fired []int
+		for i := 0; i < 200; i++ {
+			if g.Hit("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 200 {
+		t.Fatalf("prob 0.3 fired %d/200 times — not probabilistic", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at index %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	sentinel := errors.New("boom")
+	g := NewRegistry(1)
+	g.Enable("p", Spec{Err: sentinel})
+	if err := g.Hit("p"); !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the configured sentinel", err)
+	}
+}
+
+func TestParseSpecs(t *testing.T) {
+	specs, err := ParseSpecs("wal/sync:after=100,count=1;wal/torn:count=1;net/slow:prob=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := specs["wal/sync"]; got.After != 100 || got.Count != 1 {
+		t.Fatalf("wal/sync = %+v", got)
+	}
+	if got := specs["wal/torn"]; got.Count != 1 {
+		t.Fatalf("wal/torn = %+v", got)
+	}
+	if got := specs["net/slow"]; got.Prob != 0.25 {
+		t.Fatalf("net/slow = %+v", got)
+	}
+	if m, err := ParseSpecs(""); err != nil || len(m) != 0 {
+		t.Fatalf("empty input: %v, %v", m, err)
+	}
+	for _, bad := range []string{":after=1", "p:after", "p:prob=2", "p:bogus=1"} {
+		if _, err := ParseSpecs(bad); err == nil {
+			t.Fatalf("ParseSpecs(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestFSAdapters(t *testing.T) {
+	g := NewRegistry(1)
+	b := []byte("0123456789")
+
+	// Clean pass-through with nothing enabled.
+	if n, err := g.FSWrite("x", b); n != len(b) || err != nil {
+		t.Fatalf("clean FSWrite = (%d, %v)", n, err)
+	}
+	if err := g.FSSync("x"); err != nil {
+		t.Fatalf("clean FSSync = %v", err)
+	}
+
+	g.Enable(FPWALWrite, Spec{Count: 1})
+	if n, err := g.FSWrite("x", b); n != 0 || err == nil {
+		t.Fatalf("refused write = (%d, %v), want (0, err)", n, err)
+	}
+
+	g.Enable(FPWALTorn, Spec{Count: 1})
+	if n, err := g.FSWrite("x", b); n != len(b)/2 || err == nil {
+		t.Fatalf("torn write = (%d, %v), want (%d, err)", n, err, len(b)/2)
+	}
+
+	g.Enable(FPWALSync, Spec{Count: 1})
+	if err := g.FSSync("x"); err == nil {
+		t.Fatal("sync fault did not fire")
+	}
+	g.Enable(FPWALTruncate, Spec{Count: 1})
+	if err := g.FSTruncate("x"); err == nil {
+		t.Fatal("truncate fault did not fire")
+	}
+}
+
+// chaosUpstream is a tiny origin: POST /echo accepts, GET /blob serves a
+// sized body.
+func chaosUpstream(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /echo", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /blob", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(strings.Repeat("x", 4096)))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProxyTransparentByDefault(t *testing.T) {
+	up := chaosUpstream(t)
+	p, err := NewProxy(ProxyConfig{Upstream: up.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/echo", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status %d through transparent proxy", resp.StatusCode)
+	}
+	resp, err = http.Get(front.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 4096 {
+		t.Fatalf("blob through transparent proxy: %d bytes, %v", len(body), err)
+	}
+	st := p.Stats()
+	if st.Requests != 2 || st.Forwarded != 2 || st.Errors+st.Resets+st.Truncated != 0 {
+		t.Fatalf("transparent proxy stats %+v", st)
+	}
+}
+
+func TestProxy503BurstWithRetryAfter(t *testing.T) {
+	up := chaosUpstream(t)
+	p, err := NewProxy(ProxyConfig{
+		Upstream:   up.URL,
+		ErrorProb:  1,
+		ErrorBurst: 3,
+		RetryAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(front.URL+"/echo", "text/plain", strings.NewReader("hi"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("burst request %d: status %d, want 503", i, resp.StatusCode)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "2" {
+			t.Fatalf("burst request %d: Retry-After %q, want \"2\"", i, ra)
+		}
+	}
+	if st := p.Stats(); st.Errors != 3 {
+		t.Fatalf("stats %+v, want 3 errors", st)
+	}
+}
+
+func TestProxyReset(t *testing.T) {
+	up := chaosUpstream(t)
+	p, err := NewProxy(ProxyConfig{Upstream: up.URL, ResetProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	resp, err := http.Post(front.URL+"/echo", "text/plain", strings.NewReader("hi"))
+	if err == nil {
+		resp.Body.Close()
+		t.Fatalf("reset request succeeded with status %d", resp.StatusCode)
+	}
+	if st := p.Stats(); st.Resets != 1 {
+		t.Fatalf("stats %+v, want 1 reset", st)
+	}
+}
+
+func TestProxyTruncatesOnlyGETResponses(t *testing.T) {
+	up := chaosUpstream(t)
+	p, err := NewProxy(ProxyConfig{Upstream: up.URL, TruncateProb: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	defer front.Close()
+
+	// POSTs are never truncated: the batch path must stay exactly-once.
+	resp, err := http.Post(front.URL+"/echo", "text/plain", strings.NewReader("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST through truncating proxy: status %d", resp.StatusCode)
+	}
+
+	// GETs come back cut short: reading the advertised length fails.
+	resp, err = http.Get(front.URL + "/blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr == nil && len(body) == 4096 {
+		t.Fatal("GET response arrived intact through a truncating proxy")
+	}
+	if st := p.Stats(); st.Truncated != 1 {
+		t.Fatalf("stats %+v, want 1 truncation", st)
+	}
+}
+
+func TestProxyLatencyDeterministic(t *testing.T) {
+	up := chaosUpstream(t)
+	mk := func() *Proxy {
+		p, err := NewProxy(ProxyConfig{
+			Upstream:    up.URL,
+			Seed:        7,
+			LatencyProb: 0.5,
+			Latency:     2 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	run := func(p *Proxy) int64 {
+		front := httptest.NewServer(p)
+		defer front.Close()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Post(front.URL+"/echo", "text/plain", strings.NewReader("hi"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		return p.Stats().Delayed
+	}
+	a, b := run(mk()), run(mk())
+	if a != b {
+		t.Fatalf("same seed injected %d vs %d delays", a, b)
+	}
+	if a == 0 || a == 50 {
+		t.Fatalf("latency prob 0.5 delayed %d/50 requests", a)
+	}
+}
+
+func TestNewProxyRejectsBadUpstream(t *testing.T) {
+	if _, err := NewProxy(ProxyConfig{Upstream: "::not a url"}); err == nil {
+		t.Fatal("garbage upstream accepted")
+	}
+	if _, err := NewProxy(ProxyConfig{Upstream: "no-scheme"}); err == nil {
+		t.Fatal("schemeless upstream accepted")
+	}
+}

@@ -1,0 +1,246 @@
+// The chaos HTTP proxy: a reverse proxy that sits between an agent fleet
+// and a p2bnode and injects the network failure modes a real deployment
+// meets — added latency, dropped connections, 5xx bursts and truncated
+// response bodies — deterministically from a seed.
+//
+// Fault placement is deliberate about idempotency: connection resets and
+// synthesized 503s happen strictly BEFORE the request is forwarded, so a
+// faulted POST /reports was never seen by the node and the client's retry
+// cannot double-ingest a batch. Body truncation applies only to responses
+// of safe (GET) requests — the model-sync path, where a half-downloaded
+// payload must make the SDK keep serving its cached model, not corrupt it.
+// That discipline is what lets the chaos CI job demand bit-exact
+// convergence with a fault-free run.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sync"
+	"time"
+
+	"p2b/internal/rng"
+)
+
+// ProxyConfig tunes a chaos Proxy. Zero probabilities inject nothing; the
+// zero value is a transparent proxy.
+type ProxyConfig struct {
+	// Upstream is the base URL faults are injected in front of.
+	Upstream string
+	// Seed drives every fault decision (default 1).
+	Seed uint64
+	// LatencyProb is the per-request chance of added latency, uniform in
+	// [Latency/2, Latency).
+	LatencyProb float64
+	// Latency is the maximum injected delay.
+	Latency time.Duration
+	// ResetProb is the per-request chance of aborting the connection before
+	// forwarding (the client sees a reset/EOF mid-request).
+	ResetProb float64
+	// ErrorProb is the per-request chance of starting a synthesized 503
+	// burst instead of forwarding.
+	ErrorProb float64
+	// ErrorBurst is how many consecutive requests each burst spans
+	// (default 1).
+	ErrorBurst int
+	// RetryAfter is the Retry-After hint stamped on synthesized 503s
+	// (default 1s, rendered in whole seconds with a 1s floor).
+	RetryAfter time.Duration
+	// TruncateProb is the per-request chance of cutting a GET response body
+	// in half mid-stream (the client sees an unexpected EOF).
+	TruncateProb float64
+}
+
+// ProxyStats counts injected faults.
+type ProxyStats struct {
+	Requests  int64 `json:"requests"`
+	Forwarded int64 `json:"forwarded"`
+	Delayed   int64 `json:"delayed"`
+	Resets    int64 `json:"resets"`
+	Errors    int64 `json:"errors"` // synthesized 503s
+	Truncated int64 `json:"truncated"`
+}
+
+// Proxy is the chaos reverse proxy. It implements http.Handler.
+type Proxy struct {
+	cfg ProxyConfig
+	rp  *httputil.ReverseProxy
+
+	mu        sync.Mutex
+	r         *rng.Rand
+	burstLeft int
+	stats     ProxyStats
+}
+
+// truncateKey marks a request whose response body should be cut short.
+type truncateKey struct{}
+
+// NewProxy returns a chaos proxy in front of cfg.Upstream.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	target, err := url.Parse(cfg.Upstream)
+	if err != nil {
+		return nil, fmt.Errorf("faultinject: parsing upstream %q: %w", cfg.Upstream, err)
+	}
+	if target.Scheme == "" || target.Host == "" {
+		return nil, fmt.Errorf("faultinject: upstream %q needs a scheme and host", cfg.Upstream)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ErrorBurst <= 0 {
+		cfg.ErrorBurst = 1
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	p := &Proxy{
+		cfg: cfg,
+		r:   rng.New(cfg.Seed).Split("chaos-proxy"),
+	}
+	p.rp = &httputil.ReverseProxy{
+		Rewrite: func(pr *httputil.ProxyRequest) {
+			pr.SetURL(target)
+			pr.Out.Host = target.Host
+		},
+		ModifyResponse: func(resp *http.Response) error {
+			if resp.Request == nil || resp.Request.Context().Value(truncateKey{}) == nil {
+				return nil
+			}
+			// Cut the body in half when the length is known; a chunked
+			// response is cut after a fixed prefix.
+			n := resp.ContentLength / 2
+			if resp.ContentLength < 0 {
+				n = 1024
+			}
+			if n <= 0 {
+				n = 1
+			}
+			p.mu.Lock()
+			p.stats.Truncated++
+			p.mu.Unlock()
+			// Serve half the body, then fail the copy: ReverseProxy aborts
+			// the response mid-stream and the client sees a short body
+			// against the advertised Content-Length.
+			resp.Body = &truncatedBody{rc: resp.Body, remaining: n}
+			return nil
+		},
+		// Upstream connection errors become 502s; the default also logs,
+		// which would spam a chaos run's output.
+		ErrorHandler: func(w http.ResponseWriter, r *http.Request, err error) {
+			w.WriteHeader(http.StatusBadGateway)
+		},
+	}
+	return p, nil
+}
+
+// proxyAction is one request's fault decision.
+type proxyAction struct {
+	delay    time.Duration
+	reset    bool
+	error503 bool
+	truncate bool
+}
+
+// decide draws this request's faults from the seeded stream. Decisions are
+// serialized, so a fixed arrival order yields a fixed fault sequence.
+func (p *Proxy) decide(r *http.Request) proxyAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Requests++
+	var a proxyAction
+	if p.cfg.LatencyProb > 0 && p.cfg.Latency > 0 && p.r.Bernoulli(p.cfg.LatencyProb) {
+		a.delay = p.cfg.Latency/2 + time.Duration(p.r.Float64()*float64(p.cfg.Latency/2))
+		p.stats.Delayed++
+	}
+	if p.burstLeft > 0 {
+		p.burstLeft--
+		a.error503 = true
+		p.stats.Errors++
+		return a
+	}
+	if p.cfg.ErrorProb > 0 && p.r.Bernoulli(p.cfg.ErrorProb) {
+		p.burstLeft = p.cfg.ErrorBurst - 1
+		a.error503 = true
+		p.stats.Errors++
+		return a
+	}
+	if p.cfg.ResetProb > 0 && p.r.Bernoulli(p.cfg.ResetProb) {
+		a.reset = true
+		p.stats.Resets++
+		return a
+	}
+	if r.Method == http.MethodGet && p.cfg.TruncateProb > 0 && p.r.Bernoulli(p.cfg.TruncateProb) {
+		a.truncate = true
+	}
+	p.stats.Forwarded++
+	return a
+}
+
+// ServeHTTP injects this request's faults, then (if it survives) forwards
+// it upstream.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a := p.decide(r)
+	if a.delay > 0 {
+		select {
+		case <-time.After(a.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	switch {
+	case a.reset:
+		// Abort without writing a response: net/http closes the connection
+		// and the client sees EOF/reset mid-exchange.
+		panic(http.ErrAbortHandler)
+	case a.error503:
+		secs := int(p.cfg.RetryAfter.Round(time.Second) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		http.Error(w, "faultinject: synthesized overload", http.StatusServiceUnavailable)
+	case a.truncate:
+		p.rp.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), truncateKey{}, true)))
+	default:
+		p.rp.ServeHTTP(w, r)
+	}
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// truncatedBody serves remaining bytes of rc, then fails the read. The
+// error is deliberately not io.EOF: ReverseProxy must treat the copy as
+// broken (aborting the response) rather than as a clean end of body.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (t *truncatedBody) Read(b []byte) (int, error) {
+	if t.remaining <= 0 {
+		return 0, fmt.Errorf("faultinject: %w: response body truncated", ErrInjected)
+	}
+	if int64(len(b)) > t.remaining {
+		b = b[:t.remaining]
+	}
+	n, err := t.rc.Read(b)
+	t.remaining -= int64(n)
+	if err == io.EOF {
+		return n, err
+	}
+	if err == nil && t.remaining <= 0 {
+		err = fmt.Errorf("faultinject: %w: response body truncated", ErrInjected)
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return t.rc.Close() }

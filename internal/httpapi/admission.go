@@ -1,0 +1,215 @@
+// Admission control: the node's overload boundary. Every ingest request
+// (single reports, batch streams, flushes, raw baseline tuples) passes
+// through an Admission gate that bounds how much work is in flight at
+// once — by request count and by declared body bytes — and sheds the
+// excess with 429 Too Many Requests plus a Retry-After hint instead of
+// queuing it. Shedding at the door is what keeps the shuffler's latency
+// and the WAL's fsync cadence stable under a misbehaving fleet: a client
+// that honors Retry-After (the SDK does) converges to the node's actual
+// capacity, and one that doesn't only ever costs the node a header parse
+// and a counter bump.
+//
+// The gate also owns the per-request read deadline: an admitted request
+// holds capacity, so a sender that stalls mid-body would otherwise pin a
+// slot forever. The deadline turns that into a request error the client
+// retries.
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"p2b/internal/transport"
+)
+
+// AdmissionConfig bounds the ingest work a node accepts concurrently.
+// Zero values mean "no limit" for the caps and "default" for the hints,
+// so the zero config admits everything (the pre-admission behavior).
+type AdmissionConfig struct {
+	// MaxInFlight caps concurrently admitted ingest requests (0 = no cap).
+	MaxInFlight int
+	// MaxInFlightBytes caps the summed Content-Length of admitted ingest
+	// bodies (0 = no cap). Chunked requests with no declared length count
+	// zero bytes here; they are still bounded by MaxInFlight and by the
+	// per-route MaxBytesReader.
+	MaxInFlightBytes int64
+	// RetryAfter is the Retry-After hint stamped on shed responses
+	// (default 1s, rendered in whole seconds with a 1s floor).
+	RetryAfter time.Duration
+	// ReadTimeout, when set, is the deadline for reading an admitted
+	// request's body, applied per request via the response controller.
+	ReadTimeout time.Duration
+}
+
+// OverloadStats is the overload section of /healthz and the stats routes:
+// the admission gate's live occupancy and lifetime counters, plus the
+// WAL-degrade state when the node runs the degrade-to-memory policy.
+type OverloadStats struct {
+	InFlight      int64 `json:"in_flight"`       // admitted requests currently executing
+	InFlightBytes int64 `json:"in_flight_bytes"` // their summed declared body bytes
+	Admitted      int64 `json:"admitted"`        // lifetime admitted ingest requests
+	Shed          int64 `json:"shed"`            // lifetime 429s issued at the gate
+	// Degraded is the loud flag of the WAL degrade-to-memory policy: true
+	// while report admission is bypassing a failing write-ahead log, i.e.
+	// accepted reports are NOT currently durable.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedOps counts ingest operations that fell back to memory.
+	DegradedOps int64 `json:"degraded_ops,omitempty"`
+}
+
+// Admission is the ingest gate. The zero value is not usable; construct
+// with NewAdmission. A nil *Admission admits everything (no gate).
+type Admission struct {
+	cfg        AdmissionConfig
+	retryAfter string // pre-rendered whole-seconds Retry-After value
+
+	inFlight      atomic.Int64
+	inFlightBytes atomic.Int64
+	admitted      atomic.Int64
+	shed          atomic.Int64
+}
+
+// NewAdmission returns an ingest gate enforcing cfg.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	secs := int64(cfg.RetryAfter.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return &Admission{cfg: cfg, retryAfter: strconv.FormatInt(secs, 10)}
+}
+
+// Stats snapshots the gate's counters (degrade fields are filled in by the
+// node handler, which owns the degrade state).
+func (a *Admission) Stats() OverloadStats {
+	if a == nil {
+		return OverloadStats{}
+	}
+	return OverloadStats{
+		InFlight:      a.inFlight.Load(),
+		InFlightBytes: a.inFlightBytes.Load(),
+		Admitted:      a.admitted.Load(),
+		Shed:          a.shed.Load(),
+	}
+}
+
+// tryAcquire claims capacity for one request of cost declared body bytes.
+// Optimistic: bump, check, roll back on refusal — concurrent racers can
+// transiently overshoot the counter but never both hold the capacity.
+func (a *Admission) tryAcquire(cost int64) bool {
+	if n := a.inFlight.Add(1); a.cfg.MaxInFlight > 0 && n > int64(a.cfg.MaxInFlight) {
+		a.inFlight.Add(-1)
+		return false
+	}
+	if b := a.inFlightBytes.Add(cost); a.cfg.MaxInFlightBytes > 0 && b > a.cfg.MaxInFlightBytes {
+		a.inFlightBytes.Add(-cost)
+		a.inFlight.Add(-1)
+		return false
+	}
+	a.admitted.Add(1)
+	return true
+}
+
+func (a *Admission) release(cost int64) {
+	a.inFlightBytes.Add(-cost)
+	a.inFlight.Add(-1)
+}
+
+// guard wraps one ingest handler with the admission gate: shed when over
+// capacity, otherwise arm the body read deadline and run the handler. A
+// nil gate is the identity — standalone handlers built without
+// NodeOptions keep their unbounded behavior.
+func (a *Admission) guard(h http.HandlerFunc) http.HandlerFunc {
+	if a == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		cost := r.ContentLength
+		if cost < 0 {
+			cost = 0
+		}
+		if !a.tryAcquire(cost) {
+			a.shed.Add(1)
+			w.Header().Set("Retry-After", a.retryAfter)
+			http.Error(w, "httpapi: node over ingest capacity, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer a.release(cost)
+		if a.cfg.ReadTimeout > 0 {
+			// Best effort: a hijacked or test ResponseWriter may not support
+			// deadlines, and an unsupported controller must not turn into a
+			// shed — the caps above are the load-bearing part of the gate.
+			_ = http.NewResponseController(w).SetReadDeadline(time.Now().Add(a.cfg.ReadTimeout))
+		}
+		h(w, r)
+	}
+}
+
+// WALPolicy selects what report admission does when the durable log
+// refuses a write.
+type WALPolicy int
+
+const (
+	// WALFailClosed (the default) refuses the report with 503 Service
+	// Unavailable + Retry-After: an unlogged tuple is never acked, so a
+	// crash cannot lose data the client believes delivered. The SDK treats
+	// 503 as retryable, so a transient WAL stall costs latency, not data.
+	WALFailClosed WALPolicy = iota
+	// WALDegrade keeps accepting reports into the in-memory shuffler when
+	// the log fails, raising the Degraded flag on /healthz and the stats
+	// routes. Availability over durability: accepted-while-degraded
+	// reports die with the process. The flag clears when the log recovers.
+	WALDegrade
+)
+
+// ParseWALPolicy parses the -wal-policy flag value.
+func ParseWALPolicy(s string) (WALPolicy, error) {
+	switch s {
+	case "fail-closed", "":
+		return WALFailClosed, nil
+	case "degrade":
+		return WALDegrade, nil
+	}
+	return 0, fmt.Errorf("httpapi: unknown wal policy %q (want fail-closed or degrade)", s)
+}
+
+// degradingIngestor implements WALDegrade: every operation tries the
+// durable primary first and, on failure, falls back to the in-memory
+// path. The fallback cannot double-apply: the persist manager applies an
+// operation to the shuffler only after the WAL accepted it, so a failed
+// primary call left no trace.
+type degradingIngestor struct {
+	primary  Ingestor
+	fallback Ingestor
+
+	degraded    atomic.Bool
+	degradedOps atomic.Int64
+}
+
+func (d *degradingIngestor) do(op func(Ingestor) error) error {
+	if err := op(d.primary); err != nil {
+		d.degradedOps.Add(1)
+		d.degraded.Store(true)
+		return op(d.fallback)
+	}
+	// One healthy durable write clears the flag: the log accepted again.
+	d.degraded.Store(false)
+	return nil
+}
+
+func (d *degradingIngestor) SubmitEnvelope(e transport.Envelope) error {
+	return d.do(func(i Ingestor) error { return i.SubmitEnvelope(e) })
+}
+
+func (d *degradingIngestor) SubmitTuples(ts []transport.Tuple) error {
+	return d.do(func(i Ingestor) error { return i.SubmitTuples(ts) })
+}
+
+func (d *degradingIngestor) Flush() error {
+	return d.do(func(i Ingestor) error { return i.Flush() })
+}

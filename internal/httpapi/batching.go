@@ -15,6 +15,8 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,6 +50,16 @@ type BatchingConfig struct {
 	// multiplied by a uniform jitter in [0.5, 1.5) so a fleet that failed
 	// together does not retry together (default 50ms).
 	RetryBase time.Duration
+	// MaxRetryDelay caps any single retry wait, including server-provided
+	// Retry-After hints (default 30s) — a confused server cannot park the
+	// client for an hour.
+	MaxRetryDelay time.Duration
+	// Breaker, when non-nil, short-circuits sends while the node is known
+	// down: attempts refused by an open breaker count as transient
+	// failures (they wait out the backoff like any other), but cost no
+	// connection. Share one breaker with the model-sync path so both learn
+	// about an outage from each other's traffic.
+	Breaker *CircuitBreaker
 	// NDJSON switches the wire encoding from the binary framing to
 	// newline-delimited JSON (the debuggable fallback).
 	NDJSON bool
@@ -73,6 +85,9 @@ func (c *BatchingConfig) fill() {
 	}
 	if c.RetryBase <= 0 {
 		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.MaxRetryDelay <= 0 {
+		c.MaxRetryDelay = 30 * time.Second
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -110,6 +125,7 @@ type BatchingClient struct {
 	timer   *time.Timer
 
 	queue chan pendingBatch
+	stop  chan struct{}  // closed by Close: backoff sleeps end immediately
 	enq   sync.WaitGroup // in-flight enqueue attempts, so Close can safely close(queue)
 	wg    sync.WaitGroup // sender goroutines
 
@@ -125,6 +141,7 @@ func NewBatchingClient(c *Client, cfg BatchingConfig) *BatchingClient {
 		c:     c,
 		cfg:   cfg,
 		queue: make(chan pendingBatch), // unbuffered: MaxInFlight senders ARE the bound
+		stop:  make(chan struct{}),
 		jr:    rng.New(cfg.Seed).Split("batch-retry-jitter"),
 	}
 	b.done = sync.NewCond(&b.mu)
@@ -265,6 +282,12 @@ func (b *BatchingClient) Flush() error {
 
 // Close flushes the tail, stops the senders and returns the sticky error.
 // Report fails with ErrClientClosed afterwards. Close is idempotent.
+//
+// Close also collapses retry backoff: senders sleeping between attempts
+// wake immediately and run their remaining attempts back to back, so a
+// shutdown against a struggling node drains in attempt time, not in
+// accumulated backoff time. Every outstanding batch still gets its full
+// attempt budget — Close trades latency for nothing, delivery-wise.
 func (b *BatchingClient) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -273,6 +296,7 @@ func (b *BatchingClient) Close() error {
 	}
 	b.closed = true
 	b.timer.Stop()
+	close(b.stop)
 	pb, cut := b.cutLocked()
 	b.mu.Unlock()
 	if cut {
@@ -317,8 +341,14 @@ func (b *BatchingClient) sender() {
 }
 
 // send posts one batch, retrying transient failures with jittered
-// exponential backoff. 4xx responses are permanent (the batch is wrong,
-// resending cannot fix it); network errors and 5xx responses are retried.
+// exponential backoff. Network errors, 5xx responses, 429 Too Many
+// Requests (the node shed the batch — it never saw it) and 408 are
+// retried, honoring a Retry-After hint when the server sends one; other
+// 4xx responses are permanent (the batch is wrong, resending cannot fix
+// it). Retries are safe because ingestion is additive and a shed or
+// errored request was rejected before ingestion. When a breaker is
+// configured, attempts while it is open are refused locally — they wait
+// out the backoff like any failure but cost no connection.
 func (b *BatchingClient) send(pb pendingBatch) error {
 	contentType := transport.ContentTypeBinary
 	body := pb.body
@@ -334,21 +364,36 @@ func (b *BatchingClient) send(pb pendingBatch) error {
 			b.mu.Lock()
 			b.stats.Retries++
 			b.mu.Unlock()
-			time.Sleep(b.jitter(delay))
+			b.sleep(b.jitter(delay))
 			delay *= 2
+		}
+		if !b.cfg.Breaker.Allow() {
+			lastErr = fmt.Errorf("httpapi: post %s: %w", url, ErrBreakerOpen)
+			continue
 		}
 		resp, err := b.c.httpClient().Post(url, contentType, bytes.NewReader(body))
 		if err != nil {
+			b.cfg.Breaker.Record(false)
 			lastErr = fmt.Errorf("httpapi: post %s: %w", url, err)
 			continue
 		}
 		status := resp.StatusCode
+		retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		resp.Body.Close()
+		// Breaker outcome tracks the NODE's health, not this batch's fate: a
+		// 429 or a permanent 400 still proves the node is up and answering,
+		// so only connection failures and 5xx count against it.
+		b.cfg.Breaker.Record(status < 500)
 		switch {
 		case status == http.StatusAccepted:
 			return nil
-		case status >= 500:
+		case retryableStatus(status):
+			if retryAfter > delay {
+				// The server knows its own recovery horizon better than our
+				// doubling ladder; adopt its hint (capped) as the next base.
+				delay = retryAfter
+			}
 			lastErr = fmt.Errorf("httpapi: post %s: status %d: %s", url, status, msg)
 			continue
 		default:
@@ -356,6 +401,53 @@ func (b *BatchingClient) send(pb pendingBatch) error {
 		}
 	}
 	return lastErr
+}
+
+// retryableStatus reports whether a batch POST answered with status is
+// worth resending: the throttle statuses (429, 503) and request timeout
+// (408) are explicit "try again later", and any 5xx is a server-side
+// condition the same bytes may outlive.
+func retryableStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusRequestTimeout ||
+		status >= 500
+}
+
+// parseRetryAfter decodes a Retry-After header: delay-seconds or an
+// HTTP-date (RFC 9110 §10.2.3). Zero means absent or unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// sleep waits for d (capped at MaxRetryDelay), ending early when Close is
+// called so shutdown never sits out a backoff ladder.
+func (b *BatchingClient) sleep(d time.Duration) {
+	if d > b.cfg.MaxRetryDelay {
+		d = b.cfg.MaxRetryDelay
+	}
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-b.stop:
+	}
 }
 
 // jitter scales d by a uniform factor in [0.5, 1.5).

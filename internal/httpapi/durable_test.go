@@ -173,9 +173,10 @@ func (failingIngestor) SubmitEnvelope(transport.Envelope) error { return errDisk
 func (failingIngestor) SubmitTuples([]transport.Tuple) error    { return errDisk }
 func (failingIngestor) Flush() error                            { return errDisk }
 
-// An ingest failure must surface as a 500, never a silent ack: an unlogged
-// tuple would be lost by the next crash despite the client believing it
-// was delivered.
+// An ingest failure must surface as a 503 with a Retry-After hint, never
+// a silent ack: an unlogged tuple would be lost by the next crash despite
+// the client believing it was delivered — but the condition is the node's
+// fault and transient, so the client is told to retry, not blamed.
 func TestIngestFailureIsNotAcked(t *testing.T) {
 	srv := server.New(server.Config{K: 4, Arms: 2, D: 2, Alpha: 1})
 	shuf := shuffler.New(shuffler.Config{BatchSize: 4, Threshold: 0}, srv, rng.New(1))
@@ -189,8 +190,11 @@ func TestIngestFailureIsNotAcked(t *testing.T) {
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("batch with dead log: status %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("batch with dead log: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("fail-closed 503 carries no Retry-After hint")
 	}
 	blob, _ := json.Marshal(transport.Envelope{Tuple: transport.Tuple{Code: 1, Action: 1, Reward: 1}})
 	resp, err = http.Post(ts.URL+"/shuffler/report", "application/json", bytes.NewReader(blob))
@@ -198,15 +202,15 @@ func TestIngestFailureIsNotAcked(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("report with dead log: status %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("report with dead log: status %d, want 503", resp.StatusCode)
 	}
 	resp, err = http.Post(ts.URL+"/shuffler/flush", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("flush with dead log: status %d, want 500", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("flush with dead log: status %d, want 503", resp.StatusCode)
 	}
 }

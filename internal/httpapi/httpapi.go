@@ -88,7 +88,9 @@ var tupleChunks = sync.Pool{
 // The plain deployment submits straight to the shuffler; a durable node
 // interposes the persist manager, which logs every operation to the WAL
 // before applying it. Errors are I/O failures (the log could not accept
-// the write) and surface as 500s — an unlogged tuple must not be acked.
+// the write); under the default WALFailClosed policy they surface as
+// 503 + Retry-After — an unlogged tuple must not be acked, but the
+// condition is retryable, not a client bug.
 type Ingestor interface {
 	SubmitEnvelope(e transport.Envelope) error
 	SubmitTuples(tuples []transport.Tuple) error
@@ -106,7 +108,8 @@ func (si shufflerIngestor) SubmitTuples(ts []transport.Tuple) error {
 }
 func (si shufflerIngestor) Flush() error { si.s.Flush(); return nil }
 
-// NodeOptions wires optional durability hooks into the node handler.
+// NodeOptions wires optional durability and overload-protection hooks
+// into the node handler.
 type NodeOptions struct {
 	// Ingest handles report admission. Nil submits straight to the
 	// shuffler (no durability).
@@ -115,6 +118,13 @@ type NodeOptions struct {
 	Checkpoint func() error
 	// Health, when non-nil, contributes a "persist" section to /healthz.
 	Health func() any
+	// Admission, when non-nil, bounds the ingest routes: requests over the
+	// in-flight caps are shed with 429 + Retry-After instead of queued.
+	Admission *Admission
+	// WALPolicy selects the failure behavior when Ingest refuses a write:
+	// fail closed with 503 (default) or degrade to the in-memory shuffler
+	// with a loud Degraded flag on /healthz and the stats routes.
+	WALPolicy WALPolicy
 }
 
 // NewNodeHandler mounts a shuffler and a server on one mux under the
@@ -132,9 +142,32 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 	if ing == nil {
 		ing = shufflerIngestor{shuf}
 	}
+	var deg *degradingIngestor
+	if opts.WALPolicy == WALDegrade && opts.Ingest != nil {
+		deg = &degradingIngestor{primary: opts.Ingest, fallback: shufflerIngestor{shuf}}
+		ing = deg
+	}
+	// overload snapshots the admission gate's counters plus the degrade
+	// state: the one overload view every surface (/healthz, both stats
+	// routes) reports, so operators never reconcile divergent counters.
+	// It stays nil on an unbounded, non-degradable node and the section is
+	// omitted everywhere.
+	var overload func() OverloadStats
+	if opts.Admission != nil || deg != nil {
+		overload = func() OverloadStats {
+			st := opts.Admission.Stats()
+			if deg != nil {
+				st.Degraded = deg.degraded.Load()
+				st.DegradedOps = deg.degradedOps.Load()
+			}
+			return st
+		}
+	}
 	mux := http.NewServeMux()
 	sh := newServerHandler(srv)
-	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandler(shuf, ing)))
+	sh.adm = opts.Admission
+	sh.overload = overload
+	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandlerOpts(shuf, ing, opts.Admission, overload)))
 	mux.Handle("/server/", http.StripPrefix("/server", sh.routes()))
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		cfg := srv.Config()
@@ -150,6 +183,7 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			// climbing) or are rebuilding per request.
 			Snapshots  SnapshotCacheStats `json:"snapshots"`
 			ModelReads ModelReadStats     `json:"model_reads"`
+			Overload   *OverloadStats     `json:"overload,omitempty"`
 			Persist    any                `json:"persist,omitempty"`
 		}{
 			Status: "ok",
@@ -159,6 +193,16 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			Model:      ModelShapes{K: cfg.K, Arms: cfg.Arms, D: cfg.D, Version: srv.ModelVersion()},
 			Snapshots:  SnapshotCacheStats{Hits: snapHits, Builds: snapBuilds},
 			ModelReads: sh.ReadStats(),
+		}
+		if overload != nil {
+			ov := overload()
+			status.Overload = &ov
+			if ov.Degraded {
+				// Loud but alive: the probe still answers 200 — the node IS
+				// serving — while the status string tells preflights and
+				// dashboards that accepted reports are not currently durable.
+				status.Status = "degraded"
+			}
 		}
 		if opts.Health != nil {
 			status.Persist = opts.Health()
@@ -187,17 +231,19 @@ func NewNodeClient(nodeURL string) *Client {
 
 // NewShufflerHandler returns the HTTP surface of a shuffler.
 func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
-	return newShufflerHandler(s, shufflerIngestor{s})
+	return newShufflerHandlerOpts(s, shufflerIngestor{s}, nil, nil)
 }
 
-// newShufflerHandler mounts the shuffler routes with report admission
-// going through ing (the durable path when a persist manager is wired in).
-func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
+// newShufflerHandlerOpts mounts the shuffler routes with report admission
+// going through ing (the durable path when a persist manager is wired in),
+// bounded by adm (nil = unbounded) and reporting overload (nil = omitted)
+// on GET /stats.
+func newShufflerHandlerOpts(s *shuffler.Shuffler, ing Ingestor, adm *Admission, overload func() OverloadStats) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /report", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /report", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		var e transport.Envelope
-		if err := decodeJSON(r, &e); err != nil {
-			http.Error(w, err.Error(), statusForBodyError(err))
+		if err := decodeJSON(w, r, &e); err != nil {
+			writeBodyError(w, err)
 			return
 		}
 		// Same admission policy as the batch route, so a report stream is
@@ -214,12 +260,12 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 			e.Meta.SentAt = time.Now().UnixNano()
 		}
 		if err := ing.SubmitEnvelope(e); err != nil {
-			http.Error(w, fmt.Sprintf("httpapi: report not accepted: %v", err), http.StatusInternalServerError)
+			writeBodyError(w, ingestError{err})
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
-	})
-	mux.HandleFunc("POST /reports", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /reports", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 		if err != nil {
 			http.Error(w, "httpapi: unparseable Content-Type", http.StatusUnsupportedMediaType)
@@ -240,8 +286,7 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 		if err != nil {
 			// Chunks decoded before the malformed frame are already in the
 			// shuffler; report how far we got alongside the error.
-			http.Error(w, fmt.Sprintf("httpapi: batch aborted after %d accepted: %v", ack.Accepted, err),
-				statusForBodyError(err))
+			writeBodyErrorMsg(w, fmt.Sprintf("httpapi: batch aborted after %d accepted: %v", ack.Accepted, err), err)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -249,18 +294,37 @@ func newShufflerHandler(s *shuffler.Shuffler, ing Ingestor) http.Handler {
 		// The status line is already committed; an encode failure here only
 		// means the client went away.
 		_ = json.NewEncoder(w).Encode(ack)
-	})
-	mux.HandleFunc("POST /flush", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /flush", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		if err := ing.Flush(); err != nil {
-			http.Error(w, fmt.Sprintf("httpapi: flush failed: %v", err), http.StatusInternalServerError)
+			writeBodyError(w, ingestError{err})
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	})
+	}))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, s.Stats())
+		writeJSON(w, shufflerStatsPayload(s, overload))
 	})
 	return mux
+}
+
+// ShufflerStats is the GET /shuffler/stats response: the traffic counters
+// extended with the live buffer occupancy (how many tuples sit between
+// admission and the next privacy batch) and, on a bounded node, the
+// overload counters.
+type ShufflerStats struct {
+	shuffler.Stats
+	Pending  int            `json:"pending"`
+	Overload *OverloadStats `json:"overload,omitempty"`
+}
+
+func shufflerStatsPayload(s *shuffler.Shuffler, overload func() OverloadStats) ShufflerStats {
+	st := ShufflerStats{Stats: s.Stats(), Pending: s.Pending()}
+	if overload != nil {
+		ov := overload()
+		st.Overload = &ov
+	}
+	return st
 }
 
 // NewServerHandler returns the HTTP surface of the analyzer server. Routes
@@ -312,6 +376,12 @@ type serverHandler struct {
 	payloadHits   atomic.Int64
 	payloadBuilds atomic.Int64
 	notModified   atomic.Int64
+
+	// Node-level overload wiring (nil on a standalone server handler):
+	// adm bounds POST /raw like the shuffler ingest routes, overload
+	// contributes the overload section to GET /stats.
+	adm      *Admission
+	overload func() OverloadStats
 }
 
 func newServerHandler(s *server.Server) *serverHandler {
@@ -339,10 +409,10 @@ func (h *serverHandler) routes() http.Handler {
 	mux.HandleFunc("GET /model/linucb", func(w http.ResponseWriter, r *http.Request) {
 		h.servePayload(w, r, ModelKindLinUCB, false)
 	})
-	mux.HandleFunc("POST /raw", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /raw", h.adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		var t transport.RawTuple
-		if err := decodeJSON(r, &t); err != nil {
-			http.Error(w, err.Error(), statusForBodyError(err))
+		if err := decodeJSON(w, r, &t); err != nil {
+			writeBodyError(w, err)
 			return
 		}
 		if err := h.s.IngestRaw(t); err != nil {
@@ -350,18 +420,25 @@ func (h *serverHandler) routes() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
-	})
+	}))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, serverStatsPayload{Stats: h.s.Stats(), ModelReads: h.ReadStats()})
+		p := serverStatsPayload{Stats: h.s.Stats(), ModelReads: h.ReadStats()}
+		if h.overload != nil {
+			ov := h.overload()
+			p.Overload = &ov
+		}
+		writeJSON(w, p)
 	})
 	return mux
 }
 
 // serverStatsPayload is the GET /server/stats response: the ingestion
-// counters extended with the read-path health counters.
+// counters extended with the read-path health counters and, on a bounded
+// node, the overload counters.
 type serverStatsPayload struct {
 	server.Stats
 	ModelReads ModelReadStats `json:"model_reads"`
+	Overload   *OverloadStats `json:"overload,omitempty"`
 }
 
 // Model kinds accepted by GET /server/model?kind=...; the default is
@@ -698,7 +775,8 @@ func (e ingestError) Error() string { return e.err.Error() }
 func (e ingestError) Unwrap() error { return e.err }
 
 // statusForBodyError distinguishes "you sent too much" (413) from "we
-// could not store it" (500) from "you sent garbage" (400).
+// could not store it" (503 — the fail-closed WAL policy: retryable, the
+// client did nothing wrong) from "you sent garbage" (400).
 func statusForBodyError(err error) int {
 	var tooLarge *http.MaxBytesError
 	if errors.As(err, &tooLarge) {
@@ -706,13 +784,36 @@ func statusForBodyError(err error) int {
 	}
 	var ing ingestError
 	if errors.As(err, &ing) {
-		return http.StatusInternalServerError
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }
 
-func decodeJSON(r *http.Request, v any) error {
-	body := http.MaxBytesReader(nil, r.Body, maxBodyBytes)
+// ingestRetryAfter is the Retry-After hint on fail-closed 503s: the WAL
+// usually recovers within one fsync interval, so a short constant beats
+// making clients guess.
+const ingestRetryAfter = "1"
+
+// writeBodyError renders err with statusForBodyError's mapping, stamping
+// Retry-After on the retryable (503) shape so well-behaved clients pace
+// their retries instead of hammering a struggling log.
+func writeBodyError(w http.ResponseWriter, err error) {
+	writeBodyErrorMsg(w, err.Error(), err)
+}
+
+func writeBodyErrorMsg(w http.ResponseWriter, msg string, err error) {
+	status := statusForBodyError(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", ingestRetryAfter)
+	}
+	http.Error(w, msg, status)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	// MaxBytesReader is handed the ResponseWriter so an over-limit body
+	// also closes the connection server-side — without it the server would
+	// dutifully read and discard the rest of an oversized upload.
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -886,13 +987,16 @@ type Health struct {
 	Model      ModelShapes        `json:"model"`
 	Snapshots  SnapshotCacheStats `json:"snapshots"`
 	ModelReads ModelReadStats     `json:"model_reads"`
+	Overload   *OverloadStats     `json:"overload,omitempty"`
 	Persist    json.RawMessage    `json:"persist,omitempty"`
 }
 
 // FetchHealth probes the node's /healthz route (the client must have been
 // built with NewNodeClient). It fails on connection errors, non-200
-// statuses and non-"ok" health payloads, making it the preflight check a
-// fleet runs before simulating devices.
+// statuses and unhealthy payloads, making it the preflight check a fleet
+// runs before simulating devices. A "degraded" status (the node serves
+// but its durable log is bypassed) is returned as healthy — callers that
+// demand durability must inspect Overload.Degraded.
 func (c *Client) FetchHealth() (*Health, error) {
 	if c.NodeURL == "" {
 		return nil, errors.New("httpapi: client has no node URL (use NewNodeClient)")
@@ -911,7 +1015,7 @@ func (c *Client) FetchHealth() (*Health, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
 		return nil, fmt.Errorf("httpapi: decode %s: %w", url, err)
 	}
-	if h.Status != "ok" {
+	if h.Status != "ok" && h.Status != "degraded" {
 		return nil, fmt.Errorf("httpapi: node unhealthy: status %q", h.Status)
 	}
 	return &h, nil

@@ -1,0 +1,37 @@
+package persist
+
+import "sync/atomic"
+
+// FSHooks is the filesystem fault-injection seam of the WAL: every record
+// write, fsync and rollback truncate on the active segment consults the
+// installed hooks first, so tests and chaos runs can produce the real
+// failure shapes — a refused write (ENOSPC), a failed fsync, a torn final
+// frame — without patching the kernel. The seam deliberately sits inside
+// the WAL's transaction boundary: an injected failure exercises the exact
+// rollback/seal path a real disk error would.
+//
+// Production code never installs hooks; internal/faultinject's Registry
+// has adapter methods (FSWrite/FSSync/FSTruncate) with matching
+// signatures, and cmd/p2bnode wires them in behind the -faults flag.
+type FSHooks struct {
+	// BeforeWrite may shorten or refuse one record write to path: it
+	// returns how many of b's bytes should actually reach the file and the
+	// error to report. (len(b), nil) is a clean pass; (0, err) models
+	// ENOSPC — nothing written; (n < len(b), err) models a torn write — a
+	// partial record persists and the operation still fails.
+	BeforeWrite func(path string, b []byte) (int, error)
+	// BeforeSync may fail one fsync of path.
+	BeforeSync func(path string) error
+	// BeforeTruncate may fail one rollback truncate of path — the failure
+	// that seals the log.
+	BeforeTruncate func(path string) error
+}
+
+var fsHooks atomic.Pointer[FSHooks]
+
+// SetFSHooks installs the filesystem fault seam (nil uninstalls it). It
+// affects every WAL in the process; install before opening the log and
+// uninstall in test cleanup.
+func SetFSHooks(h *FSHooks) {
+	fsHooks.Store(h)
+}

@@ -1,0 +1,231 @@
+package persist
+
+import (
+	"errors"
+	"testing"
+
+	"p2b/internal/faultinject"
+)
+
+// withFaults installs a seeded failpoint registry as the WAL's filesystem
+// seam for the duration of the test.
+func withFaults(t *testing.T) *faultinject.Registry {
+	t.Helper()
+	reg := faultinject.NewRegistry(1)
+	SetFSHooks(&FSHooks{
+		BeforeWrite:    reg.FSWrite,
+		BeforeSync:     reg.FSSync,
+		BeforeTruncate: reg.FSTruncate,
+	})
+	t.Cleanup(func() { SetFSHooks(nil) })
+	return reg
+}
+
+// TestWALFsyncFailureRollsBack: a failed requested fsync must roll the
+// append back — the refused record never resurfaces at recovery — and the
+// log must keep working afterwards.
+func TestWALFsyncFailureRollsBack(t *testing.T) {
+	reg := withFaults(t)
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(testTuples(4, 0), true); err != nil {
+		t.Fatalf("clean append: %v", err)
+	}
+
+	reg.Enable(faultinject.FPWALSync, faultinject.Spec{Count: 1})
+	if _, err := w.AppendTuples(testTuples(3, 100), true); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append with failing fsync: %v, want injected error", err)
+	}
+	if got := w.LastSeq(); got != 1 {
+		t.Fatalf("seq after rolled-back append = %d, want 1", got)
+	}
+
+	// The log is not sealed: the rollback succeeded.
+	if _, err := w.AppendTuples(testTuples(2, 200), true); err != nil {
+		t.Fatalf("append after recovery from fsync failure: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, info, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 2 || info.TruncatedBytes != 0 {
+		t.Fatalf("recovered %+v, want exactly the 2 acked records and no torn bytes", info)
+	}
+	recs := collectReplay(t, w2, 0)
+	if len(recs) != 2 || len(recs[0].Tuples) != 4 || len(recs[1].Tuples) != 2 {
+		t.Fatalf("replayed %d records, want the 4-tuple and 2-tuple appends only", len(recs))
+	}
+	if recs[1].Tuples[0].Code != 200 {
+		t.Fatalf("second record starts at code %d — the rolled-back append leaked in", recs[1].Tuples[0].Code)
+	}
+}
+
+// TestWALENOSPCMidAppend: a refused write (no bytes reach the file) fails
+// the append cleanly; nothing of the refused record is recoverable.
+func TestWALENOSPCMidAppend(t *testing.T) {
+	reg := withFaults(t)
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(testTuples(4, 0), true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fire on the second write of the append (the payload): the header is
+	// already in the file when the "disk fills up".
+	reg.Enable(faultinject.FPWALWrite, faultinject.Spec{After: 1, Count: 1})
+	if _, err := w.AppendTuples(testTuples(8, 100), true); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("append on full disk: %v, want injected error", err)
+	}
+	if got := w.LastSeq(); got != 1 {
+		t.Fatalf("seq after refused append = %d, want 1", got)
+	}
+	if _, err := w.AppendTuples(testTuples(2, 200), true); err != nil {
+		t.Fatalf("append after space recovered: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, info, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 2 || info.TruncatedBytes != 0 {
+		t.Fatalf("recovered %+v after ENOSPC rollback", info)
+	}
+}
+
+// TestWALTornFinalFrameSealsAndRecovers: a torn write whose rollback also
+// fails seals the log — further appends refuse with ErrSealed, because an
+// ack on top of a garbled tail could not be honored — and the next boot's
+// ordinary torn-tail truncation recovers every record acked before the
+// fault, exactly.
+func TestWALTornFinalFrameSealsAndRecovers(t *testing.T) {
+	reg := withFaults(t)
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(testTuples(4, 0), true); err != nil {
+		t.Fatal(err)
+	}
+
+	// The torn write persists half the record header; the rollback truncate
+	// fails too, so the torn bytes stay on disk and the log must seal.
+	reg.Enable(faultinject.FPWALTorn, faultinject.Spec{Count: 1})
+	reg.Enable(faultinject.FPWALTruncate, faultinject.Spec{Count: 1})
+	if _, err := w.AppendTuples(testTuples(3, 100), true); !errors.Is(err, ErrSealed) {
+		t.Fatalf("torn append with failed rollback: %v, want ErrSealed", err)
+	}
+	if _, err := w.AppendTuples(testTuples(1, 200), true); !errors.Is(err, ErrSealed) {
+		t.Fatalf("append on sealed log: %v, want ErrSealed", err)
+	}
+	if _, err := w.AppendFlush(true); !errors.Is(err, ErrSealed) {
+		t.Fatalf("flush on sealed log: %v, want ErrSealed", err)
+	}
+	w.Close()
+
+	// Restart: the torn frame is the tail of the final segment, so recovery
+	// truncates it and the log resumes exactly after the last acked record.
+	w2, info, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.TruncatedBytes == 0 {
+		t.Fatal("recovery found no torn bytes — the torn frame never hit the disk")
+	}
+	if info.Records != 1 || info.LastSeq != 1 {
+		t.Fatalf("recovered %+v, want exactly the one acked record", info)
+	}
+	recs := collectReplay(t, w2, 0)
+	if len(recs) != 1 || len(recs[0].Tuples) != 4 || recs[0].Tuples[0].Code != 0 {
+		t.Fatalf("replay after torn-frame recovery: %+v", recs)
+	}
+	// The reopened log accepts appends again.
+	if seq, err := w2.AppendTuples(testTuples(2, 300), true); err != nil || seq != 2 {
+		t.Fatalf("append after reopen = (%d, %v)", seq, err)
+	}
+}
+
+// TestWALTornPayloadTruncatedOnReopen tears the payload write (the header
+// is intact) — the classic mid-record crash — and checks the reopen cuts
+// the whole record, not just the payload.
+func TestWALTornPayloadTruncatedOnReopen(t *testing.T) {
+	reg := withFaults(t)
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(testTuples(4, 0), true); err != nil {
+		t.Fatal(err)
+	}
+	// After: 1 skips the header write of the next append; the payload write
+	// tears. The rollback truncate fails so the torn bytes persist.
+	reg.Enable(faultinject.FPWALTorn, faultinject.Spec{After: 1, Count: 1})
+	reg.Enable(faultinject.FPWALTruncate, faultinject.Spec{Count: 1})
+	if _, err := w.AppendTuples(testTuples(6, 100), true); !errors.Is(err, ErrSealed) {
+		t.Fatalf("torn payload append: %v, want ErrSealed", err)
+	}
+	w.Close()
+
+	w2, info, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 1 || info.TruncatedBytes == 0 {
+		t.Fatalf("recovered %+v, want 1 record and a truncated torn payload", info)
+	}
+}
+
+// TestWALSyncFaultInIntervalModeKeepsRecords: a background (non-requested)
+// sync failure must not lose the appended records — they stay in the
+// segment and a later sync can still make them durable.
+func TestWALSyncFaultInIntervalModeKeepsRecords(t *testing.T) {
+	reg := withFaults(t)
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(testTuples(4, 0), false); err != nil {
+		t.Fatal(err)
+	}
+	reg.Enable(faultinject.FPWALSync, faultinject.Spec{Count: 1})
+	if err := w.Sync(); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("background sync: %v, want injected error", err)
+	}
+	// Retry succeeds; the record was never rolled back.
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync retry: %v", err)
+	}
+	if got := w.LastSeq(); got != 1 {
+		t.Fatalf("seq = %d, want 1", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w2, info, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	if info.Records != 1 {
+		t.Fatalf("recovered %+v, want the interval-mode record intact", info)
+	}
+}

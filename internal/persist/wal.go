@@ -549,7 +549,7 @@ func (w *WAL) transactLocked(sync bool, body func() error) error {
 	if err == nil {
 		return nil
 	}
-	if terr := os.Truncate(w.segPath, startSize); terr != nil {
+	if terr := w.truncateSegLocked(startSize); terr != nil {
 		w.failed = true
 		return fmt.Errorf("%w (append failed: %v; rollback failed: %v)", ErrSealed, err, terr)
 	}
@@ -557,6 +557,17 @@ func (w *WAL) transactLocked(sync bool, body func() error) error {
 	w.segSize = startSize
 	w.dirty = true // the truncation itself still needs a sync
 	return err
+}
+
+// truncateSegLocked cuts the active segment back to size through the
+// fault seam — the rollback write whose failure seals the log.
+func (w *WAL) truncateSegLocked(size int64) error {
+	if h := fsHooks.Load(); h != nil && h.BeforeTruncate != nil {
+		if err := h.BeforeTruncate(w.segPath); err != nil {
+			return err
+		}
+	}
+	return os.Truncate(w.segPath, size)
 }
 
 func (w *WAL) appendRecordLocked(typ byte, payload []byte) error {
@@ -568,17 +579,44 @@ func (w *WAL) appendRecordLocked(typ byte, payload []byte) error {
 	crc := crc32.Checksum(hdr[4:], crcTable)
 	crc = crc32.Update(crc, crcTable, payload)
 	binary.LittleEndian.PutUint32(hdr[0:4], crc)
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("persist: wal append: %w", err)
+	if err := w.writeSegLocked(hdr[:]); err != nil {
+		return err
 	}
 	if len(payload) > 0 {
-		if _, err := w.f.Write(payload); err != nil {
-			return fmt.Errorf("persist: wal append: %w", err)
+		if err := w.writeSegLocked(payload); err != nil {
+			return err
 		}
 	}
 	w.seq = seq
 	w.segSize += int64(recordHeaderLen + len(payload))
 	w.dirty = true
+	return nil
+}
+
+// writeSegLocked writes b to the active segment through the fault seam
+// (FSHooks). A hook-shortened write persists its prefix before the error
+// is reported — the torn-frame shape a real partial write leaves behind —
+// and the enclosing transaction's rollback (or, if that too fails, the
+// next boot's torn-tail truncation) is what cleans it up.
+func (w *WAL) writeSegLocked(b []byte) error {
+	if h := fsHooks.Load(); h != nil && h.BeforeWrite != nil {
+		keep, herr := h.BeforeWrite(w.segPath, b)
+		if herr != nil {
+			if keep > len(b) {
+				keep = len(b)
+			}
+			if keep > 0 {
+				// Best effort: the operation fails either way, the torn
+				// prefix just has to exist for recovery to contend with.
+				_, _ = w.f.Write(b[:keep])
+				w.dirty = true
+			}
+			return fmt.Errorf("persist: wal append: %w", herr)
+		}
+	}
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("persist: wal append: %w", err)
+	}
 	return nil
 }
 
@@ -592,6 +630,11 @@ func (w *WAL) Sync() error {
 func (w *WAL) syncLocked() error {
 	if !w.dirty || w.f == nil {
 		return nil
+	}
+	if h := fsHooks.Load(); h != nil && h.BeforeSync != nil {
+		if err := h.BeforeSync(w.segPath); err != nil {
+			return fmt.Errorf("persist: wal sync: %w", err)
+		}
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("persist: wal sync: %w", err)
@@ -632,7 +675,10 @@ func (w *WAL) rotateLocked() error {
 
 func (w *WAL) newSegmentLocked(start uint64) error {
 	path := filepath.Join(w.dir, fmt.Sprintf("wal-%016x.seg", start))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND matters beyond idiom: a rolled-back append truncates the
+	// segment, and a plain fd would keep its old offset and leave a
+	// zero-filled hole on the next write. Append mode writes at EOF always.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("persist: creating segment: %w", err)
 	}
