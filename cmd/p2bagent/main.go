@@ -27,11 +27,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"time"
 
 	"p2b/agent"
 	"p2b/internal/encoding"
+	"p2b/internal/metrics"
 	"p2b/internal/privacy"
 	"p2b/internal/rng"
 	"p2b/internal/synthetic"
@@ -56,6 +58,7 @@ func main() {
 		retryAt  = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
 		refresh  = flag.Duration("model-refresh", 2*time.Second, "background model refresh interval (0 disables; unchanged models cost a 304)")
 		jsonWire = flag.Bool("model-json", false, "fetch models as JSON instead of the binary encoding")
+		metAddr  = flag.String("metrics-addr", "", "serve the fleet's client-side telemetry as Prometheus text exposition on this address (e.g. :9090; empty = off)")
 	)
 	flag.Parse()
 
@@ -106,6 +109,10 @@ func main() {
 		RetryBase:   *retryAt,
 		Seed:        *seed,
 	})
+
+	if *metAddr != "" {
+		go serveMetrics(*metAddr, tr, src)
+	}
 
 	fmt.Printf("p2bagent: %d devices -> %s over %s wire (epsilon per disclosure %.4f)\n",
 		*users, *node, wireMode, privacy.Epsilon(*p))
@@ -169,6 +176,48 @@ func main() {
 	bst := tr.Stats()
 	fmt.Printf("delivery: %d batches, %d retries, %d dropped batches, %d dropped reports\n",
 		bst.Batches, bst.Retries, bst.DroppedBatches, bst.DroppedReports)
+}
+
+// serveMetrics exposes the fleet's client-side telemetry — batch delivery,
+// retry backoff, and model-sync counters — as GET /metrics. Every family is
+// a Func collector sampling the same Stats() the end-of-run summary prints,
+// so a scrape mid-run costs a few atomic loads and two mutexes, never a
+// simulation stall.
+func serveMetrics(addr string, tr *agent.HTTPTransport, src *agent.HTTPSource) {
+	reg := metrics.NewRegistry()
+	reg.CounterFunc("p2b_agent_reports_total", "",
+		"Reports handed to the transport.",
+		func() float64 { return float64(tr.Stats().Reported) })
+	reg.CounterFunc("p2b_agent_batches_total", "",
+		"Batch POSTs delivered.",
+		func() float64 { return float64(tr.Stats().Batches) })
+	reg.CounterFunc("p2b_agent_retries_total", "",
+		"Batch delivery retries after transient failures.",
+		func() float64 { return float64(tr.Stats().Retries) })
+	reg.CounterFunc("p2b_agent_backoff_waits_total", "",
+		"Retry backoff sleeps taken.",
+		func() float64 { return float64(tr.Stats().BackoffWaits) })
+	reg.CounterFunc("p2b_agent_backoff_seconds_total", "",
+		"Total time spent sleeping between retries.",
+		func() float64 { return float64(tr.Stats().BackoffNanos) / 1e9 })
+	reg.CounterFunc("p2b_agent_dropped_batches_total", "",
+		"Batches abandoned after exhausting their retry budget.",
+		func() float64 { return float64(tr.Stats().DroppedBatches) })
+	reg.CounterFunc("p2b_agent_model_fetches_total", "",
+		"Model GETs issued by the shared source.",
+		func() float64 { return float64(src.Stats().Fetches) })
+	reg.CounterFunc("p2b_agent_model_not_modified_total", "",
+		"Model fetches answered 304 Not Modified.",
+		func() float64 { return float64(src.Stats().NotModified) })
+	reg.CounterFunc("p2b_agent_model_refreshed_total", "",
+		"Model fetches that replaced the cached model.",
+		func() float64 { return float64(src.Stats().Refreshed) })
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Handler(reg))
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	if err := srv.ListenAndServe(); err != nil {
+		log.Printf("p2bagent: metrics listener: %v", err)
+	}
 }
 
 // withRetries runs fn up to attempts times, 200ms apart.

@@ -25,6 +25,15 @@
 // can never silently drop benchmarks from the gate) and rewrites the
 // baseline directory from the fresh run. Run it on the reference machine,
 // inspect the diff, and commit.
+//
+// The load-SLO gate (testdata/bench_baseline/load_slo) is a separate
+// baseline tree with its own gate.json, compared by the CI load-slo job:
+//
+//	go run ./cmd/p2bgate -baseline testdata/bench_baseline/load_slo -results results-load
+//
+// Its baseline is refreshed by a real measured run, not by -update:
+//
+//	scripts/load_slo.sh testdata/bench_baseline/load_slo
 package main
 
 import (

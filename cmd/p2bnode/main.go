@@ -23,6 +23,9 @@
 //	POST /server/raw        (non-private baseline ingestion)
 //	GET  /server/stats
 //	GET  /healthz           liveness + persistence status
+//	GET  /metrics           Prometheus text exposition: per-route request
+//	                        counts/latency, shuffler and server pipeline
+//	                        counters, overload and WAL telemetry
 //	POST /admin/checkpoint  force a checkpoint (with -data-dir only)
 //
 // # Durability
@@ -61,6 +64,7 @@ import (
 
 	"p2b/internal/faultinject"
 	"p2b/internal/httpapi"
+	"p2b/internal/metrics"
 	"p2b/internal/persist"
 	"p2b/internal/rng"
 	"p2b/internal/server"
@@ -124,8 +128,10 @@ func main() {
 	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed, Shards: *shards})
 	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, srv, rng.New(*seed).Split("shuffler"))
 
+	reg := metrics.NewRegistry()
 	opts := httpapi.NodeOptions{
 		WALPolicy: policy,
+		Metrics:   reg,
 		Admission: httpapi.NewAdmission(httpapi.AdmissionConfig{
 			MaxInFlight:      *maxInFlight,
 			MaxInFlightBytes: *maxInFlightBytes,
@@ -140,6 +146,7 @@ func main() {
 			SyncInterval:       *walSync,
 			CheckpointInterval: *ckptEvery,
 			RetainWAL:          *walRetain,
+			Metrics:            persist.NewMetrics(reg),
 		})
 		if err != nil {
 			log.Fatalf("p2bnode: recovering %s: %v", *dataDir, err)
@@ -150,6 +157,16 @@ func main() {
 		opts.Ingest = mgr
 		opts.Checkpoint = mgr.Checkpoint
 		opts.Health = func() any { return mgr.Info() }
+		// WAL position gauges: sampled from the same Info() /healthz serves.
+		reg.GaugeFunc("p2b_wal_seq", "",
+			"Sequence number of the last WAL append.",
+			func() float64 { return float64(mgr.Info().WALSeq) })
+		reg.GaugeFunc("p2b_wal_checkpoint_seq", "",
+			"WAL position of the last completed checkpoint.",
+			func() float64 { return float64(mgr.Info().CheckpointSeq) })
+		reg.GaugeFunc("p2b_wal_segments", "",
+			"Live WAL segment files on disk.",
+			func() float64 { return float64(mgr.Info().Segments) })
 	}
 
 	httpSrv := &http.Server{

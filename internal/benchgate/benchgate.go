@@ -5,9 +5,12 @@
 //
 // Two result formats are understood:
 //
-//   - "bench_series": a BENCH_<id>.json file emitted by `p2bbench -json`.
-//     One named series is compared pointwise; values are throughput-like
-//     (higher is better), so the regression of a point is 1 − current/base.
+//   - "bench_series": a BENCH_<id>.json file emitted by `p2bbench -json`
+//     or `p2bload -json`. One named series is compared pointwise; values
+//     default to throughput-like (higher is better, regression of a point
+//     is 1 − current/base), while a check with direction "lower" treats
+//     them as latency-like (lower is better, regression is current/base
+//     − 1) and may also pin an absolute ceiling with max.
 //   - "go_bench": the text output of `go test -bench`. Each benchmark's
 //     ns/op is compared by name; ns/op is inverse throughput, so the
 //     regression is 1 − base/current.
@@ -72,6 +75,13 @@ type Check struct {
 	// bench_series check must clear regardless of the baseline (e.g. the
 	// batched-vs-single speedup must stay >= 10).
 	Min float64 `json:"min,omitempty"`
+	// Direction is "higher" (default: values are throughput-like) or
+	// "lower" (values are latency-like; growing is regressing).
+	Direction string `json:"direction,omitempty"`
+	// Max, when non-zero, is an absolute ceiling no current value of a
+	// direction-"lower" bench_series check may exceed regardless of the
+	// baseline (e.g. ingest p99 must stay under the SLO).
+	Max float64 `json:"max,omitempty"`
 	// Tolerance overrides Config.Tolerance for this check when non-zero.
 	Tolerance float64 `json:"tolerance,omitempty"`
 }
@@ -179,6 +189,14 @@ func loadSeries(path, name string) (map[float64]float64, error) {
 }
 
 func runSeriesCheck(c Check, tol float64, basePath, curPath string) ([]Finding, error) {
+	lower := false
+	switch c.Direction {
+	case "", "higher":
+	case "lower":
+		lower = true
+	default:
+		return nil, fmt.Errorf("benchgate: unknown direction %q (want higher or lower)", c.Direction)
+	}
 	base, err := loadSeries(basePath, c.Series)
 	if err != nil {
 		return nil, err
@@ -208,16 +226,27 @@ func runSeriesCheck(c Check, tol float64, basePath, curPath string) ([]Finding, 
 			continue
 		}
 		f.Current = y
+		kind := "throughput"
 		if f.Base > 0 {
-			f.Regression = 1 - y/f.Base
+			if lower {
+				// Latency-like: growing relative to baseline is regressing.
+				f.Regression = y/f.Base - 1
+				kind = "latency"
+			} else {
+				f.Regression = 1 - y/f.Base
+			}
 		}
 		if f.Regression > tol {
 			f.OK = false
-			f.Detail = fmt.Sprintf("throughput regressed %.1f%% (tolerance %.0f%%)", 100*f.Regression, 100*tol)
+			f.Detail = fmt.Sprintf("%s regressed %.1f%% (tolerance %.0f%%)", kind, 100*f.Regression, 100*tol)
 		}
 		if c.Min != 0 && y < c.Min {
 			f.OK = false
 			f.Detail = strings.TrimPrefix(f.Detail+fmt.Sprintf("; below absolute floor %g", c.Min), "; ")
+		}
+		if c.Max != 0 && y > c.Max {
+			f.OK = false
+			f.Detail = strings.TrimPrefix(f.Detail+fmt.Sprintf("; above absolute ceiling %g", c.Max), "; ")
 		}
 		out = append(out, f)
 	}

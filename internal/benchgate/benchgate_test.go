@@ -108,6 +108,90 @@ func TestSeriesCheckImprovementIsNegativeRegression(t *testing.T) {
 	}
 }
 
+const loadJSONTmpl = `{
+  "name": "load_slo",
+  "tables": [
+    {
+      "x_label": "percentile",
+      "series": [
+        {"name": "ingest_latency_ms", "points": [{"x": 99, "y": %s}]}
+      ]
+    }
+  ]
+}`
+
+func TestSeriesCheckDirectionLower(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeFile(t, baseDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "10", 1))
+	writeFile(t, curDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "12", 1)) // +20%: fine
+	cfg := Config{Tolerance: 0.50, Checks: []Check{
+		{File: "BENCH_load_slo.json", Kind: "bench_series", Series: "ingest_latency_ms", Direction: "lower"},
+	}}
+	fs, err := Run(baseDir, curDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Failures(fs)) != 0 {
+		t.Fatalf("20%% latency growth inside 50%% tolerance failed:\n%s", Render(fs))
+	}
+	if fs[0].Regression < 0.19 || fs[0].Regression > 0.21 {
+		t.Fatalf("regression %v, want ~0.2", fs[0].Regression)
+	}
+
+	// Tripled latency breaches the tolerance.
+	writeFile(t, curDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "30", 1))
+	fs, err = Run(baseDir, curDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := Failures(fs)
+	if len(fails) != 1 || !strings.Contains(fails[0].Detail, "latency regressed") {
+		t.Fatalf("tripled latency not caught:\n%s", Render(fs))
+	}
+
+	// And a latency improvement must read as negative regression.
+	writeFile(t, curDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "5", 1))
+	fs, err = Run(baseDir, curDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Failures(fs)) != 0 || fs[0].Regression >= 0 {
+		t.Fatalf("latency improvement mishandled:\n%s", Render(fs))
+	}
+}
+
+func TestSeriesCheckAbsoluteCeiling(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	// A bloated baseline must not launder an SLO breach: +10% relative is
+	// fine, but the ceiling still holds.
+	writeFile(t, baseDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "300", 1))
+	writeFile(t, curDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "330", 1))
+	cfg := Config{Tolerance: 0.50, Checks: []Check{
+		{File: "BENCH_load_slo.json", Kind: "bench_series", Series: "ingest_latency_ms",
+			Direction: "lower", Max: 250},
+	}}
+	fs, err := Run(baseDir, curDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := Failures(fs)
+	if len(fails) != 1 || !strings.Contains(fails[0].Detail, "absolute ceiling") {
+		t.Fatalf("ceiling violation not caught:\n%s", Render(fs))
+	}
+}
+
+func TestSeriesCheckUnknownDirectionIsError(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	writeFile(t, baseDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "10", 1))
+	writeFile(t, curDir, "BENCH_load_slo.json", strings.Replace(loadJSONTmpl, "%s", "10", 1))
+	cfg := Config{Tolerance: 0.50, Checks: []Check{
+		{File: "BENCH_load_slo.json", Kind: "bench_series", Series: "ingest_latency_ms", Direction: "sideways"},
+	}}
+	if _, err := Run(baseDir, curDir, cfg); err == nil {
+		t.Fatal("unknown direction accepted")
+	}
+}
+
 func TestMissingSeriesIsError(t *testing.T) {
 	baseDir, curDir := t.TempDir(), t.TempDir()
 	writeFile(t, baseDir, "BENCH_http_pipeline.json", tmpl("1", "1"))

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"p2b/internal/rng"
@@ -101,6 +102,8 @@ type BatchStats struct {
 	Retries        int64 // individual retry attempts
 	DroppedBatches int64 // batches abandoned after exhausting retries
 	DroppedReports int64 // reports inside those batches
+	BackoffWaits   int64 // retry backoff sleeps taken
+	BackoffNanos   int64 // total time spent sleeping between retries
 }
 
 type pendingBatch struct {
@@ -123,6 +126,12 @@ type BatchingClient struct {
 	err     error // first permanent delivery failure, sticky
 	stats   BatchStats
 	timer   *time.Timer
+
+	// Backoff accounting is atomic, not under b.mu: sleep() runs in the
+	// sender goroutines with no lock held, and taking b.mu there would
+	// serialize a backoff wait against Report's hot path.
+	backoffWaits atomic.Int64
+	backoffNanos atomic.Int64
 
 	queue chan pendingBatch
 	stop  chan struct{}  // closed by Close: backoff sleeps end immediately
@@ -313,8 +322,11 @@ func (b *BatchingClient) Close() error {
 // Stats returns a snapshot of the delivery counters.
 func (b *BatchingClient) Stats() BatchStats {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.stats
+	st := b.stats
+	b.mu.Unlock()
+	st.BackoffWaits = b.backoffWaits.Load()
+	st.BackoffNanos = b.backoffNanos.Load()
+	return st
 }
 
 // sender delivers cut batches until the queue closes.
@@ -442,12 +454,17 @@ func (b *BatchingClient) sleep(d time.Duration) {
 	if d <= 0 {
 		return
 	}
+	start := time.Now()
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:
 	case <-b.stop:
 	}
+	// Record the time actually slept (Close may cut a wait short), so the
+	// counter reflects real wall-clock spent backing off.
+	b.backoffWaits.Add(1)
+	b.backoffNanos.Add(time.Since(start).Nanoseconds())
 }
 
 // jitter scales d by a uniform factor in [0.5, 1.5).

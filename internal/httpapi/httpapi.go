@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"p2b/internal/bandit"
+	"p2b/internal/metrics"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
 	"p2b/internal/transport"
@@ -125,6 +126,13 @@ type NodeOptions struct {
 	// fail closed with 503 (default) or degrade to the in-memory shuffler
 	// with a loud Degraded flag on /healthz and the stats routes.
 	WALPolicy WALPolicy
+	// Metrics, when non-nil, instruments every route (request counts by
+	// status class, latency and body-size histograms) plus the shuffler,
+	// server and overload counters on this registry and mounts it as
+	// GET /metrics in Prometheus text exposition format. The collectors
+	// read the same atomics and closures the JSON stats routes serialize,
+	// so /metrics, /healthz and the stats routes can never disagree.
+	Metrics *metrics.Registry
 }
 
 // NewNodeHandler mounts a shuffler and a server on one mux under the
@@ -167,9 +175,15 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 	sh := newServerHandler(srv)
 	sh.adm = opts.Admission
 	sh.overload = overload
-	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandlerOpts(shuf, ing, opts.Admission, overload)))
+	var nm *nodeMetrics
+	if opts.Metrics != nil {
+		nm = newNodeMetrics(opts.Metrics, shuf, srv, sh, overload)
+		sh.nm = nm
+		mux.Handle("GET /metrics", metrics.Handler(opts.Metrics))
+	}
+	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandlerOpts(shuf, ing, opts.Admission, overload, nm)))
 	mux.Handle("/server/", http.StripPrefix("/server", sh.routes()))
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /healthz", nm.wrap("healthz", func(w http.ResponseWriter, r *http.Request) {
 		cfg := srv.Config()
 		// Atomic counters only — the preflight probe every device hits
 		// must not lock-sweep the ingestion shards like full Stats does.
@@ -208,7 +222,7 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			status.Persist = opts.Health()
 		}
 		writeJSON(w, status)
-	})
+	}))
 	if opts.Checkpoint != nil {
 		mux.HandleFunc("POST /admin/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 			if err := opts.Checkpoint(); err != nil {
@@ -231,16 +245,18 @@ func NewNodeClient(nodeURL string) *Client {
 
 // NewShufflerHandler returns the HTTP surface of a shuffler.
 func NewShufflerHandler(s *shuffler.Shuffler) http.Handler {
-	return newShufflerHandlerOpts(s, shufflerIngestor{s}, nil, nil)
+	return newShufflerHandlerOpts(s, shufflerIngestor{s}, nil, nil, nil)
 }
 
 // newShufflerHandlerOpts mounts the shuffler routes with report admission
 // going through ing (the durable path when a persist manager is wired in),
-// bounded by adm (nil = unbounded) and reporting overload (nil = omitted)
-// on GET /stats.
-func newShufflerHandlerOpts(s *shuffler.Shuffler, ing Ingestor, adm *Admission, overload func() OverloadStats) http.Handler {
+// bounded by adm (nil = unbounded), reporting overload (nil = omitted)
+// on GET /stats and instrumented by nm (nil = uninstrumented). nm wraps
+// OUTSIDE adm.guard so shed 429s and fail-closed 503s land in the
+// per-route status-class counters.
+func newShufflerHandlerOpts(s *shuffler.Shuffler, ing Ingestor, adm *Admission, overload func() OverloadStats, nm *nodeMetrics) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /report", adm.guard(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /report", nm.wrap("report", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		var e transport.Envelope
 		if err := decodeJSON(w, r, &e); err != nil {
 			writeBodyError(w, err)
@@ -264,8 +280,8 @@ func newShufflerHandlerOpts(s *shuffler.Shuffler, ing Ingestor, adm *Admission, 
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
-	}))
-	mux.HandleFunc("POST /reports", adm.guard(func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /reports", nm.wrap("reports", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
 		if err != nil {
 			http.Error(w, "httpapi: unparseable Content-Type", http.StatusUnsupportedMediaType)
@@ -294,14 +310,14 @@ func newShufflerHandlerOpts(s *shuffler.Shuffler, ing Ingestor, adm *Admission, 
 		// The status line is already committed; an encode failure here only
 		// means the client went away.
 		_ = json.NewEncoder(w).Encode(ack)
-	}))
-	mux.HandleFunc("POST /flush", adm.guard(func(w http.ResponseWriter, r *http.Request) {
+	})))
+	mux.HandleFunc("POST /flush", nm.wrap("flush", adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		if err := ing.Flush(); err != nil {
 			writeBodyError(w, ingestError{err})
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	}))
+	})))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, shufflerStatsPayload(s, overload))
 	})
@@ -379,9 +395,11 @@ type serverHandler struct {
 
 	// Node-level overload wiring (nil on a standalone server handler):
 	// adm bounds POST /raw like the shuffler ingest routes, overload
-	// contributes the overload section to GET /stats.
+	// contributes the overload section to GET /stats, nm instruments the
+	// model and raw routes.
 	adm      *Admission
 	overload func() OverloadStats
+	nm       *nodeMetrics
 }
 
 func newServerHandler(s *server.Server) *serverHandler {
@@ -399,17 +417,20 @@ func (h *serverHandler) ReadStats() ModelReadStats {
 
 func (h *serverHandler) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /model", h.serveModel)
+	// All three model read routes share route="model": operators care about
+	// the read path as one surface, and the inspection variants are just
+	// fixed-kind aliases of /model.
+	mux.HandleFunc("GET /model", h.nm.wrap("model", h.serveModel))
 	// The legacy inspection routes serve the same cached encoded-JSON
 	// payloads as /model — a debugging curl costs cached bytes, not a
 	// fresh snapshot copy plus a fresh encode.
-	mux.HandleFunc("GET /model/tabular", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /model/tabular", h.nm.wrap("model", func(w http.ResponseWriter, r *http.Request) {
 		h.servePayload(w, r, ModelKindTabular, false)
-	})
-	mux.HandleFunc("GET /model/linucb", func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("GET /model/linucb", h.nm.wrap("model", func(w http.ResponseWriter, r *http.Request) {
 		h.servePayload(w, r, ModelKindLinUCB, false)
-	})
-	mux.HandleFunc("POST /raw", h.adm.guard(func(w http.ResponseWriter, r *http.Request) {
+	}))
+	mux.HandleFunc("POST /raw", h.nm.wrap("raw", h.adm.guard(func(w http.ResponseWriter, r *http.Request) {
 		var t transport.RawTuple
 		if err := decodeJSON(w, r, &t); err != nil {
 			writeBodyError(w, err)
@@ -420,7 +441,7 @@ func (h *serverHandler) routes() http.Handler {
 			return
 		}
 		w.WriteHeader(http.StatusAccepted)
-	}))
+	})))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		p := serverStatsPayload{Stats: h.s.Stats(), ModelReads: h.ReadStats()}
 		if h.overload != nil {

@@ -1,0 +1,242 @@
+// Node telemetry: the /metrics surface and the per-route HTTP
+// instrumentation behind it.
+//
+// The design rule is one source of truth per counter. Everything /metrics
+// exports about overload, degradation, the model read path, the snapshot
+// caches and the shuffler pipeline is a scrape-time Func collector reading
+// the very same atomics and closures that /healthz, /shuffler/stats and
+// /server/stats serialize to JSON — so the Prometheus view and the JSON
+// stats views cannot drift apart. Only genuinely per-event data (request
+// latency, body sizes, batch-size distributions, WAL timings) lives in
+// push-style instruments, and those are nil-safe so un-instrumented nodes
+// pay nothing.
+package httpapi
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"p2b/internal/metrics"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+// Status classes for p2b_http_requests_total. The two shed statuses get
+// their own class (and are excluded from 4xx/5xx): 429s and 503s are the
+// node's overload signals, and burying them in the generic classes would
+// hide exactly the series an operator alerts on.
+var statusClasses = [...]string{"2xx", "3xx", "4xx", "5xx", "429", "503"}
+
+// classIndex maps an HTTP status to its statusClasses slot.
+func classIndex(status int) int {
+	switch {
+	case status == http.StatusTooManyRequests:
+		return 4
+	case status == http.StatusServiceUnavailable:
+		return 5
+	case status >= 500:
+		return 3
+	case status >= 400:
+		return 2
+	case status >= 300:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// routeInstruments is the pre-registered instrument set of one route: the
+// wrap middleware only ever bumps existing series, so a request can never
+// mint new metric cardinality.
+type routeInstruments struct {
+	requests [len(statusClasses)]*metrics.Counter
+	duration *metrics.Histogram
+	bodySize *metrics.Histogram // nil on routes without ingest bodies
+}
+
+// nodeMetrics owns the node handler's telemetry. A nil *nodeMetrics (node
+// built without a registry) turns every hook into the identity, matching
+// the nil-*Admission idiom.
+type nodeMetrics struct {
+	routes map[string]*routeInstruments
+}
+
+// instrumentedRoutes lists the wrapped routes and whether their request
+// bodies are worth a size histogram.
+var instrumentedRoutes = []struct {
+	name string
+	body bool
+}{
+	{"report", true},
+	{"reports", true},
+	{"flush", false},
+	{"model", false},
+	{"raw", true},
+	{"healthz", false},
+}
+
+// newNodeMetrics registers the node's metric families on reg and wires the
+// push-style instruments into the shuffler. overload is the same closure
+// /healthz and the stats routes read; nil means the node is unbounded and
+// non-degradable, and the overload families are omitted (exactly like the
+// JSON sections).
+func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.Server, sh *serverHandler, overload func() OverloadStats) *nodeMetrics {
+	nm := &nodeMetrics{routes: map[string]*routeInstruments{}}
+	for _, r := range instrumentedRoutes {
+		ri := &routeInstruments{
+			duration: reg.Histogram("p2b_http_request_duration_seconds",
+				`route="`+r.name+`"`,
+				"HTTP request latency by route.", metrics.DurationBuckets()),
+		}
+		for i, class := range statusClasses {
+			ri.requests[i] = reg.Counter("p2b_http_requests_total",
+				`route="`+r.name+`",class="`+class+`"`,
+				"HTTP requests by route and status class (429/503 sheds are their own classes).")
+		}
+		if r.body {
+			ri.bodySize = reg.Histogram("p2b_http_request_body_bytes",
+				`route="`+r.name+`"`,
+				"Declared request body size by ingest route.", metrics.SizeBuckets())
+		}
+		nm.routes[r.name] = ri
+	}
+
+	// Shuffler pipeline: counters mirror the mutex-guarded Stats that
+	// GET /shuffler/stats serves; the batch-size distribution and cut
+	// reasons are push-style (they exist only at process time).
+	reg.CounterFunc("p2b_shuffler_received_total", "",
+		"Envelopes submitted to the shuffler.",
+		func() float64 { return float64(shuf.Stats().Received) })
+	reg.CounterFunc("p2b_shuffler_forwarded_total", "",
+		"Tuples delivered to the server after shuffling and thresholding.",
+		func() float64 { return float64(shuf.Stats().Forwarded) })
+	reg.CounterFunc("p2b_shuffler_dropped_total", "",
+		"Tuples removed by crowd-blending thresholding.",
+		func() float64 { return float64(shuf.Stats().Dropped) })
+	reg.CounterFunc("p2b_shuffler_batches_total", "",
+		"Privacy batches processed.",
+		func() float64 { return float64(shuf.Stats().Batches) })
+	reg.GaugeFunc("p2b_shuffler_pending", "",
+		"Tuples buffered between admission and the next privacy batch.",
+		func() float64 { return float64(shuf.Pending()) })
+	shuf.SetMetrics(shuffler.Metrics{
+		BatchSizes: reg.Histogram("p2b_shuffler_batch_size", "",
+			"Tuples per processed privacy batch.", metrics.ExpBuckets(1, 2, 16)),
+		SizeBatches: reg.Counter("p2b_shuffler_cuts_total", `reason="size"`,
+			"Privacy batches cut by reason: the size trigger or an explicit flush."),
+		FlushBatches: reg.Counter("p2b_shuffler_cuts_total", `reason="flush"`,
+			"Privacy batches cut by reason: the size trigger or an explicit flush."),
+	})
+
+	// Server ingestion and read path: all lock-free atomic mirrors, so a
+	// scrape never serializes against Deliver.
+	reg.CounterFunc("p2b_server_tuples_delivered_total", "",
+		"Tuples folded into the global model through the privacy pipeline.",
+		func() float64 { d, _, _ := srv.IngestCounters(); return float64(d) })
+	reg.CounterFunc("p2b_server_raw_ingested_total", "",
+		"Raw baseline tuples folded into the LinUCB model.",
+		func() float64 { _, r, _ := srv.IngestCounters(); return float64(r) })
+	reg.CounterFunc("p2b_server_shard_contention_total", "",
+		"Ingestion calls displaced from their affinity shard by lock contention.",
+		func() float64 { _, _, c := srv.IngestCounters(); return float64(c) })
+	reg.GaugeFunc("p2b_model_version", "",
+		"Monotonic model version (increases on every ingestion).",
+		func() float64 { return float64(srv.ModelVersion()) })
+	reg.CounterFunc("p2b_snapshot_cache_hits_total", "",
+		"Model snapshot reads answered from the shared per-version build.",
+		func() float64 { h, _ := srv.SnapshotCacheStats(); return float64(h) })
+	reg.CounterFunc("p2b_snapshot_cache_builds_total", "",
+		"Model snapshot rebuilds (model version advanced).",
+		func() float64 { _, b := srv.SnapshotCacheStats(); return float64(b) })
+
+	// Encoded-payload cache: the same atomics ReadStats snapshots for
+	// /healthz and /server/stats. not_modified over (hits + builds +
+	// not_modified) is the fleet's 304 ratio.
+	reg.CounterFunc("p2b_model_payload_hits_total", "",
+		"Model responses served from cached encoded bytes.",
+		func() float64 { return float64(sh.payloadHits.Load()) })
+	reg.CounterFunc("p2b_model_payload_builds_total", "",
+		"Model payload rebuilds (snapshot fetch + encode).",
+		func() float64 { return float64(sh.payloadBuilds.Load()) })
+	reg.CounterFunc("p2b_model_not_modified_total", "",
+		"Conditional model fetches answered 304 Not Modified.",
+		func() float64 { return float64(sh.notModified.Load()) })
+
+	if overload != nil {
+		reg.GaugeFunc("p2b_ingest_inflight_requests", "",
+			"Admitted ingest requests currently executing.",
+			func() float64 { return float64(overload().InFlight) })
+		reg.GaugeFunc("p2b_ingest_inflight_bytes", "",
+			"Summed declared body bytes of in-flight ingest requests.",
+			func() float64 { return float64(overload().InFlightBytes) })
+		reg.CounterFunc("p2b_ingest_admitted_total", "",
+			"Lifetime admitted ingest requests.",
+			func() float64 { return float64(overload().Admitted) })
+		reg.CounterFunc("p2b_ingest_shed_total", "",
+			"Lifetime 429s issued at the admission gate.",
+			func() float64 { return float64(overload().Shed) })
+		reg.GaugeFunc("p2b_wal_degraded", "",
+			"1 while report admission is bypassing a failing write-ahead log.",
+			func() float64 {
+				if overload().Degraded {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("p2b_wal_degraded_ops_total", "",
+			"Ingest operations accepted without durability under the degrade policy.",
+			func() float64 { return float64(overload().DegradedOps) })
+	}
+	return nm
+}
+
+// statusRecorder captures the response status for the class counters.
+// Unwrap exposes the real writer so http.NewResponseController (the
+// admission gate's read-deadline path) still reaches the connection.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// recorders recycles statusRecorders so instrumentation adds no
+// per-request allocation.
+var recorders = sync.Pool{New: func() any { return &statusRecorder{} }}
+
+// wrap instruments one route handler: request count by status class,
+// latency histogram, and (on ingest routes) declared body size. A nil
+// receiver is the identity. wrap goes OUTSIDE the admission guard, so shed
+// 429s and fail-closed 503s are counted per route like everything else.
+func (nm *nodeMetrics) wrap(route string, h http.HandlerFunc) http.HandlerFunc {
+	if nm == nil {
+		return h
+	}
+	ri := nm.routes[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if ri.bodySize != nil && r.ContentLength >= 0 {
+			ri.bodySize.Observe(float64(r.ContentLength))
+		}
+		rec := recorders.Get().(*statusRecorder)
+		rec.ResponseWriter = w
+		rec.status = 0
+		start := time.Now()
+		h(rec, r)
+		status := rec.status
+		rec.ResponseWriter = nil
+		recorders.Put(rec)
+		if status == 0 {
+			status = http.StatusOK // implicit 200: the handler just wrote
+		}
+		ri.duration.Observe(time.Since(start).Seconds())
+		ri.requests[classIndex(status)].Inc()
+	}
+}

@@ -1,0 +1,145 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"p2b/internal/httpapi"
+	"p2b/internal/metrics"
+	"p2b/internal/rng"
+	"p2b/internal/server"
+	"p2b/internal/shuffler"
+)
+
+func newTestNode(t *testing.T) (*httptest.Server, *metrics.Registry) {
+	t.Helper()
+	srv := server.New(server.Config{K: 16, Arms: 8, D: 3, Alpha: 1, Seed: 1})
+	shuf := shuffler.New(shuffler.Config{BatchSize: 32, Threshold: 0}, srv, rng.New(2))
+	reg := metrics.NewRegistry()
+	h := httpapi.NewNodeHandlerOpts(shuf, srv, httpapi.NodeOptions{
+		Admission: httpapi.NewAdmission(httpapi.AdmissionConfig{MaxInFlight: 256}),
+		Metrics:   reg,
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+func TestRunAgainstLiveNode(t *testing.T) {
+	ts, _ := newTestNode(t)
+	res, err := Run(Config{
+		NodeURL:   ts.URL,
+		Rate:      400,
+		FetchRate: 100,
+		Duration:  500 * time.Millisecond,
+		Devices:   50,
+		Workers:   16,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IngestSent == 0 || res.FetchSent == 0 {
+		t.Fatalf("no traffic generated: %+v", res)
+	}
+	if res.IngestErrs != 0 || res.FetchErrs != 0 {
+		t.Fatalf("errors against healthy node: ingest=%d fetch=%d", res.IngestErrs, res.FetchErrs)
+	}
+	if res.IngestOK != res.IngestSent {
+		t.Fatalf("ingest ok=%d != sent=%d (shed=%d unavailable=%d)",
+			res.IngestOK, res.IngestSent, res.IngestShed, res.IngestUnaval)
+	}
+	if got := res.IngestLatency.Count(); got != res.IngestOK {
+		t.Fatalf("latency samples %d != accepted %d", got, res.IngestOK)
+	}
+	// The steady state of the fetch stream is 304s: only version bumps
+	// (from the concurrent ingest) cost payloads.
+	if res.FetchOK+res.FetchNotMod != res.FetchSent {
+		t.Fatalf("fetch accounting: ok=%d + 304=%d != sent=%d", res.FetchOK, res.FetchNotMod, res.FetchSent)
+	}
+	if res.IngestThroughput() <= 0 {
+		t.Fatal("throughput must be positive")
+	}
+	if p50, p99 := res.IngestLatency.Quantile(0.50), res.IngestLatency.Quantile(0.99); p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Rate: 100, Duration: time.Second}); err == nil {
+		t.Fatal("missing NodeURL must error")
+	}
+	if _, err := Run(Config{NodeURL: "http://x", Duration: time.Second}); err == nil {
+		t.Fatal("zero rate must error")
+	}
+	if _, err := Run(Config{NodeURL: "http://x", Rate: 1}); err == nil {
+		t.Fatal("zero duration must error")
+	}
+}
+
+func TestBenchJSONSchema(t *testing.T) {
+	ts, _ := newTestNode(t)
+	res, err := Run(Config{
+		NodeURL:   ts.URL,
+		Rate:      300,
+		FetchRate: 50,
+		Duration:  300 * time.Millisecond,
+		Workers:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := BenchJSON(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The emitted JSON must round-trip through the exact subset benchgate
+	// reads (tables → series → points), with the gated series present.
+	var decoded struct {
+		Name   string `json:"name"`
+		Tables []struct {
+			Series []struct {
+				Name   string `json:"name"`
+				Points []struct {
+					X float64 `json:"x"`
+					Y float64 `json:"y"`
+				} `json:"points"`
+			} `json:"series"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Name != BenchName {
+		t.Fatalf("name = %q, want %q", decoded.Name, BenchName)
+	}
+	found := map[string]bool{}
+	for _, tab := range decoded.Tables {
+		for _, s := range tab.Series {
+			found[s.Name] = len(s.Points) > 0
+		}
+	}
+	for _, want := range []string{"ingest_throughput_rps", "ingest_latency_ms", "ingest_p99_ms", "fetch_latency_ms", "fetch_p99_ms"} {
+		if !found[want] {
+			t.Errorf("series %q missing or empty in report", want)
+		}
+	}
+	if s := Summary(res); !strings.Contains(s, "ingest latency") {
+		t.Errorf("summary lacks latency line:\n%s", s)
+	}
+}
+
+func TestVerifyMetrics(t *testing.T) {
+	ts, _ := newTestNode(t)
+	if err := VerifyMetrics(nil, ts.URL, NodeMetricFamilies); err != nil {
+		t.Fatalf("instrumented node failed verification: %v", err)
+	}
+	if err := VerifyMetrics(nil, ts.URL, []string{"p2b_no_such_family"}); err == nil {
+		t.Fatal("missing family must fail verification")
+	} else if !strings.Contains(err.Error(), "p2b_no_such_family") {
+		t.Fatalf("error must name the missing family: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"p2b/internal/metrics"
+)
+
+// The BENCH_load_slo.json schema mirrors p2bbench's benchJSON exactly so
+// internal/benchgate's bench_series checks read load results unchanged.
+type benchJSON struct {
+	Name        string      `json:"name"`
+	Description string      `json:"description"`
+	Seed        uint64      `json:"seed"`
+	Scale       float64     `json:"scale"`
+	Workers     int         `json:"workers"`
+	ElapsedMS   float64     `json:"elapsed_ms"`
+	Tables      []tableJSON `json:"tables"`
+	Notes       []string    `json:"notes,omitempty"`
+}
+
+type tableJSON struct {
+	XLabel string       `json:"x_label,omitempty"`
+	Series []seriesJSON `json:"series"`
+}
+
+type seriesJSON struct {
+	Name   string      `json:"name"`
+	Points []pointJSON `json:"points"`
+}
+
+type pointJSON struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// BenchName is the experiment id in the emitted JSON (the file is
+// BENCH_<BenchName>.json, compared against testdata/bench_baseline/load_slo).
+const BenchName = "load_slo"
+
+// quantiles are the latency percentiles the report carries; the x of each
+// point is the percentile, so gate checks can pin any subset.
+var quantiles = []float64{50, 90, 99, 99.9}
+
+func latencySeries(name string, h *metrics.Histogram) seriesJSON {
+	s := seriesJSON{Name: name}
+	for _, p := range quantiles {
+		ms := 0.0
+		if h.Count() > 0 {
+			ms = h.Quantile(p/100) * 1000
+		}
+		s.Points = append(s.Points, pointJSON{X: p, Y: ms})
+	}
+	return s
+}
+
+// BenchJSON renders the run as the machine-readable bench schema.
+// Throughput series are higher-is-better, latency series lower-is-better
+// (gated with direction "lower" in gate.json).
+func BenchJSON(res *Result) ([]byte, error) {
+	out := benchJSON{
+		Name: BenchName,
+		Description: "Open-loop load SLO: ingest and conditional model-fetch latency quantiles " +
+			"and achieved throughput against a live p2bnode.",
+		Seed:      res.Config.Seed,
+		Scale:     res.Config.Rate,
+		Workers:   res.Config.Workers,
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	rates := tableJSON{XLabel: "metric", Series: []seriesJSON{
+		{Name: "ingest_throughput_rps", Points: []pointJSON{{X: 1, Y: res.IngestThroughput()}}},
+		{Name: "ingest_ok_fraction", Points: []pointJSON{{X: 1, Y: fraction(res.IngestOK, res.IngestSent)}}},
+	}}
+	// The gated latency number is a dedicated single-point series: gate
+	// checks apply their ceiling to every point of a series, and the full
+	// quantile fan (p50..p99.9) is informational — p99.9 of a smoke run has
+	// a handful of samples and would make the gate flaky.
+	p99 := 0.0
+	if res.IngestLatency.Count() > 0 {
+		p99 = res.IngestLatency.Quantile(0.99) * 1000
+	}
+	lat := tableJSON{XLabel: "percentile", Series: []seriesJSON{
+		latencySeries("ingest_latency_ms", res.IngestLatency),
+		{Name: "ingest_p99_ms", Points: []pointJSON{{X: 1, Y: p99}}},
+	}}
+	if res.FetchSent > 0 {
+		fp99 := 0.0
+		if res.FetchLatency.Count() > 0 {
+			fp99 = res.FetchLatency.Quantile(0.99) * 1000
+		}
+		lat.Series = append(lat.Series,
+			latencySeries("fetch_latency_ms", res.FetchLatency),
+			seriesJSON{Name: "fetch_p99_ms", Points: []pointJSON{{X: 1, Y: fp99}}})
+		rates.Series = append(rates.Series, seriesJSON{
+			Name:   "fetch_not_modified_fraction",
+			Points: []pointJSON{{X: 1, Y: fraction(res.FetchNotMod, res.FetchSent)}},
+		})
+	}
+	out.Tables = []tableJSON{rates, lat}
+	out.Notes = []string{
+		fmt.Sprintf("offered %g rps ingest, %g rps fetch for %s over %d device identities",
+			res.Config.Rate, res.Config.FetchRate, res.Config.Duration, res.Config.Devices),
+		fmt.Sprintf("ingest: sent=%d ok=%d shed_429=%d unavailable_503=%d errors=%d missed=%d",
+			res.IngestSent, res.IngestOK, res.IngestShed, res.IngestUnaval, res.IngestErrs, res.IngestMissed),
+		fmt.Sprintf("fetch: sent=%d ok=%d not_modified=%d errors=%d missed=%d model_bytes=%d",
+			res.FetchSent, res.FetchOK, res.FetchNotMod, res.FetchErrs, res.FetchMissed, res.ModelBytes),
+	}
+	blob, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: marshaling report: %w", err)
+	}
+	return append(blob, '\n'), nil
+}
+
+func fraction(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Summary renders a human-readable run report for the terminal.
+func Summary(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load_slo: %s elapsed (offered %g rps ingest, %g rps fetch, %d workers)\n",
+		res.Elapsed.Round(time.Millisecond), res.Config.Rate, res.Config.FetchRate, res.Config.Workers)
+	fmt.Fprintf(&b, "  ingest: %d sent, %d ok (%.1f rps), %d shed, %d unavailable, %d errors, %d missed\n",
+		res.IngestSent, res.IngestOK, res.IngestThroughput(),
+		res.IngestShed, res.IngestUnaval, res.IngestErrs, res.IngestMissed)
+	if res.IngestLatency.Count() > 0 {
+		fmt.Fprintf(&b, "  ingest latency: p50=%.2fms p90=%.2fms p99=%.2fms p99.9=%.2fms\n",
+			res.IngestLatency.Quantile(0.50)*1000, res.IngestLatency.Quantile(0.90)*1000,
+			res.IngestLatency.Quantile(0.99)*1000, res.IngestLatency.Quantile(0.999)*1000)
+	}
+	if res.FetchSent > 0 {
+		fmt.Fprintf(&b, "  fetch: %d sent, %d ok, %d not-modified, %d errors, %d missed, %d payload bytes\n",
+			res.FetchSent, res.FetchOK, res.FetchNotMod, res.FetchErrs, res.FetchMissed, res.ModelBytes)
+		if res.FetchLatency.Count() > 0 {
+			fmt.Fprintf(&b, "  fetch latency: p50=%.2fms p99=%.2fms p99.9=%.2fms\n",
+				res.FetchLatency.Quantile(0.50)*1000, res.FetchLatency.Quantile(0.99)*1000,
+				res.FetchLatency.Quantile(0.999)*1000)
+		}
+	}
+	return b.String()
+}

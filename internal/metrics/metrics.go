@@ -1,0 +1,524 @@
+// Package metrics is the node's telemetry layer: dependency-free counters,
+// gauges and histograms with atomic, allocation-free hot paths, collected
+// into a Registry that renders the Prometheus text exposition format
+// (version 0.0.4) for GET /metrics.
+//
+// Design constraints, in order:
+//
+//  1. Zero-alloc increments. Counter.Add, Gauge.Set and Histogram.Observe
+//     sit on the ingest and WAL hot paths, which the repo holds to a
+//     0 allocs/op discipline (enforced by AllocsPerRun pins). All hot-path
+//     state is pre-allocated at registration; observing is atomics only.
+//  2. Nil-safety. Every instrument method works on a nil receiver as a
+//     no-op, matching the repo's nil-*Admission / nil-*CircuitBreaker
+//     idiom: instrumented layers carry possibly-nil metric pointers and
+//     never branch on "is telemetry on".
+//  3. No dependencies. The renderer speaks just enough of the exposition
+//     format for Prometheus to scrape; there is no client library to
+//     version or vendor.
+//
+// Label sets are pre-rendered strings (`route="reports",class="2xx"`)
+// fixed at registration time, so metric cardinality is decided where the
+// metric is created — a request can bump counters but never mint a new
+// series.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready to
+// use; a nil *Counter ignores updates.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (negative deltas are ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count. A nil counter reads zero.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; a nil *Gauge ignores updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n (either sign).
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value. A nil gauge reads zero.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution with atomic observation. Bucket
+// upper bounds are set at construction (use ExpBuckets for the HDR-style
+// log-spaced scheme); an implicit +Inf bucket catches the tail. Observe is
+// allocation-free: one binary search over the bounds, two atomic adds.
+// A nil *Histogram ignores observations.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds (inclusive, `le`)
+	counts  []atomic.Int64
+	sumBits atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+// NewHistogram returns a histogram over the given ascending bucket upper
+// bounds. It panics on an empty or unsorted bound list — bucket layout is
+// a construction-time decision, never a runtime surprise.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly ascending at %d (%g after %g)", i, bounds[i], bounds[i-1]))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start, each factor times the previous — the log-bucketed layout that
+// keeps relative (not absolute) quantile error constant across decades,
+// which is what latency distributions need.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid ExpBuckets(%g, %g, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DurationBuckets is the default latency layout: 50µs to ~26s in factor-2
+// steps. Wide enough for a WAL fsync and a saturated batch POST alike.
+func DurationBuckets() []float64 { return ExpBuckets(50e-6, 2, 20) }
+
+// SizeBuckets is the default body-size layout: 64 bytes to ~64 MiB in
+// factor-4 steps (the batch route caps bodies at 32 MiB).
+func SizeBuckets() []float64 { return ExpBuckets(64, 4, 11) }
+
+// Observe records one value. Values below the first bound land in the
+// first bucket; values above the last land in the +Inf bucket. NaN is
+// dropped — one poisoned measurement must not corrupt the sum forever.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Binary search for the first bound >= v (same contract as
+	// sort.SearchFloat64s, inlined to stay allocation- and interface-free).
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank — the standard histogram
+// estimator, accurate to one bucket's relative width. An empty histogram
+// returns 0; ranks landing in the +Inf bucket return the last finite
+// bound (the estimate saturates rather than inventing a tail).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= target {
+			if i >= len(h.bounds) {
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind discriminates what a registered entry renders as.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k metricKind) promType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type entry struct {
+	labels string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	entries []entry
+}
+
+// Registry holds registered metrics and renders them. Registration is
+// construction-time (and panics on misuse: duplicate series, one name
+// with two types — both are programming errors that would corrupt the
+// exposition); reading is scrape-time and safe against concurrent
+// updates.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// register adds one entry, enforcing the exposition invariants.
+func (r *Registry) register(name, labels, help string, e entry) {
+	if name == "" || strings.ContainsAny(name, " \n{}") {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	if strings.ContainsAny(labels, "\n") {
+		panic(fmt.Sprintf("metrics: invalid label set %q", labels))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: e.kind}
+		r.fams[name] = f
+	}
+	if f.kind.promType() != e.kind.promType() {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind.promType(), e.kind.promType()))
+	}
+	e.labels = labels
+	for _, old := range f.entries {
+		if old.labels == e.labels {
+			panic(fmt.Sprintf("metrics: duplicate series %s{%s}", name, e.labels))
+		}
+	}
+	f.entries = append(f.entries, e)
+}
+
+// Counter registers and returns a counter series. labels is a pre-rendered
+// Prometheus label set (`route="reports"`) or empty.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	c := &Counter{}
+	r.register(name, labels, help, entry{kind: kindCounter, c: c})
+	return c
+}
+
+// Gauge registers and returns a gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, labels, help, entry{kind: kindGauge, g: g})
+	return g
+}
+
+// Histogram registers and returns a histogram series over bounds.
+func (r *Registry) Histogram(name, labels, help string, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	r.register(name, labels, help, entry{kind: kindHistogram, h: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is sampled from fn at scrape
+// time. This is the no-drift bridge to counters that already live in other
+// subsystems (shuffler stats, admission gate, payload cache): /metrics and
+// the JSON stats routes then read the very same atomics, so the two views
+// cannot diverge.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, entry{kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge sampled from fn at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	r.register(name, labels, help, entry{kind: kindGaugeFunc, fn: fn})
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, families sorted by name and series in registration order, so
+// output is deterministic (golden-testable) up to the live values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.fams[name]
+	}
+	r.mu.Unlock()
+
+	var b []byte
+	for _, f := range fams {
+		b = b[:0]
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.kind.promType()...)
+		b = append(b, '\n')
+		for _, e := range f.entries {
+			switch e.kind {
+			case kindCounter:
+				b = appendSample(b, f.name, "", e.labels, float64(e.c.Value()))
+			case kindGauge:
+				b = appendSample(b, f.name, "", e.labels, float64(e.g.Value()))
+			case kindCounterFunc, kindGaugeFunc:
+				b = appendSample(b, f.name, "", e.labels, e.fn())
+			case kindHistogram:
+				b = appendHistogram(b, f.name, e.labels, e.h)
+			}
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendSample renders one `name[suffix]{labels} value` line.
+func appendSample(b []byte, name, suffix, labels string, v float64) []byte {
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if labels != "" {
+		b = append(b, '{')
+		b = append(b, labels...)
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = appendValue(b, v)
+	return append(b, '\n')
+}
+
+// appendHistogram renders the cumulative bucket series plus sum and count.
+func appendHistogram(b []byte, name, labels string, h *Histogram) []byte {
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		b = append(b, name...)
+		b = append(b, "_bucket{"...)
+		if labels != "" {
+			b = append(b, labels...)
+			b = append(b, ',')
+		}
+		b = append(b, `le="`...)
+		b = appendValue(b, bound)
+		b = append(b, `"} `...)
+		b = strconv.AppendInt(b, cum, 10)
+		b = append(b, '\n')
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	b = append(b, name...)
+	b = append(b, "_bucket{"...)
+	if labels != "" {
+		b = append(b, labels...)
+		b = append(b, ',')
+	}
+	b = append(b, `le="+Inf"} `...)
+	b = strconv.AppendInt(b, cum, 10)
+	b = append(b, '\n')
+	b = appendSample(b, name, "_sum", labels, h.Sum())
+	b = appendSample(b, name, "_count", labels, float64(cum))
+	return b
+}
+
+// appendValue renders a sample value: integers without an exponent (the
+// common counter case), everything else in Go's shortest-roundtrip form,
+// which Prometheus parses fine.
+func appendValue(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// ContentType is the exposition media type /metrics responds with.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns the GET /metrics handler for a registry.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		// Rendering into the response writer directly: a scrape is one
+		// buffered pass over the registry, no intermediate blob.
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// CheckExposition parses Prometheus text exposition from r strictly enough
+// to catch a malformed renderer or a truncated scrape: every non-comment
+// line must be `name[{labels}] value` with a parseable float, and every
+// series must follow a # TYPE header for its family. It returns the set of
+// family names seen (histogram _bucket/_sum/_count series count under
+// their base family). The load harness uses it to verify a live node's
+// /metrics before trusting the run.
+func CheckExposition(r io.Reader) (map[string]bool, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: reading exposition: %w", err)
+	}
+	families := map[string]bool{}
+	typed := map[string]string{}
+	lineNo := 0
+	for _, line := range strings.Split(string(blob), "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				typed[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			return nil, fmt.Errorf("metrics: exposition line %d: no sample value in %q", lineNo, line)
+		}
+		if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+			return nil, fmt.Errorf("metrics: exposition line %d: bad sample value %q", lineNo, line[sp+1:])
+		}
+		series := line[:sp]
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("metrics: exposition line %d: unterminated label set in %q", lineNo, line)
+			}
+			series = series[:i]
+		}
+		base := series
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(series, suffix)
+			if trimmed != series && typed[trimmed] == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			return nil, fmt.Errorf("metrics: exposition line %d: series %s has no # TYPE header", lineNo, base)
+		}
+		families[base] = true
+	}
+	return families, nil
+}

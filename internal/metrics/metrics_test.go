@@ -1,0 +1,315 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(1)
+	h.Observe(1.5)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	want := []int64{2, 1, 1, 1} // le=1, le=2, le=4, +Inf; NaN dropped
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 106 {
+		t.Errorf("sum = %g, want 106", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 1000 observations uniform over (0, 100] against factor-2 buckets:
+	// interpolation should land within one bucket's width of the truth.
+	h := NewHistogram(ExpBuckets(0.1, 2, 16)) // 0.1 .. ~3276.8
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	for _, tc := range []struct{ q, want, tol float64 }{
+		{0.50, 50, 15},
+		{0.99, 99, 30},
+		{0.999, 99.9, 30},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("q%.3f = %g, want %g +/- %g", tc.q, got, tc.want, tc.tol)
+		}
+	}
+	if got := NewHistogram([]float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %g, want 0", got)
+	}
+	// Ranks in the +Inf bucket saturate at the last finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %g, want 2", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	for _, fn := range []func(){
+		func() { ExpBuckets(0, 2, 3) },
+		func() { ExpBuckets(1, 1, 3) },
+		func() { ExpBuckets(1, 2, 0) },
+		func() { NewHistogram(nil) },
+		func() { NewHistogram([]float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid construction")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestConcurrentHammer drives every instrument from many goroutines; run
+// under -race this proves the hot paths are data-race free, and the final
+// totals prove no update is lost.
+func TestConcurrentHammer(t *testing.T) {
+	const goroutines = 16
+	const perG = 5000
+	var c Counter
+	var g Gauge
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(id%7 + 1))
+			}
+		}(i)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := g.Value(); got != total {
+		t.Errorf("gauge = %d, want %d", got, total)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	var wantSum float64
+	for i := 0; i < goroutines; i++ {
+		wantSum += float64(i%7+1) * perG
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+// TestZeroAllocHotPaths pins the 0 allocs/op contract for every
+// instrument update: these sit on the ingest and WAL hot paths, which the
+// repo holds allocation-free.
+func TestZeroAllocHotPaths(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(DurationBuckets())
+	var nilC *Counter
+	var nilH *Histogram
+	for name, fn := range map[string]func(){
+		"Counter.Inc":           func() { c.Inc() },
+		"Counter.Add":           func() { c.Add(3) },
+		"Gauge.Set":             func() { g.Set(7) },
+		"Gauge.Add":             func() { g.Add(-1) },
+		"Histogram.Observe":     func() { h.Observe(0.0042) },
+		"nil Counter.Inc":       func() { nilC.Inc() },
+		"nil Histogram.Observe": func() { nilH.Observe(1) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+		}
+	}
+}
+
+func TestRegistryPanicsOnMisuse(t *testing.T) {
+	for name, fn := range map[string]func(r *Registry){
+		"duplicate series": func(r *Registry) {
+			r.Counter("a_total", `x="1"`, "h")
+			r.Counter("a_total", `x="1"`, "h")
+		},
+		"type clash": func(r *Registry) {
+			r.Counter("a_total", "", "h")
+			r.Gauge("a_total", `x="1"`, "h")
+		},
+		"bad name":  func(r *Registry) { r.Counter("bad name", "", "h") },
+		"bad label": func(r *Registry) { r.Counter("ok_total", "x=\"\n\"", "h") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn(NewRegistry())
+		}()
+	}
+}
+
+// TestExpositionGolden freezes the renderer's exact output: family
+// ordering, HELP/TYPE headers, label placement, cumulative buckets,
+// integer vs float formatting.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("p2b_http_requests_total", `route="reports",class="2xx"`, "HTTP requests by route and status class.")
+	reqs.Add(12)
+	shed := r.Counter("p2b_http_requests_total", `route="reports",class="429"`, "HTTP requests by route and status class.")
+	shed.Add(3)
+	occ := r.Gauge("p2b_shuffler_occupancy", "", "Reports buffered in the shuffler.")
+	occ.Set(17)
+	r.GaugeFunc("p2b_inflight_requests", "", "In-flight admitted requests.", func() float64 { return 2 })
+	r.CounterFunc("p2b_wal_degraded_ops_total", "", "Operations accepted without durability.", func() float64 { return 5 })
+	lat := r.Histogram("p2b_request_duration_seconds", `route="reports"`, "Request latency.", []float64{0.001, 0.01, 0.1})
+	lat.Observe(0.0005)
+	lat.Observe(0.002)
+	lat.Observe(0.05)
+	lat.Observe(1.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP p2b_http_requests_total HTTP requests by route and status class.
+# TYPE p2b_http_requests_total counter
+p2b_http_requests_total{route="reports",class="2xx"} 12
+p2b_http_requests_total{route="reports",class="429"} 3
+# HELP p2b_inflight_requests In-flight admitted requests.
+# TYPE p2b_inflight_requests gauge
+p2b_inflight_requests 2
+# HELP p2b_request_duration_seconds Request latency.
+# TYPE p2b_request_duration_seconds histogram
+p2b_request_duration_seconds_bucket{route="reports",le="0.001"} 1
+p2b_request_duration_seconds_bucket{route="reports",le="0.01"} 2
+p2b_request_duration_seconds_bucket{route="reports",le="0.1"} 3
+p2b_request_duration_seconds_bucket{route="reports",le="+Inf"} 4
+p2b_request_duration_seconds_sum{route="reports"} 1.5525
+p2b_request_duration_seconds_count{route="reports"} 4
+# HELP p2b_shuffler_occupancy Reports buffered in the shuffler.
+# TYPE p2b_shuffler_occupancy gauge
+p2b_shuffler_occupancy 17
+# HELP p2b_wal_degraded_ops_total Operations accepted without durability.
+# TYPE p2b_wal_degraded_ops_total counter
+p2b_wal_degraded_ops_total 5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHistogramSumAndCountCarryLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x_seconds", `op="sync"`, "h", []float64{1})
+	h.Observe(0.5)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	// _sum/_count keep the series labels so two labeled histograms under
+	// one family stay distinguishable.
+	for _, want := range []string{`x_seconds_sum{op="sync"} 0.5`, `x_seconds_count{op="sync"} 1`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestCheckExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", "a").Add(1)
+	r.Histogram("b_seconds", "", "b", []float64{1, 2}).Observe(0.5)
+	r.GaugeFunc("c", `x="y"`, "c", func() float64 { return 1.5 })
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := CheckExposition(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("CheckExposition on renderer output: %v", err)
+	}
+	for _, want := range []string{"a_total", "b_seconds", "c"} {
+		if !fams[want] {
+			t.Errorf("family %q missing from %v", want, fams)
+		}
+	}
+	if len(fams) != 3 {
+		t.Errorf("families = %v, want exactly 3 (histogram suffixes must fold into base)", fams)
+	}
+
+	for name, bad := range map[string]string{
+		"no value":       "# TYPE x counter\nx\n",
+		"bad float":      "# TYPE x counter\nx abc\n",
+		"no TYPE header": "x 1\n",
+		"open labels":    "# TYPE x counter\nx{a=\"b\" 1\n",
+	} {
+		if _, err := CheckExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h_total", "", "h").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentType)
+	}
+	if !strings.Contains(rec.Body.String(), "h_total 1") {
+		t.Errorf("body missing sample: %s", rec.Body.String())
+	}
+}

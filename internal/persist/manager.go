@@ -30,6 +30,9 @@ type Options struct {
 	// Logf receives recovery and checkpoint progress lines. Nil uses
 	// log.Printf.
 	Logf func(format string, args ...any)
+	// Metrics, when non-nil, instruments WAL appends, fsyncs and
+	// checkpoints (see NewMetrics).
+	Metrics *Metrics
 }
 
 // RecoveryInfo summarizes what Open reconstructed from disk.
@@ -128,6 +131,11 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Metrics != nil {
+		// Installed before any concurrent use: replay below is synchronous
+		// and the background loops only start at the end of Open.
+		wal.fsyncHist = opts.Metrics.FsyncSeconds
+	}
 	m.wal = wal
 	m.recovery.TruncatedBytes = walInfo.TruncatedBytes
 	m.recovery.LastSeq = walInfo.LastSeq
@@ -173,11 +181,29 @@ func (m *Manager) syncNow() bool { return m.opts.SyncInterval == 0 }
 func (m *Manager) SubmitEnvelope(e transport.Envelope) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := m.appendStart()
 	if _, err := m.wal.AppendTuples([]transport.Tuple{e.Tuple}, m.syncNow()); err != nil {
 		return err
 	}
+	m.observeAppend(start)
 	m.shuf.Submit(e)
 	return nil
+}
+
+// appendStart reads the clock only when append timing is on: the
+// zero-telemetry path pays one nil check, not a clock read, per ingest.
+func (m *Manager) appendStart() time.Time {
+	if m.opts.Metrics == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// observeAppend records one successful WAL append's latency.
+func (m *Manager) observeAppend(start time.Time) {
+	if m.opts.Metrics != nil {
+		m.opts.Metrics.AppendSeconds.Observe(time.Since(start).Seconds())
+	}
 }
 
 // SubmitTuples durably ingests one anonymized chunk.
@@ -187,9 +213,11 @@ func (m *Manager) SubmitTuples(tuples []transport.Tuple) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := m.appendStart()
 	if _, err := m.wal.AppendTuples(tuples, m.syncNow()); err != nil {
 		return err
 	}
+	m.observeAppend(start)
 	m.shuf.SubmitTuples(tuples)
 	return nil
 }
@@ -200,9 +228,11 @@ func (m *Manager) SubmitTuples(tuples []transport.Tuple) error {
 func (m *Manager) Flush() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	start := m.appendStart()
 	if _, err := m.wal.AppendFlush(m.syncNow()); err != nil {
 		return err
 	}
+	m.observeAppend(start)
 	m.shuf.Flush()
 	return nil
 }
@@ -226,6 +256,7 @@ func (m *Manager) Checkpoint() error {
 	if m.hasCkpt && seq == m.ckptSeq && m.srv.Stats().RawIngested == m.ckptRaw {
 		return nil
 	}
+	start := m.appendStart()
 	shufState, err := m.shuf.Drain()
 	if err != nil {
 		return err
@@ -254,6 +285,10 @@ func (m *Manager) Checkpoint() error {
 		if err := m.wal.Prune(seq); err != nil {
 			return err
 		}
+	}
+	if m.opts.Metrics != nil {
+		m.opts.Metrics.CheckpointSeconds.Observe(time.Since(start).Seconds())
+		m.opts.Metrics.Checkpoints.Inc()
 	}
 	return nil
 }

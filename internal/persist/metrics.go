@@ -1,0 +1,41 @@
+package persist
+
+import (
+	"p2b/internal/metrics"
+)
+
+// Metrics instruments the durable path. All instruments are nil-safe, so
+// a Manager built without telemetry (Options.Metrics == nil) skips the
+// clock reads and an instrumented one observes through plain atomics —
+// the WAL hot path stays allocation-free either way.
+type Metrics struct {
+	// AppendSeconds observes the latency of one WAL append transaction
+	// (encode + write + rollback handling; includes the inline fsync when
+	// the manager runs in strict sync mode).
+	AppendSeconds *metrics.Histogram
+	// FsyncSeconds observes every WAL fsync, inline or background.
+	FsyncSeconds *metrics.Histogram
+	// CheckpointSeconds observes full checkpoint captures (skipped no-op
+	// checkpoints are not observed — they would drown the signal).
+	CheckpointSeconds *metrics.Histogram
+	// Checkpoints counts completed checkpoint captures.
+	Checkpoints *metrics.Counter
+}
+
+// NewMetrics registers the durable path's metric families on reg and
+// returns the instrument set to hand to Options.Metrics.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		AppendSeconds: reg.Histogram("p2b_wal_append_seconds", "",
+			"WAL append transaction latency (inline fsync included in strict sync mode).",
+			metrics.DurationBuckets()),
+		FsyncSeconds: reg.Histogram("p2b_wal_fsync_seconds", "",
+			"WAL fsync latency, inline and background.",
+			metrics.DurationBuckets()),
+		CheckpointSeconds: reg.Histogram("p2b_checkpoint_seconds", "",
+			"Full checkpoint capture latency (no-op checkpoints excluded).",
+			metrics.DurationBuckets()),
+		Checkpoints: reg.Counter("p2b_checkpoints_total", "",
+			"Completed checkpoint captures."),
+	}
+}

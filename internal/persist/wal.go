@@ -54,7 +54,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
+	"p2b/internal/metrics"
 	"p2b/internal/transport"
 )
 
@@ -121,6 +123,10 @@ type WAL struct {
 	failed   bool   // sealed after an unrecoverable append failure
 	segments []segmentInfo
 	enc      []byte // append scratch
+
+	// fsyncHist, when non-nil, observes every fsync's latency (set by the
+	// persist manager before the log sees concurrent use).
+	fsyncHist *metrics.Histogram
 }
 
 type segmentInfo struct {
@@ -631,6 +637,10 @@ func (w *WAL) syncLocked() error {
 	if !w.dirty || w.f == nil {
 		return nil
 	}
+	var start time.Time
+	if w.fsyncHist != nil {
+		start = time.Now()
+	}
 	if h := fsHooks.Load(); h != nil && h.BeforeSync != nil {
 		if err := h.BeforeSync(w.segPath); err != nil {
 			return fmt.Errorf("persist: wal sync: %w", err)
@@ -638,6 +648,9 @@ func (w *WAL) syncLocked() error {
 	}
 	if err := w.f.Sync(); err != nil {
 		return fmt.Errorf("persist: wal sync: %w", err)
+	}
+	if w.fsyncHist != nil {
+		w.fsyncHist.Observe(time.Since(start).Seconds())
 	}
 	w.dirty = false
 	return nil

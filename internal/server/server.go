@@ -146,6 +146,14 @@ type Server struct {
 	// Contention moves callers to other shards via TryLock.
 	hint      atomic.Uint32
 	snapshots atomic.Int64
+	// Atomic mirrors of the ingestion counters, maintained alongside the
+	// mu-guarded per-shard fields: telemetry scrapes (and anything else
+	// that wants a cheap read) get lock-free totals without sweeping the
+	// shard locks like full Stats does. One atomic add per Deliver batch,
+	// not per tuple.
+	delivered  atomic.Int64 // tuples folded by Deliver
+	rawTuples  atomic.Int64 // raw baseline tuples folded by IngestRaw
+	contention atomic.Int64 // acquireShard calls that left their hint shard
 
 	tabCache  snapshotCache[*bandit.TabularState]
 	linCache  snapshotCache[*bandit.LinUCBState]
@@ -238,11 +246,16 @@ func (s *Server) acquireShard() *shard {
 		sh := &s.shards[idx]
 		if sh.mu.TryLock() {
 			if i != 0 {
+				// The hint shard was contended: count the displacement. The
+				// counter growing in step with Deliver calls means the shard
+				// count, not the models, is the ingestion bottleneck.
+				s.contention.Add(1)
 				s.hint.Store(idx)
 			}
 			return sh
 		}
 	}
+	s.contention.Add(1)
 	sh := &s.shards[hint]
 	sh.mu.Lock()
 	return sh
@@ -316,6 +329,7 @@ func (s *Server) Deliver(batch []transport.Tuple) {
 	sh.tuples += ingested
 	sh.version.Add(1)
 	sh.mu.Unlock()
+	s.delivered.Add(ingested)
 }
 
 // IngestRaw folds one unencoded observation into the LinUCB baseline model
@@ -340,6 +354,7 @@ func (s *Server) IngestRaw(t transport.RawTuple) error {
 	sh.raw++
 	sh.version.Add(1)
 	sh.mu.Unlock()
+	s.rawTuples.Add(1)
 	return nil
 }
 
@@ -524,6 +539,15 @@ func invertArms(st *bandit.LinUCBState, aSum []*mat.Dense, d, workers int) {
 			panic(fmt.Sprintf("server: global design matrix of arm %d not invertible: %v", a, err))
 		}
 	}
+}
+
+// IngestCounters returns lock-free ingestion totals: tuples delivered
+// through the privacy pipeline, raw baseline tuples, and how many shard
+// acquisitions were displaced by contention. These are the atomic mirrors
+// telemetry scrapes read, so a /metrics pull never serializes against
+// Deliver the way a full Stats sweep would.
+func (s *Server) IngestCounters() (delivered, raw, contention int64) {
+	return s.delivered.Load(), s.rawTuples.Load(), s.contention.Load()
 }
 
 // SnapshotCacheStats returns just the snapshot-cache counters. Unlike

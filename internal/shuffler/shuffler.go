@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sync"
 
+	"p2b/internal/metrics"
 	"p2b/internal/rng"
 	"p2b/internal/transport"
 )
@@ -59,16 +60,40 @@ type Stats struct {
 	Batches   int64 // batches processed
 }
 
+// Metrics are the shuffler's push-style telemetry instruments, distinct
+// from Stats (which every surface still reads at snapshot time): batch
+// sizes and cut reasons are per-event distributions that only exist at the
+// moment a batch is processed. All instruments are nil-safe, so an
+// unconfigured shuffler pays two nil checks per batch — per batch, not per
+// tuple.
+type Metrics struct {
+	// BatchSizes observes the tuple count of every processed batch.
+	BatchSizes *metrics.Histogram
+	// SizeBatches counts batches cut by reaching Config.BatchSize.
+	SizeBatches *metrics.Counter
+	// FlushBatches counts batches pushed out by an explicit Flush.
+	FlushBatches *metrics.Counter
+}
+
+// SetMetrics installs telemetry instruments. Call before the shuffler
+// starts accepting traffic.
+func (s *Shuffler) SetMetrics(m Metrics) {
+	s.mu.Lock()
+	s.metrics = m
+	s.mu.Unlock()
+}
+
 // Shuffler buffers envelopes and releases privacy-scrubbed batches to a
 // sink. It is safe for concurrent use.
 type Shuffler struct {
 	cfg  Config
 	sink Sink
 
-	mu    sync.Mutex
-	buf   []transport.Tuple // metadata already stripped at submission
-	r     *rng.Rand
-	stats Stats
+	mu      sync.Mutex
+	buf     []transport.Tuple // metadata already stripped at submission
+	r       *rng.Rand
+	stats   Stats
+	metrics Metrics
 	// pool recycles batch buffers (each sized to BatchSize) between the
 	// accumulate -> process -> deliver cycle, so steady-state submission
 	// allocates nothing.
@@ -111,7 +136,7 @@ func (s *Shuffler) Submit(e transport.Envelope) {
 	}
 	s.mu.Unlock()
 	if batch != nil {
-		s.process(batch)
+		s.process(batch, false)
 	}
 }
 
@@ -151,7 +176,7 @@ func (s *Shuffler) SubmitTuples(tuples []transport.Tuple) {
 	}
 	s.mu.Unlock()
 	for _, batch := range full {
-		s.process(batch)
+		s.process(batch, false)
 	}
 }
 
@@ -165,13 +190,20 @@ func (s *Shuffler) Flush() {
 	s.buf = nil
 	s.mu.Unlock()
 	if len(batch) > 0 {
-		s.process(batch)
+		s.process(batch, true)
 	}
 }
 
-// process shuffles, thresholds and forwards one batch.
-func (s *Shuffler) process(batch []transport.Tuple) {
+// process shuffles, thresholds and forwards one batch. explicit records
+// why the batch was cut: an explicit Flush versus the size trigger.
+func (s *Shuffler) process(batch []transport.Tuple, explicit bool) {
 	s.mu.Lock()
+	s.metrics.BatchSizes.Observe(float64(len(batch)))
+	if explicit {
+		s.metrics.FlushBatches.Inc()
+	} else {
+		s.metrics.SizeBatches.Inc()
+	}
 	// Shuffling: sever any link between arrival order and position.
 	s.r.Shuffle(len(batch), func(i, j int) { batch[i], batch[j] = batch[j], batch[i] })
 

@@ -34,8 +34,15 @@ NODE_PID=""
 PROXY_PID=""
 
 cleanup() {
+  status=$?
   [ -n "$NODE_PID" ] && kill -9 "$NODE_PID" 2>/dev/null || true
   [ -n "$PROXY_PID" ] && kill -9 "$PROXY_PID" 2>/dev/null || true
+  # On failure, export the run's logs and state dumps for post-mortem
+  # (CI uploads $CHAOS_ARTIFACTS as a workflow artifact).
+  if [ "$status" -ne 0 ] && [ -n "${CHAOS_ARTIFACTS:-}" ]; then
+    mkdir -p "$CHAOS_ARTIFACTS"
+    cp "$WORK"/*.log "$WORK"/*.json "$CHAOS_ARTIFACTS"/ 2>/dev/null || true
+  fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Load-SLO measurement (the CI "load-slo" job, runnable locally). Boots a
+# real durable p2bnode with admission caps — the production configuration,
+# not a test double — drives it with p2bload's open-loop smoke preset,
+# verifies the /metrics exposition, and leaves BENCH_load_slo.json in the
+# results directory for p2bgate to compare against the committed baseline
+# (throughput floor, p99 latency ceiling).
+#
+# Usage:
+#   scripts/load_slo.sh [results-dir]          # measure into results-dir (default: results)
+#   scripts/load_slo.sh testdata/bench_baseline/load_slo   # refresh the baseline
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-results}"
+PORT="${PORT_NODE:-18097}"
+URL="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+NODE_PID=""
+
+cleanup() {
+  [ -n "$NODE_PID" ] && kill -9 "$NODE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+mkdir -p "$OUT"
+
+echo "== building =="
+go build -o "$WORK/bin/" ./cmd/p2bnode ./cmd/p2bload
+
+echo "== booting a durable admission-capped node =="
+"$WORK/bin/p2bnode" -addr ":$PORT" -k 64 -arms 20 -d 10 -threshold 4 -batch 64 \
+  -seed 5 -data-dir "$WORK/data" -wal-sync 25ms \
+  -max-inflight 256 -max-inflight-bytes $((64 << 20)) \
+  >"$WORK/node.log" 2>&1 &
+NODE_PID=$!
+for _ in $(seq 1 100); do
+  if curl -fsS "$URL/healthz" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$URL/healthz" >/dev/null
+
+echo "== open-loop smoke load =="
+"$WORK/bin/p2bload" -node "$URL" -smoke -json "$OUT/BENCH_load_slo.json"
+
+echo "== /metrics exposition check (after real traffic) =="
+"$WORK/bin/p2bload" -node "$URL" -check-metrics
+# The scrape itself must be well-formed enough to keep re-scraping: twice,
+# because a broken accumulation path often renders once and corrupts after.
+curl -fsS "$URL/metrics" >"$WORK/metrics.txt"
+grep -q '^p2b_http_requests_total{route="report",class="2xx"} [1-9]' "$WORK/metrics.txt" || {
+  echo "FAIL: /metrics shows no accepted reports after the load run" >&2
+  exit 1
+}
+grep -q '^p2b_wal_append_seconds_count [1-9]' "$WORK/metrics.txt" || {
+  echo "FAIL: /metrics shows no WAL appends on a durable node" >&2
+  exit 1
+}
+
+kill "$NODE_PID" 2>/dev/null || true
+wait "$NODE_PID" 2>/dev/null || true
+NODE_PID=""
+cp "$WORK/node.log" "$OUT/load_slo_node.log" 2>/dev/null || true
+
+echo "PASS: load run measured into $OUT/BENCH_load_slo.json, exposition valid"
