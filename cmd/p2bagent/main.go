@@ -37,11 +37,13 @@ import (
 	"p2b/internal/privacy"
 	"p2b/internal/rng"
 	"p2b/internal/synthetic"
+	"p2b/internal/topology"
 )
 
 func main() {
 	var (
-		node     = flag.String("node", "http://localhost:8080", "base URL of the p2bnode")
+		node     = flag.String("node", "http://localhost:8080", "base URL of the p2bnode (ignored with -registry)")
+		board    = flag.String("registry", "", "bulletin-board URL to discover a report target from instead of -node (see cmd/p2bboard)")
 		users    = flag.Int("users", 1000, "number of simulated devices")
 		t        = flag.Int("T", 10, "local interactions per device")
 		p        = flag.Float64("p", 0.5, "participation probability")
@@ -68,6 +70,37 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Fleet discovery: ask the bulletin board for the topology and pick a
+	// report target deterministically from the seed, so a fleet launcher
+	// with spread seeds spreads its load across the relay tier. Reports and
+	// model syncs may land on different processes — a relay accepts reports
+	// but holds no model, so model traffic picks from the analyzers.
+	modelNode := *node
+	if *board != "" {
+		err := withRetries(10, func() error {
+			doc, err := topology.FetchDocument(*board)
+			if err != nil {
+				return err
+			}
+			reports, err := topology.Pick(doc.ReportTargets(), *seed)
+			if err != nil {
+				return fmt.Errorf("no report target: %w", err)
+			}
+			models, err := topology.Pick(doc.Analyzers(), *seed)
+			if err != nil {
+				return fmt.Errorf("no model-serving node: %w", err)
+			}
+			*node, modelNode = reports.URL, models.URL
+			fmt.Printf("p2bagent: board %s assigned reports -> %s %q (%s), models -> %s %q (%s)\n",
+				*board, reports.Role, reports.Name, reports.URL, models.Role, models.Name, models.URL)
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p2bagent: discovering the fleet on %s: %v\n", *board, err)
+			os.Exit(1)
+		}
+	}
+
 	root := rng.New(*seed)
 	env, err := synthetic.New(synthetic.Config{D: *d, Arms: *arms, Beta: 0.1, Sigma: 0.1}, root.Split("env"))
 	if err != nil {
@@ -82,7 +115,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	src := agent.NewHTTPSource(*node, agent.HTTPSourceOptions{
+	src := agent.NewHTTPSource(modelNode, agent.HTTPSourceOptions{
 		Refresh: *refresh,
 		JSON:    *jsonWire,
 		Seed:    *seed,

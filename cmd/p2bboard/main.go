@@ -1,0 +1,69 @@
+// Command p2bboard runs the fleet's bulletin board: a tiny HTTP registry
+// where p2bnode processes announce themselves and p2bagent fleets discover
+// which relay (or combined node) to report to.
+//
+//	GET  /topology           current topology document (JSON)
+//	POST /topology/register  announce/heartbeat one node
+//	GET  /healthz            liveness
+//
+// The board is configuration infrastructure, never a data-path component:
+// reports and model syncs flow directly between agents, relays and
+// analyzers. A dead board stops NEW agents from discovering the fleet; it
+// never loses a report. Announced entries expire after -ttl without a
+// heartbeat (p2bnode heartbeats at ttl/3), so a crashed node falls off the
+// board on its own. -static seeds the board with operator-pinned entries
+// that never expire and cannot be re-announced.
+//
+// Usage:
+//
+//	p2bboard -addr :8070
+//	p2bboard -addr :8070 -static fleet.json -ttl 30s
+//
+// where fleet.json is a topology document:
+//
+//	{"nodes": [{"name": "analyzer-1", "role": "analyzer", "url": "http://10.0.0.5:8080"}]}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"p2b/internal/topology"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8070", "listen address")
+		static = flag.String("static", "", "path to a JSON topology document of operator-pinned nodes (never expire)")
+		ttl    = flag.Duration("ttl", topology.DefaultTTL, "how long an announced node stays on the board without a heartbeat")
+	)
+	flag.Parse()
+
+	var doc *topology.Document
+	if *static != "" {
+		blob, err := os.ReadFile(*static)
+		if err != nil {
+			log.Fatalf("p2bboard: reading %s: %v", *static, err)
+		}
+		doc, err = topology.ParseDocument(blob)
+		if err != nil {
+			log.Fatalf("p2bboard: %s: %v", *static, err)
+		}
+		log.Printf("p2bboard: %d static node(s) pinned from %s", len(doc.Nodes), *static)
+	}
+
+	reg, err := topology.NewRegistry(doc, *ttl)
+	if err != nil {
+		log.Fatalf("p2bboard: %v", err)
+	}
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           reg.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("p2bboard listening on %s (ttl %v)", *addr, *ttl)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -28,6 +28,24 @@
 //	                        counters, overload and WAL telemetry
 //	POST /admin/checkpoint  force a checkpoint (with -data-dir only)
 //
+// # Multi-node topology
+//
+// -role splits the process into fleet roles (see internal/topology and the
+// "Multi-node topology" section of DESIGN.md):
+//
+//	-role combined  the default: shuffler + analyzer in one process
+//	-role relay     shuffler only; finished privacy batches are forwarded
+//	                over the P2B1 wire to the analyzer named by -downstream
+//	                instead of a local server
+//	-role analyzer  full node that additionally expects relay traffic on
+//	                POST /peer/ingest and sibling state on POST /peer/merge
+//
+// Analyzers (and combined nodes) push their local model contribution to
+// every -peers URL on a -peer-sync interval, so any analyzer can serve
+// GET /server/model with the fleet-wide model. -peer-token authenticates
+// the peer routes in both directions. With -registry the node announces
+// itself on a p2bboard bulletin board so agents can discover it.
+//
 // # Durability
 //
 // With -data-dir the node is crash-safe: every accepted report batch is
@@ -56,9 +74,11 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +89,7 @@ import (
 	"p2b/internal/rng"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
+	"p2b/internal/topology"
 )
 
 func main() {
@@ -97,6 +118,16 @@ func main() {
 
 		faults    = flag.String("faults", "", "failpoint specs for chaos runs, e.g. \"wal/sync:after=100,count=1;wal/torn:count=1\" (see internal/faultinject)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for probabilistic failpoints")
+
+		roleFlag    = flag.String("role", "combined", "fleet role: combined, relay or analyzer (see internal/topology)")
+		name        = flag.String("name", "", "node name in peer protocols and on the bulletin board (default <role>@<addr>)")
+		advertise   = flag.String("advertise", "", "base URL other fleet members reach this node at (default http://localhost<addr>)")
+		downstream  = flag.String("downstream", "", "relay only: base URL of the analyzer finished batches are forwarded to")
+		peersFlag   = flag.String("peers", "", "comma-separated base URLs of sibling analyzers to push local state to")
+		peerSync    = flag.Duration("peer-sync", 2*time.Second, "anti-entropy push interval to -peers")
+		peerToken   = flag.String("peer-token", "", "bearer token required on inbound /peer/* routes and sent on outbound peer traffic (empty = open)")
+		registry    = flag.String("registry", "", "bulletin-board base URL to announce this node on (see cmd/p2bboard; empty = no announcement)")
+		registryTTL = flag.Duration("registry-ttl", topology.DefaultTTL, "announcement TTL on the bulletin board")
 	)
 	flag.Parse()
 	if *batch == 0 {
@@ -109,6 +140,35 @@ func main() {
 	policy, err := httpapi.ParseWALPolicy(*walPolicy)
 	if err != nil {
 		log.Fatalf("p2bnode: %v", err)
+	}
+	role, err := topology.ParseRole(*roleFlag)
+	if err != nil {
+		log.Fatalf("p2bnode: %v", err)
+	}
+	if role == topology.RoleRelay && *downstream == "" {
+		log.Fatalf("p2bnode: -role relay requires -downstream (the analyzer URL batches forward to)")
+	}
+	if role != topology.RoleRelay && *downstream != "" {
+		log.Fatalf("p2bnode: -downstream only makes sense with -role relay")
+	}
+	var peerURLs []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerURLs = append(peerURLs, p)
+		}
+	}
+	if role == topology.RoleRelay && len(peerURLs) > 0 {
+		log.Fatalf("p2bnode: -peers only makes sense on analyzer or combined nodes (relays forward, they do not merge)")
+	}
+	if *name == "" {
+		*name = fmt.Sprintf("%s@%s", role, *addr)
+	}
+	if *advertise == "" {
+		if strings.HasPrefix(*addr, ":") {
+			*advertise = "http://localhost" + *addr
+		} else {
+			*advertise = "http://" + *addr
+		}
 	}
 	if *faults != "" {
 		specs, err := faultinject.ParseSpecs(*faults)
@@ -125,20 +185,37 @@ func main() {
 		log.Printf("p2bnode: CHAOS MODE: failpoints armed (%s, seed %d) — not for production", *faults, *faultSeed)
 	}
 
+	// The server is constructed for every role. A relay never serves models
+	// from it, but the persist layer checkpoints through it, so a durable
+	// relay reuses the exact same recovery machinery as a combined node.
 	srv := server.New(server.Config{K: *k, Arms: *arms, D: *d, Alpha: *alpha, Seed: *seed, Shards: *shards})
-	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, srv, rng.New(*seed).Split("shuffler"))
+
+	// The shuffler's sink decides the role's data path: combined and
+	// analyzer nodes deliver finished privacy batches into the local server,
+	// a relay forwards them downstream over the P2B1 wire.
+	var fwd *topology.Forwarder
+	var sink shuffler.Sink = srv
+	if role == topology.RoleRelay {
+		var err error
+		fwd, err = topology.NewForwarder(*downstream, topology.ForwarderOptions{
+			Origin: *name,
+			Token:  *peerToken,
+			Logf:   log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("p2bnode: %v", err)
+		}
+		sink = fwd
+	}
+	shuf := shuffler.New(shuffler.Config{BatchSize: *batch, Threshold: *threshold}, sink, rng.New(*seed).Split("shuffler"))
 
 	reg := metrics.NewRegistry()
-	opts := httpapi.NodeOptions{
-		WALPolicy: policy,
-		Metrics:   reg,
-		Admission: httpapi.NewAdmission(httpapi.AdmissionConfig{
-			MaxInFlight:      *maxInFlight,
-			MaxInFlightBytes: *maxInFlightBytes,
-			RetryAfter:       *retryAfter,
-			ReadTimeout:      *readTimeout,
-		}),
-	}
+	adm := httpapi.NewAdmission(httpapi.AdmissionConfig{
+		MaxInFlight:      *maxInFlight,
+		MaxInFlightBytes: *maxInFlightBytes,
+		RetryAfter:       *retryAfter,
+		ReadTimeout:      *readTimeout,
+	})
 	var mgr *persist.Manager
 	if *dataDir != "" {
 		var err error
@@ -154,9 +231,6 @@ func main() {
 		rec := mgr.Recovery()
 		log.Printf("p2bnode: durable in %s (checkpoint seq %d, replayed %d records, wal at seq %d)",
 			*dataDir, rec.CheckpointSeq, rec.ReplayedRecords, rec.LastSeq)
-		opts.Ingest = mgr
-		opts.Checkpoint = mgr.Checkpoint
-		opts.Health = func() any { return mgr.Info() }
 		// WAL position gauges: sampled from the same Info() /healthz serves.
 		reg.GaugeFunc("p2b_wal_seq", "",
 			"Sequence number of the last WAL append.",
@@ -169,18 +243,89 @@ func main() {
 			func() float64 { return float64(mgr.Info().Segments) })
 	}
 
+	// Outbound anti-entropy: analyzers and combined nodes with -peers push
+	// their local contribution to every sibling on the -peer-sync interval.
+	var peering *topology.Peering
+	if len(peerURLs) > 0 {
+		var err error
+		peering, err = topology.NewPeering(topology.PeeringOptions{
+			Origin:       *name,
+			Peers:        peerURLs,
+			Interval:     *peerSync,
+			Token:        *peerToken,
+			Export:       srv.ExportState,
+			LocalVersion: srv.LocalVersion,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("p2bnode: %v", err)
+		}
+		peering.Start()
+		log.Printf("p2bnode: pushing state to %d peer(s) every %v as origin %q", len(peerURLs), *peerSync, *name)
+	}
+
+	var handler http.Handler
+	if role == topology.RoleRelay {
+		ropts := httpapi.RelayOptions{
+			Admission: adm,
+			WALPolicy: policy,
+			Metrics:   reg,
+			Shapes:    httpapi.ModelShapes{K: *k, Arms: *arms, D: *d},
+		}
+		if mgr != nil {
+			ropts.Ingest = mgr
+			ropts.Checkpoint = mgr.Checkpoint
+			ropts.Health = func() any { return mgr.Info() }
+		}
+		handler = httpapi.NewRelayHandler(shuf, fwd, ropts)
+	} else {
+		opts := httpapi.NodeOptions{
+			WALPolicy: policy,
+			Metrics:   reg,
+			Admission: adm,
+			Role:      string(role),
+			Peer: &httpapi.PeerOptions{
+				Origin: *name,
+				Token:  *peerToken,
+			},
+		}
+		if mgr != nil {
+			opts.Ingest = mgr
+			opts.Checkpoint = mgr.Checkpoint
+			opts.Health = func() any { return mgr.Info() }
+			// Relay batches ride the same WAL as agent reports, so a crash
+			// between accept and apply replays them instead of losing them.
+			opts.Peer.Deliver = mgr.DeliverPeer
+		}
+		if peering != nil {
+			opts.Peer.Sync = peering.Status
+		}
+		handler = httpapi.NewNodeHandlerOpts(shuf, srv, opts)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           httpapi.NewNodeHandlerOpts(shuf, srv, opts),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// Announce on the bulletin board last, once the listener is about to
+	// accept: agents discovering this node should find it reachable.
+	var stopHeartbeat func()
+	if *registry != "" {
+		stopHeartbeat = topology.StartHeartbeat(*registry,
+			topology.Node{Name: *name, Role: role, URL: *advertise},
+			*registryTTL, log.Printf)
+		log.Printf("p2bnode: announcing %q (%s) at %s on board %s", *name, role, *advertise, *registry)
+	}
+
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("p2bnode listening on %s (k=%d arms=%d d=%d threshold=%d batch=%d)", *addr, *k, *arms, *d, *threshold, *batch)
+	log.Printf("p2bnode listening on %s as %s %q (k=%d arms=%d d=%d threshold=%d batch=%d)",
+		*addr, role, *name, *k, *arms, *d, *threshold, *batch)
 
 	select {
 	case err := <-errCh:
@@ -190,6 +335,9 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 	log.Printf("p2bnode: shutting down (drain %v)", *drain)
+	if stopHeartbeat != nil {
+		stopHeartbeat() // let the board entry expire; agents stop picking us
+	}
 
 	// Stop accepting and drain in-flight requests first, so no report can
 	// slip into the shuffler after the final flush below.
@@ -218,7 +366,20 @@ func main() {
 		shuf.Flush()
 	}
 
+	// Hand the siblings everything local before exiting, then stop the
+	// anti-entropy loop. The final flush above already landed in srv, so
+	// this last push carries the node's complete contribution.
+	if peering != nil {
+		peering.Sync()
+		peering.Close()
+	}
+
 	sst, shst := srv.Stats(), shuf.Stats()
 	log.Printf("p2bnode: final state: %d tuples ingested, %d raw, %d batches shuffled (%d forwarded, %d thresholded)",
 		sst.TuplesIngested, sst.RawIngested, shst.Batches, shst.Forwarded, shst.Dropped)
+	if fwd != nil {
+		fst := fwd.Stats()
+		log.Printf("p2bnode: forwarded downstream: %d batches (%d tuples), %d duplicates, %d retries, %d dropped",
+			fst.Batches, fst.Tuples, fst.Duplicates, fst.Retries, fst.Dropped)
+	}
 }

@@ -15,10 +15,13 @@
 //	    Print the checkpoint position and every record: sequence number,
 //	    type, and tuple count.
 //
-//	p2bwal -dir DATA replay -node URL
+//	p2bwal -dir DATA replay -node URL [-peer-token TOKEN]
 //	    Re-submit the logged input stream, in order, against a running
 //	    p2bnode: tuple records as binary batch POSTs to /shuffler/reports,
-//	    flush markers as POST /shuffler/flush. Run the source node with
+//	    flush markers as POST /shuffler/flush, and relay-delivered records
+//	    to /peer/ingest at their original (origin, epoch, seq) position —
+//	    the target's duplicate guard makes re-running a replay idempotent.
+//	    Run the source node with
 //	    -wal-retain so the full history is present (replay refuses a
 //	    pruned log); a fresh node fed this stream reproduces the original
 //	    node's model bit-for-bit, which is what the crash-recovery CI job
@@ -34,16 +37,19 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"p2b/internal/persist"
+	"p2b/internal/topology"
 	"p2b/internal/transport"
 )
 
 func main() {
 	var (
-		dir  = flag.String("dir", "", "p2bnode data directory (required)")
-		node = flag.String("node", "", "base URL of the target p2bnode (replay mode)")
+		dir       = flag.String("dir", "", "p2bnode data directory (required)")
+		node      = flag.String("node", "", "base URL of the target p2bnode (replay mode)")
+		peerToken = flag.String("peer-token", "", "bearer token for replaying relay-delivered records to the target's /peer/ingest")
 	)
 	flag.Parse()
 	mode := flag.Arg(0)
@@ -78,9 +84,13 @@ func main() {
 			fmt.Printf("checkpoint seq=%d pending=%d\n", ckpt.WALSeq, len(ckpt.Shuffler.Pending))
 		}
 		if _, err := persist.ReadLog(*dir, 0, func(rec persist.Record) error {
-			if rec.Flush {
+			switch {
+			case rec.Flush:
 				fmt.Printf("seq=%d flush\n", rec.Seq)
-			} else {
+			case rec.Deliver:
+				fmt.Printf("seq=%d deliver origin=%s epoch=%d peer_seq=%d n=%d\n",
+					rec.Seq, rec.Origin, rec.Epoch, rec.PeerSeq, len(rec.Tuples))
+			default:
 				fmt.Printf("seq=%d tuples n=%d\n", rec.Seq, len(rec.Tuples))
 			}
 			return nil
@@ -115,6 +125,13 @@ func main() {
 				e.Tuple = t
 				enc = e.AppendFrame(enc)
 			}
+			if rec.Deliver {
+				// Relay-forwarded batches bypassed the shuffler originally, so
+				// the replay must too: re-deliver at the original (origin,
+				// epoch, seq) position. The target's duplicate guard makes the
+				// replay idempotent.
+				return deliverPeer(client, *node, *peerToken, rec, enc)
+			}
 			return post(client, *node+"/shuffler/reports", transport.ContentTypeBinary, enc, http.StatusAccepted)
 		})
 		if err != nil {
@@ -124,6 +141,32 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want verify, dump or replay)", mode))
 	}
+}
+
+// deliverPeer re-delivers one relay-forwarded batch to the target's
+// /peer/ingest route at its original stream position.
+func deliverPeer(client *http.Client, node, token string, rec persist.Record, body []byte) error {
+	req, err := http.NewRequest(http.MethodPost, node+"/peer/ingest", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", transport.ContentTypeBinary)
+	req.Header.Set(topology.OriginHeader, rec.Origin)
+	req.Header.Set(topology.EpochHeader, strconv.FormatUint(rec.Epoch, 10))
+	req.Header.Set(topology.SeqHeader, strconv.FormatUint(rec.PeerSeq, 10))
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("post %s/peer/ingest: status %d: %s", node, resp.StatusCode, msg)
+	}
+	return nil
 }
 
 func post(client *http.Client, url, contentType string, body []byte, want int) error {

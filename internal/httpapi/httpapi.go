@@ -133,6 +133,13 @@ type NodeOptions struct {
 	// read the same atomics and closures the JSON stats routes serialize,
 	// so /metrics, /healthz and the stats routes can never disagree.
 	Metrics *metrics.Registry
+	// Role names the node's fleet role on /healthz and /server/stats.
+	// Empty means "combined", the single-process default.
+	Role string
+	// Peer, when non-nil, mounts the analyzer-side peer routes
+	// (/peer/ingest, /peer/merge, /peer/status) and adds the "peers"
+	// section to /healthz and /server/stats.
+	Peer *PeerOptions
 }
 
 // NewNodeHandler mounts a shuffler and a server on one mux under the
@@ -171,18 +178,41 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			return st
 		}
 	}
+	role := opts.Role
+	if role == "" {
+		role = "combined"
+	}
+	// peers snapshots the one replication view every surface (/healthz,
+	// /server/stats, /peer/status, and — through the same underlying
+	// atomics — /metrics) reports. Nil when the node has no peer surface;
+	// the sections are then omitted everywhere.
+	var peers func() *PeerHealth
+	if opts.Peer != nil {
+		peers = func() *PeerHealth {
+			ph := &PeerHealth{PeerStatus: srv.PeerStatus()}
+			if opts.Peer.Sync != nil {
+				ph.Sync = opts.Peer.Sync()
+			}
+			return ph
+		}
+	}
 	mux := http.NewServeMux()
 	sh := newServerHandler(srv)
 	sh.adm = opts.Admission
 	sh.overload = overload
+	sh.role = role
+	sh.peers = peers
 	var nm *nodeMetrics
 	if opts.Metrics != nil {
-		nm = newNodeMetrics(opts.Metrics, shuf, srv, sh, overload)
+		nm = newNodeMetrics(opts.Metrics, shuf, srv, sh, overload, opts.Peer)
 		sh.nm = nm
 		mux.Handle("GET /metrics", metrics.Handler(opts.Metrics))
 	}
 	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandlerOpts(shuf, ing, opts.Admission, overload, nm)))
 	mux.Handle("/server/", http.StripPrefix("/server", sh.routes()))
+	if opts.Peer != nil {
+		mux.Handle("/peer/", http.StripPrefix("/peer", newPeerHandler(srv, opts.Peer, opts.Admission, nm, peers)))
+	}
 	mux.HandleFunc("GET /healthz", nm.wrap("healthz", func(w http.ResponseWriter, r *http.Request) {
 		cfg := srv.Config()
 		// Atomic counters only — the preflight probe every device hits
@@ -190,6 +220,7 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 		snapHits, snapBuilds := srv.SnapshotCacheStats()
 		status := struct {
 			Status string      `json:"status"`
+			Role   string      `json:"role"`
 			Model  ModelShapes `json:"model"`
 			// Read-path health: snapshot-cache and encoded-payload
 			// counters, so a fleet operator can see from one probe whether
@@ -198,15 +229,20 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			Snapshots  SnapshotCacheStats `json:"snapshots"`
 			ModelReads ModelReadStats     `json:"model_reads"`
 			Overload   *OverloadStats     `json:"overload,omitempty"`
+			Peers      *PeerHealth        `json:"peers,omitempty"`
 			Persist    any                `json:"persist,omitempty"`
 		}{
 			Status: "ok",
+			Role:   role,
 			// Shapes ride along so a fleet's preflight can validate its
 			// -k/-arms/-d flags with this one cheap probe instead of
 			// downloading full model payloads.
 			Model:      ModelShapes{K: cfg.K, Arms: cfg.Arms, D: cfg.D, Version: srv.ModelVersion()},
 			Snapshots:  SnapshotCacheStats{Hits: snapHits, Builds: snapBuilds},
 			ModelReads: sh.ReadStats(),
+		}
+		if peers != nil {
+			status.Peers = peers()
 		}
 		if overload != nil {
 			ov := overload()
@@ -396,10 +432,13 @@ type serverHandler struct {
 	// Node-level overload wiring (nil on a standalone server handler):
 	// adm bounds POST /raw like the shuffler ingest routes, overload
 	// contributes the overload section to GET /stats, nm instruments the
-	// model and raw routes.
+	// model and raw routes. role and peers extend GET /stats with the
+	// node's fleet role and replication status.
 	adm      *Admission
 	overload func() OverloadStats
 	nm       *nodeMetrics
+	role     string
+	peers    func() *PeerHealth
 }
 
 func newServerHandler(s *server.Server) *serverHandler {
@@ -443,10 +482,13 @@ func (h *serverHandler) routes() http.Handler {
 		w.WriteHeader(http.StatusAccepted)
 	})))
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		p := serverStatsPayload{Stats: h.s.Stats(), ModelReads: h.ReadStats()}
+		p := serverStatsPayload{Stats: h.s.Stats(), Role: h.role, ModelReads: h.ReadStats()}
 		if h.overload != nil {
 			ov := h.overload()
 			p.Overload = &ov
+		}
+		if h.peers != nil {
+			p.Peers = h.peers()
 		}
 		writeJSON(w, p)
 	})
@@ -454,12 +496,15 @@ func (h *serverHandler) routes() http.Handler {
 }
 
 // serverStatsPayload is the GET /server/stats response: the ingestion
-// counters extended with the read-path health counters and, on a bounded
-// node, the overload counters.
+// counters extended with the node role, the read-path health counters
+// and, on a bounded node, the overload counters. Peers is the same
+// replication view /healthz and /peer/status serve.
 type serverStatsPayload struct {
 	server.Stats
+	Role       string         `json:"role,omitempty"`
 	ModelReads ModelReadStats `json:"model_reads"`
 	Overload   *OverloadStats `json:"overload,omitempty"`
+	Peers      *PeerHealth    `json:"peers,omitempty"`
 }
 
 // Model kinds accepted by GET /server/model?kind=...; the default is
@@ -1002,13 +1047,18 @@ type SnapshotCacheStats struct {
 	Builds int64 `json:"builds"`
 }
 
-// Health is the decoded /healthz response of a node.
+// Health is the decoded /healthz response of a node. Role names the
+// node's fleet role ("combined", "relay" or "analyzer"; empty from nodes
+// predating roles), and Peers carries the replication status of a node
+// with a peer surface.
 type Health struct {
 	Status     string             `json:"status"`
+	Role       string             `json:"role,omitempty"`
 	Model      ModelShapes        `json:"model"`
 	Snapshots  SnapshotCacheStats `json:"snapshots"`
 	ModelReads ModelReadStats     `json:"model_reads"`
 	Overload   *OverloadStats     `json:"overload,omitempty"`
+	Peers      *PeerHealth        `json:"peers,omitempty"`
 	Persist    json.RawMessage    `json:"persist,omitempty"`
 }
 

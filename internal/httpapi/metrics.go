@@ -20,6 +20,7 @@ import (
 	"p2b/internal/metrics"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
+	"p2b/internal/topology"
 )
 
 // Status classes for p2b_http_requests_total. The two shed statuses get
@@ -74,15 +75,16 @@ var instrumentedRoutes = []struct {
 	{"model", false},
 	{"raw", true},
 	{"healthz", false},
+	{"peer_ingest", true},
+	{"peer_merge", true},
 }
 
-// newNodeMetrics registers the node's metric families on reg and wires the
-// push-style instruments into the shuffler. overload is the same closure
-// /healthz and the stats routes read; nil means the node is unbounded and
-// non-degradable, and the overload families are omitted (exactly like the
-// JSON sections).
-func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.Server, sh *serverHandler, overload func() OverloadStats) *nodeMetrics {
-	nm := &nodeMetrics{routes: map[string]*routeInstruments{}}
+// newRouteInstruments registers the per-route HTTP families. Both the node
+// and the relay handler register the full route set — unused routes just
+// stay at zero, and a fixed set means dashboards never chase
+// role-dependent series names.
+func newRouteInstruments(reg *metrics.Registry) map[string]*routeInstruments {
+	routes := map[string]*routeInstruments{}
 	for _, r := range instrumentedRoutes {
 		ri := &routeInstruments{
 			duration: reg.Histogram("p2b_http_request_duration_seconds",
@@ -99,17 +101,20 @@ func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.
 				`route="`+r.name+`"`,
 				"Declared request body size by ingest route.", metrics.SizeBuckets())
 		}
-		nm.routes[r.name] = ri
+		routes[r.name] = ri
 	}
+	return routes
+}
 
-	// Shuffler pipeline: counters mirror the mutex-guarded Stats that
-	// GET /shuffler/stats serves; the batch-size distribution and cut
-	// reasons are push-style (they exist only at process time).
+// registerShufflerMetrics registers the shuffler pipeline families —
+// shared verbatim between the combined/analyzer node and the relay, whose
+// shuffler behaves identically.
+func registerShufflerMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler) {
 	reg.CounterFunc("p2b_shuffler_received_total", "",
 		"Envelopes submitted to the shuffler.",
 		func() float64 { return float64(shuf.Stats().Received) })
 	reg.CounterFunc("p2b_shuffler_forwarded_total", "",
-		"Tuples delivered to the server after shuffling and thresholding.",
+		"Tuples delivered to the sink after shuffling and thresholding.",
 		func() float64 { return float64(shuf.Stats().Forwarded) })
 	reg.CounterFunc("p2b_shuffler_dropped_total", "",
 		"Tuples removed by crowd-blending thresholding.",
@@ -128,6 +133,48 @@ func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.
 		FlushBatches: reg.Counter("p2b_shuffler_cuts_total", `reason="flush"`,
 			"Privacy batches cut by reason: the size trigger or an explicit flush."),
 	})
+}
+
+// registerOverloadMetrics registers the admission-gate and degrade
+// families against the same closure the JSON surfaces read.
+func registerOverloadMetrics(reg *metrics.Registry, overload func() OverloadStats) {
+	reg.GaugeFunc("p2b_ingest_inflight_requests", "",
+		"Admitted ingest requests currently executing.",
+		func() float64 { return float64(overload().InFlight) })
+	reg.GaugeFunc("p2b_ingest_inflight_bytes", "",
+		"Summed declared body bytes of in-flight ingest requests.",
+		func() float64 { return float64(overload().InFlightBytes) })
+	reg.CounterFunc("p2b_ingest_admitted_total", "",
+		"Lifetime admitted ingest requests.",
+		func() float64 { return float64(overload().Admitted) })
+	reg.CounterFunc("p2b_ingest_shed_total", "",
+		"Lifetime 429s issued at the admission gate.",
+		func() float64 { return float64(overload().Shed) })
+	reg.GaugeFunc("p2b_wal_degraded", "",
+		"1 while report admission is bypassing a failing write-ahead log.",
+		func() float64 {
+			if overload().Degraded {
+				return 1
+			}
+			return 0
+		})
+	reg.CounterFunc("p2b_wal_degraded_ops_total", "",
+		"Ingest operations accepted without durability under the degrade policy.",
+		func() float64 { return float64(overload().DegradedOps) })
+}
+
+// newNodeMetrics registers the node's metric families on reg and wires the
+// push-style instruments into the shuffler. overload is the same closure
+// /healthz and the stats routes read; nil means the node is unbounded and
+// non-degradable, and the overload families are omitted (exactly like the
+// JSON sections).
+func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.Server, sh *serverHandler, overload func() OverloadStats, peer *PeerOptions) *nodeMetrics {
+	nm := &nodeMetrics{routes: newRouteInstruments(reg)}
+
+	// Shuffler pipeline: counters mirror the mutex-guarded Stats that
+	// GET /shuffler/stats serves; the batch-size distribution and cut
+	// reasons are push-style (they exist only at process time).
+	registerShufflerMetrics(reg, shuf)
 
 	// Server ingestion and read path: all lock-free atomic mirrors, so a
 	// scrape never serializes against Deliver.
@@ -164,29 +211,95 @@ func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.
 		func() float64 { return float64(sh.notModified.Load()) })
 
 	if overload != nil {
-		reg.GaugeFunc("p2b_ingest_inflight_requests", "",
-			"Admitted ingest requests currently executing.",
-			func() float64 { return float64(overload().InFlight) })
-		reg.GaugeFunc("p2b_ingest_inflight_bytes", "",
-			"Summed declared body bytes of in-flight ingest requests.",
-			func() float64 { return float64(overload().InFlightBytes) })
-		reg.CounterFunc("p2b_ingest_admitted_total", "",
-			"Lifetime admitted ingest requests.",
-			func() float64 { return float64(overload().Admitted) })
-		reg.CounterFunc("p2b_ingest_shed_total", "",
-			"Lifetime 429s issued at the admission gate.",
-			func() float64 { return float64(overload().Shed) })
-		reg.GaugeFunc("p2b_wal_degraded", "",
-			"1 while report admission is bypassing a failing write-ahead log.",
-			func() float64 {
-				if overload().Degraded {
-					return 1
-				}
-				return 0
-			})
-		reg.CounterFunc("p2b_wal_degraded_ops_total", "",
-			"Ingest operations accepted without durability under the degrade policy.",
-			func() float64 { return float64(overload().DegradedOps) })
+		registerOverloadMetrics(reg, overload)
+	}
+
+	if peer != nil {
+		// Replication counters: the same atomics PeerStatus snapshots for
+		// the JSON surfaces. Aggregate totals only — per-origin positions
+		// stay in the JSON views so scrape cardinality is fixed no matter
+		// how many relays and peers the fleet runs.
+		reg.CounterFunc("p2b_peer_merges_applied_total", "",
+			"Peer state updates stored or replaced.",
+			func() float64 { a, _, _, _ := srv.PeerCounters(); return float64(a) })
+		reg.CounterFunc("p2b_peer_merges_rejected_total", "",
+			"Stale or duplicate peer state updates ignored.",
+			func() float64 { _, r, _, _ := srv.PeerCounters(); return float64(r) })
+		reg.CounterFunc("p2b_peer_relay_batches_total", "",
+			"Relay-forwarded batches folded into the local model.",
+			func() float64 { _, _, b, _ := srv.PeerCounters(); return float64(b) })
+		reg.CounterFunc("p2b_peer_relay_duplicates_total", "",
+			"Relay batches suppressed by the (epoch, seq) duplicate guard.",
+			func() float64 { _, _, _, d := srv.PeerCounters(); return float64(d) })
+		if peer.Sync != nil {
+			// Outbound anti-entropy health, from the same Status() the
+			// JSON surfaces serialize. Lag is the age of the OLDEST peer's
+			// last successful push — the alerting-relevant worst case.
+			reg.CounterFunc("p2b_peer_sync_pushes_total", "",
+				"Successful outbound peer state pushes, summed over peers.",
+				func() float64 {
+					var n int64
+					for _, st := range peer.Sync() {
+						n += st.Pushes
+					}
+					return float64(n)
+				})
+			reg.CounterFunc("p2b_peer_sync_errors_total", "",
+				"Failed outbound peer state pushes, summed over peers.",
+				func() float64 {
+					var n int64
+					for _, st := range peer.Sync() {
+						n += st.Errors
+					}
+					return float64(n)
+				})
+			reg.GaugeFunc("p2b_peer_sync_max_lag_seconds", "",
+				"Age of the oldest peer's last successful state push (-1 until every peer has been reached once).",
+				func() float64 { return peerSyncMaxLag(peer.Sync(), time.Now()) })
+		}
+	}
+	return nm
+}
+
+// peerSyncMaxLag computes the worst-case peer staleness: the age of the
+// least recently synced peer. A peer never reached at all makes the whole
+// gauge -1 — "lag unknown" must alert at least as loudly as "lag large".
+func peerSyncMaxLag(sts []topology.SyncStatus, now time.Time) float64 {
+	lag := 0.0
+	for _, st := range sts {
+		if st.LastSyncUnixNano == 0 {
+			return -1
+		}
+		if l := now.Sub(time.Unix(0, st.LastSyncUnixNano)).Seconds(); l > lag {
+			lag = l
+		}
+	}
+	return lag
+}
+
+// newRelayMetrics is the relay handler's registry wiring: the same route
+// and shuffler families a combined node registers (dashboards reuse), plus
+// the forwarder's downstream counters in place of server ingestion.
+func newRelayMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, fwd *topology.Forwarder, overload func() OverloadStats) *nodeMetrics {
+	nm := &nodeMetrics{routes: newRouteInstruments(reg)}
+	registerShufflerMetrics(reg, shuf)
+	reg.CounterFunc("p2b_forward_batches_total", "",
+		"Privacy batches forwarded downstream (including duplicate-acked).",
+		func() float64 { return float64(fwd.Stats().Batches) })
+	reg.CounterFunc("p2b_forward_tuples_total", "",
+		"Tuples inside forwarded batches.",
+		func() float64 { return float64(fwd.Stats().Tuples) })
+	reg.CounterFunc("p2b_forward_duplicates_total", "",
+		"Forwarded batches the analyzer acked as already applied.",
+		func() float64 { return float64(fwd.Stats().Duplicates) })
+	reg.CounterFunc("p2b_forward_retries_total", "",
+		"Forward send attempts beyond the first.",
+		func() float64 { return float64(fwd.Stats().Retries) })
+	reg.CounterFunc("p2b_forward_dropped_total", "",
+		"Batches abandoned after the retry budget; alert on any growth.",
+		func() float64 { return float64(fwd.Stats().Dropped) })
+	if overload != nil {
+		registerOverloadMetrics(reg, overload)
 	}
 	return nm
 }

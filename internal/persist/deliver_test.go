@@ -1,0 +1,154 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"p2b/internal/transport"
+)
+
+func deliverTuples(n int, seed int) []transport.Tuple {
+	out := make([]transport.Tuple, n)
+	for i := range out {
+		out[i] = transport.Tuple{Code: (i + seed) % tK, Action: i % tArms, Reward: float64(i % 2)}
+	}
+	return out
+}
+
+func TestWALDeliverRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := deliverTuples(7, 3)
+	if _, err := w.AppendDeliver("relay-1", 42, 9, want, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendTuples(deliverTuples(2, 5), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recs []Record
+	if _, err := ReadLog(dir, 0, func(rec Record) error {
+		cp := rec
+		cp.Tuples = append([]transport.Tuple(nil), rec.Tuples...)
+		recs = append(recs, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	d := recs[0]
+	if !d.Deliver || d.Origin != "relay-1" || d.Epoch != 42 || d.PeerSeq != 9 {
+		t.Fatalf("deliver record = %+v", d)
+	}
+	if len(d.Tuples) != len(want) {
+		t.Fatalf("deliver tuples %d, want %d", len(d.Tuples), len(want))
+	}
+	for i := range want {
+		if d.Tuples[i] != want[i] {
+			t.Fatalf("tuple %d = %+v, want %+v", i, d.Tuples[i], want[i])
+		}
+	}
+	if recs[1].Deliver || recs[1].Origin != "" {
+		t.Fatalf("plain record inherited deliver fields: %+v", recs[1])
+	}
+}
+
+func TestWALDeliverRejectsBadOrigins(t *testing.T) {
+	w, _, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.AppendDeliver("", 1, 1, deliverTuples(1, 0), false); err == nil {
+		t.Fatal("empty origin accepted")
+	}
+	if _, err := w.AppendDeliver(strings.Repeat("x", 256), 1, 1, deliverTuples(1, 0), false); err == nil {
+		t.Fatal("over-long origin accepted")
+	}
+}
+
+func TestManagerDeliverPeerDurableAndDeduplicated(t *testing.T) {
+	dir := t.TempDir()
+	shuf, srv := newNode()
+	m, err := Open(dir, shuf, srv, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := deliverTuples(9, 1)
+	if applied, err := m.DeliverPeer("relay-1", 5, 1, batch); err != nil || !applied {
+		t.Fatalf("first DeliverPeer: applied=%v err=%v", applied, err)
+	}
+	// The duplicate is refused before it reaches the WAL: replays must not
+	// see it either.
+	if applied, err := m.DeliverPeer("relay-1", 5, 1, batch); err != nil || applied {
+		t.Fatalf("duplicate DeliverPeer: applied=%v err=%v", applied, err)
+	}
+	if applied, err := m.DeliverPeer("relay-1", 5, 2, batch); err != nil || !applied {
+		t.Fatalf("next DeliverPeer: applied=%v err=%v", applied, err)
+	}
+	tab, lin := snapshotJSON(t, srv)
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart without a checkpoint: the deliver records replay at
+	// their original positions and reproduce the same model.
+	shuf2, srv2 := newNode()
+	m2, err := Open(dir, shuf2, srv2, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if rec := m2.Recovery(); rec.ReplayedPeer != 2 {
+		t.Fatalf("recovery replayed %d peer records, want 2 (%+v)", rec.ReplayedPeer, rec)
+	}
+	tab2, lin2 := snapshotJSON(t, srv2)
+	if tab != tab2 || lin != lin2 {
+		t.Fatal("replayed model diverged from pre-crash model")
+	}
+	// The replay restored the duplicate guard too.
+	if applied, err := m2.DeliverPeer("relay-1", 5, 2, batch); err != nil || applied {
+		t.Fatalf("post-replay duplicate applied=%v err=%v", applied, err)
+	}
+}
+
+func TestManagerDeliverPeerGuardSurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	shuf, srv := newNode()
+	m, err := Open(dir, shuf, srv, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DeliverPeer("relay-1", 5, 3, deliverTuples(4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint prunes the deliver record; only the exported guard can
+	// protect against a relay re-forwarding seq 3 after this point.
+	if err := m.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shuf2, srv2 := newNode()
+	m2, err := Open(dir, shuf2, srv2, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if applied, err := m2.DeliverPeer("relay-1", 5, 3, deliverTuples(4, 2)); err != nil || applied {
+		t.Fatalf("checkpoint lost the relay guard: applied=%v err=%v", applied, err)
+	}
+	if applied, err := m2.DeliverPeer("relay-1", 5, 4, deliverTuples(4, 2)); err != nil || !applied {
+		t.Fatalf("fresh seq refused after restore: applied=%v err=%v", applied, err)
+	}
+}

@@ -41,6 +41,7 @@ type RecoveryInfo struct {
 	ReplayedRecords int    `json:"replayed_records"` // WAL records applied past the checkpoint
 	ReplayedTuples  int    `json:"replayed_tuples"`
 	ReplayedFlushes int    `json:"replayed_flushes"`
+	ReplayedPeer    int    `json:"replayed_peer"`   // relay-forwarded peer batches re-delivered
 	TruncatedBytes  int64  `json:"truncated_bytes"` // torn tail removed from the final segment
 	LastSeq         uint64 `json:"last_seq"`
 }
@@ -147,13 +148,22 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 
 	err = wal.Replay(m.ckptSeq, func(rec Record) error {
 		m.recovery.ReplayedRecords++
-		if rec.Flush {
+		switch {
+		case rec.Flush:
 			m.recovery.ReplayedFlushes++
 			shuf.Flush()
-			return nil
+		case rec.Deliver:
+			// Straight to the server, bypassing the shuffler, exactly like
+			// the live /peer/ingest path. The server's (origin, epoch, seq)
+			// guard — restored from the checkpoint — drops records the
+			// checkpoint already covers.
+			m.recovery.ReplayedPeer++
+			m.recovery.ReplayedTuples += len(rec.Tuples)
+			srv.DeliverPeerBatch(rec.Origin, rec.Epoch, rec.PeerSeq, rec.Tuples)
+		default:
+			m.recovery.ReplayedTuples += len(rec.Tuples)
+			shuf.SubmitTuples(rec.Tuples)
 		}
-		m.recovery.ReplayedTuples += len(rec.Tuples)
-		shuf.SubmitTuples(rec.Tuples)
 		return nil
 	})
 	if err != nil {
@@ -220,6 +230,26 @@ func (m *Manager) SubmitTuples(tuples []transport.Tuple) error {
 	m.observeAppend(start)
 	m.shuf.SubmitTuples(tuples)
 	return nil
+}
+
+// DeliverPeer durably applies one relay-forwarded peer batch: the batch is
+// checked against the server's duplicate guard, logged under its (origin,
+// epoch, seq) position, then delivered straight to the analyzer server —
+// it does not pass the local shuffler, because the forwarding relay
+// already shuffled and thresholded it. Duplicates return (false, nil)
+// without touching the log, so retried batches never bloat the WAL.
+func (m *Manager) DeliverPeer(origin string, epoch, seq uint64, tuples []transport.Tuple) (bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.srv.PeerBatchSeen(origin, epoch, seq) {
+		return false, nil
+	}
+	start := m.appendStart()
+	if _, err := m.wal.AppendDeliver(origin, epoch, seq, tuples, m.syncNow()); err != nil {
+		return false, err
+	}
+	m.observeAppend(start)
+	return m.srv.DeliverPeerBatch(origin, epoch, seq, tuples), nil
 }
 
 // Flush logs a flush marker and pushes the shuffler's pending batch

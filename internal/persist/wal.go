@@ -27,6 +27,10 @@
 //	    batch route speaks (internal/transport/wire.go), with zero metadata.
 //	recordFlush (2): empty payload; the shuffler's pending buffer was
 //	    force-flushed at this point in the stream.
+//	recordDeliver (3): a relay-forwarded peer batch delivered directly to
+//	    the analyzer server, bypassing the local shuffler (the relay already
+//	    shuffled it). payload is u8(len(origin)) origin u64le(epoch)
+//	    u64le(peer seq) followed by a transport batch stream.
 //
 // Sequence numbers are assigned per record, start at 1, and increase
 // strictly. A checkpoint names the last sequence number it covers; recovery
@@ -84,8 +88,9 @@ var maxSegmentBytes int64 = 64 << 20
 
 // Record types.
 const (
-	recordTuples byte = 1
-	recordFlush  byte = 2
+	recordTuples  byte = 1
+	recordFlush   byte = 2
+	recordDeliver byte = 3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -99,6 +104,14 @@ type Record struct {
 	Seq    uint64
 	Flush  bool              // true for a flush marker; Tuples is empty
 	Tuples []transport.Tuple // valid only during the replay callback
+
+	// Deliver marks a relay-forwarded peer batch (recordDeliver): Tuples
+	// bypassed the local shuffler and went straight to the analyzer server,
+	// deduplicated under the (Origin, Epoch, PeerSeq) position.
+	Deliver bool
+	Origin  string
+	Epoch   uint64
+	PeerSeq uint64
 }
 
 // WAL is an append-only, CRC-protected, segmented log of ingestion
@@ -387,6 +400,18 @@ func scanSegment(seg segmentInfo, prevSeq uint64, last bool, apply func(Record) 
 					return res, err
 				}
 			}
+		case recordDeliver:
+			if apply != nil {
+				rec := Record{Seq: seq, Deliver: true}
+				rec.Origin, rec.Epoch, rec.PeerSeq, tuples, err = decodeDeliverPayload(payload, tuples[:0])
+				if err != nil {
+					return res, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, off, err)
+				}
+				rec.Tuples = tuples
+				if err := apply(rec); err != nil {
+					return res, err
+				}
+			}
 		default:
 			return res, fmt.Errorf("%w: %s at offset %d: unknown record type %d", ErrCorrupt, seg.path, off, typ)
 		}
@@ -417,6 +442,23 @@ func tornHeader(data []byte) bool {
 		}
 	}
 	return prefix || zero
+}
+
+// decodeDeliverPayload splits a recordDeliver payload into its peer
+// position and tuple stream.
+func decodeDeliverPayload(payload []byte, dst []transport.Tuple) (origin string, epoch, peerSeq uint64, tuples []transport.Tuple, err error) {
+	if len(payload) < 1 {
+		return "", 0, 0, dst, errors.New("deliver record payload empty")
+	}
+	olen := int(payload[0])
+	if len(payload) < 1+olen+16 {
+		return "", 0, 0, dst, errors.New("deliver record header cut short")
+	}
+	origin = string(payload[1 : 1+olen])
+	epoch = binary.LittleEndian.Uint64(payload[1+olen:])
+	peerSeq = binary.LittleEndian.Uint64(payload[1+olen+8:])
+	tuples, err = decodeTuplesPayload(payload[1+olen+16:], dst)
+	return origin, epoch, peerSeq, tuples, err
 }
 
 // decodeTuplesPayload decodes a record's transport batch stream into dst.
@@ -506,6 +548,40 @@ func (w *WAL) AppendTuples(tuples []transport.Tuple, sync bool) (uint64, error) 
 			tuples = tuples[n:]
 		}
 		return nil
+	})
+	return w.seq, err
+}
+
+// AppendDeliver logs one relay-forwarded peer batch under its (origin,
+// epoch, peerSeq) position, with the same sync and rollback semantics as
+// AppendTuples. Unlike tuple chunks a deliver batch is never split across
+// records — the position is the analyzer's deduplication unit, and two
+// records sharing it would make replay drop the second half — so a batch
+// whose encoding exceeds the record payload bound is refused.
+func (w *WAL) AppendDeliver(origin string, epoch, peerSeq uint64, tuples []transport.Tuple, sync bool) (uint64, error) {
+	if len(origin) == 0 || len(origin) > 255 {
+		return w.LastSeq(), fmt.Errorf("persist: deliver origin length %d out of range [1, 255]", len(origin))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.maybeRotateLocked(); err != nil {
+		return w.seq, err
+	}
+	err := w.transactLocked(sync, func() error {
+		w.enc = append(w.enc[:0], byte(len(origin)))
+		w.enc = append(w.enc, origin...)
+		w.enc = binary.LittleEndian.AppendUint64(w.enc, epoch)
+		w.enc = binary.LittleEndian.AppendUint64(w.enc, peerSeq)
+		w.enc = transport.AppendMagic(w.enc)
+		e := transport.Envelope{}
+		for _, t := range tuples {
+			e.Tuple = t
+			w.enc = e.AppendFrame(w.enc)
+		}
+		if len(w.enc) > maxRecordPayload {
+			return fmt.Errorf("persist: deliver batch of %d tuples encodes to %d bytes, exceeding the %d record bound", len(tuples), len(w.enc), maxRecordPayload)
+		}
+		return w.appendRecordLocked(recordDeliver, w.enc)
 	})
 	return w.seq, err
 }

@@ -43,6 +43,17 @@ type PersistedState struct {
 	Tuples    int64 `json:"tuples"`
 	Raw       int64 `json:"raw"`
 	Snapshots int64 `json:"snapshots"`
+
+	// Relays carries the per-relay-origin duplicate-guard positions across
+	// checkpoints, so a restarted analyzer still rejects relay batches it
+	// already folded in. Peer MERGE contributions are deliberately NOT part
+	// of the export: they are soft state the anti-entropy loop repopulates
+	// within one sync interval, and persisting them would let a stale copy
+	// of a peer's data outlive the peer's own newer exports. The peering
+	// push path strips this field before sending — a receiver stores the
+	// update as the sender's contribution and must not inherit the sender's
+	// dedup bookkeeping.
+	Relays map[string]PeerSeq `json:"relays,omitempty"`
 }
 
 func exportLinAccum(dst *LinAccumState, acc *linAccum, arms, d int) {
@@ -97,6 +108,14 @@ func (s *Server) ExportState() *PersistedState {
 		ps.Raw += sh.raw
 		sh.mu.Unlock()
 	}
+	s.peers.mu.Lock()
+	if len(s.peers.relays) > 0 {
+		ps.Relays = make(map[string]PeerSeq, len(s.peers.relays))
+		for origin, pos := range s.peers.relays {
+			ps.Relays[origin] = pos
+		}
+	}
+	s.peers.mu.Unlock()
 	return ps
 }
 
@@ -169,6 +188,11 @@ func (s *Server) ImportState(ps *PersistedState) error {
 	sh.raw = ps.Raw
 	sh.version.Add(1) // invalidate any cached empty snapshot
 	sh.mu.Unlock()
+	s.peers.mu.Lock()
+	for origin, pos := range ps.Relays {
+		s.peers.relays[origin] = pos
+	}
+	s.peers.mu.Unlock()
 	s.snapshots.Store(ps.Snapshots)
 	return nil
 }

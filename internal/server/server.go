@@ -159,6 +159,10 @@ type Server struct {
 	linCache  snapshotCache[*bandit.LinUCBState]
 	centCache snapshotCache[*bandit.LinUCBState]
 
+	// peers holds the multi-analyzer state: relay duplicate guards and
+	// stored sibling-analyzer contributions (see peer.go).
+	peers peerState
+
 	decodeTo func(dst []float64, code int) []float64 // nil without Decoder
 }
 
@@ -212,6 +216,8 @@ func New(cfg Config) *Server {
 		}
 	}
 	s := &Server{cfg: cfg, epoch: uint64(time.Now().UnixNano()), shards: make([]shard, cfg.Shards)}
+	s.peers.contribs = make(map[string]*peerContribution)
+	s.peers.relays = make(map[string]PeerSeq)
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.cells = make([]tabCell, cfg.K*cfg.Arms)
@@ -261,14 +267,15 @@ func (s *Server) acquireShard() *shard {
 	return sh
 }
 
-// version returns a counter that changes on every mutation, keying the
-// snapshot caches.
+// version returns a counter that changes on every mutation — local shard
+// ingestion or an applied peer merge — keying the snapshot caches and the
+// model ETag.
 func (s *Server) version() uint64 {
 	var v uint64
 	for i := range s.shards {
 		v += s.shards[i].version.Load()
 	}
-	return v
+	return v + s.peers.version.Load()
 }
 
 // ModelVersion returns the monotonic version of the global models: it
@@ -396,6 +403,14 @@ func (s *Server) buildTabular() *bandit.TabularState {
 		}
 		sh.mu.Unlock()
 	}
+	// Peer contributions fold after the local shards, in sorted origin
+	// order, so a given contribution set always merges the same way.
+	for _, pc := range s.peerContributions() {
+		for j := range st.Count {
+			st.Count[j] += pc.state.CellCount[j]
+			st.Sum[j] += pc.state.CellSum[j]
+		}
+	}
 	return st
 }
 
@@ -413,7 +428,10 @@ func (s *Server) LinUCBModel() (*bandit.LinUCBState, uint64) {
 	s.snapshots.Add(1)
 	v := s.version()
 	return s.linCache.get(v, func() *bandit.LinUCBState {
-		return s.buildLin(func(sh *shard) *linAccum { return sh.lin })
+		return s.buildLin(
+			func(sh *shard) *linAccum { return sh.lin },
+			func(ps *PersistedState) *LinAccumState { return &ps.Lin },
+		)
 	}), v
 }
 
@@ -438,15 +456,21 @@ func (s *Server) CentroidModel() (*bandit.LinUCBState, uint64) {
 	s.snapshots.Add(1)
 	v := s.version()
 	return s.centCache.get(v, func() *bandit.LinUCBState {
-		return s.buildLin(func(sh *shard) *linAccum { return sh.cent })
+		return s.buildLin(
+			func(sh *shard) *linAccum { return sh.cent },
+			func(ps *PersistedState) *LinAccumState { return ps.Cent },
+		)
 	}), v
 }
 
-// buildLin merges the selected accumulator across shards and converts the
-// sufficient statistics into snapshot form: A_a = I + sum x x^T, inverted
-// once per arm (direct inversion here is both cheaper and more accurate
-// than replaying thousands of rank-1 updates).
-func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
+// buildLin merges the selected accumulator across shards — then folds the
+// matching accumulator of every stored peer contribution, in sorted origin
+// order — and converts the sufficient statistics into snapshot form:
+// A_a = I + sum x x^T, inverted once per arm (direct inversion here is
+// both cheaper and more accurate than replaying thousands of rank-1
+// updates). pickPeer may return nil for a contribution that lacks the
+// accumulator (a peer without a decoder), which skips it.
+func (s *Server) buildLin(pick func(*shard) *linAccum, pickPeer func(*PersistedState) *LinAccumState) *bandit.LinUCBState {
 	arms, d := s.cfg.Arms, s.cfg.D
 	aSum := make([]*mat.Dense, arms)
 	st := &bandit.LinUCBState{
@@ -471,6 +495,21 @@ func (s *Server) buildLin(pick func(*shard) *linAccum) *bandit.LinUCBState {
 			st.N[a] += acc.n[a]
 		}
 		sh.mu.Unlock()
+	}
+	for _, pc := range s.peerContributions() {
+		acc := pickPeer(pc.state)
+		if acc == nil {
+			continue
+		}
+		for a := 0; a < arms; a++ {
+			for i, v := range acc.A[a] {
+				aSum[a].Data[i] += v
+			}
+			for i, v := range acc.B[a] {
+				st.B[a][i] += v
+			}
+			st.N[a] += acc.N[a]
+		}
 	}
 	invertArms(st, aSum, d, 0)
 	return st

@@ -1,0 +1,227 @@
+// The relay's downstream half: a shuffler.Sink that forwards finished
+// privacy batches to an analyzer over the existing P2B1 wire.
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"p2b/internal/transport"
+)
+
+// Peer protocol headers. Every relay batch names its origin stream
+// (relay name), the origin's boot epoch and a per-epoch sequence number,
+// so the receiving analyzer can drop duplicates from retries or a relay's
+// WAL-tail re-forward without ever double-counting a tuple.
+const (
+	OriginHeader = "X-P2b-Peer-Origin"
+	EpochHeader  = "X-P2b-Peer-Epoch"
+	SeqHeader    = "X-P2b-Peer-Seq"
+)
+
+// ForwardStats counts a Forwarder's downstream traffic.
+type ForwardStats struct {
+	Batches    int64  `json:"batches"`    // batches delivered (including duplicate-acked)
+	Tuples     int64  `json:"tuples"`     // tuples inside delivered batches
+	Duplicates int64  `json:"duplicates"` // batches the analyzer acked as already applied
+	Retries    int64  `json:"retries"`    // send attempts beyond the first
+	Dropped    int64  `json:"dropped"`    // batches abandoned after the retry budget
+	LastError  string `json:"last_error,omitempty"`
+}
+
+// ForwarderOptions configures a Forwarder.
+type ForwarderOptions struct {
+	// Origin names this relay's batch stream; the analyzer keys its
+	// duplicate detection on it. Required.
+	Origin string
+	// Epoch qualifies sequence numbers across relay restarts. Zero selects
+	// a fresh boot nonce.
+	Epoch uint64
+	// Token, when non-empty, is sent as a bearer token; the analyzer
+	// refuses unauthenticated peer traffic when it was started with one.
+	Token string
+	// MaxRetries bounds send attempts per batch beyond the first
+	// (default 10). The shuffler's delivering goroutine blocks during
+	// retries — backpressure into admission is the desired behavior when
+	// the downstream is struggling.
+	MaxRetries int
+	// RetryBase is the first backoff delay, doubling per attempt
+	// (default 100ms).
+	RetryBase time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Logf receives forward failures. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Forwarder implements shuffler.Sink for a relay: every finished privacy
+// batch is encoded with the P2B1 codec and POSTed to the downstream
+// analyzer's /peer/ingest route, tagged (origin, epoch, seq).
+//
+// Deliveries are serialized under an internal mutex even though the
+// shuffler may call Deliver from concurrent request goroutines: sequence
+// numbers must be assigned in send order for the analyzer's duplicate
+// guard to be meaningful. Sends are synchronous — when the relay acks a
+// flush, the batches it cut have already been acked downstream.
+type Forwarder struct {
+	downstream string
+	opts       ForwarderOptions
+	client     *http.Client
+
+	mu    sync.Mutex
+	seq   uint64
+	enc   []byte
+	stats ForwardStats
+}
+
+// NewForwarder returns a forwarder delivering to the analyzer at
+// downstream (base URL, no path).
+func NewForwarder(downstream string, opts ForwarderOptions) (*Forwarder, error) {
+	if downstream == "" {
+		return nil, fmt.Errorf("topology: forwarder needs a downstream analyzer URL")
+	}
+	if opts.Origin == "" {
+		return nil, fmt.Errorf("topology: forwarder needs an origin name")
+	}
+	if opts.Epoch == 0 {
+		opts.Epoch = uint64(time.Now().UnixNano())
+	}
+	if opts.MaxRetries <= 0 {
+		opts.MaxRetries = 10
+	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 100 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Forwarder{downstream: downstream, opts: opts, client: client}, nil
+}
+
+// Epoch returns the forwarder's boot nonce.
+func (f *Forwarder) Epoch() uint64 { return f.opts.Epoch }
+
+// Downstream returns the analyzer base URL this forwarder delivers to.
+func (f *Forwarder) Downstream() string { return f.downstream }
+
+// Stats returns a snapshot of the forward counters.
+func (f *Forwarder) Stats() ForwardStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Deliver implements shuffler.Sink: the batch is sent downstream before
+// the call returns. The slice is not retained. A batch that exhausts its
+// retry budget is dropped and counted — the alternative, buffering
+// unbounded batches inside the relay, would turn a downstream outage into
+// a relay OOM; operators alert on the dropped counter instead.
+func (f *Forwarder) Deliver(batch []transport.Tuple) {
+	if len(batch) == 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	f.enc = transport.AppendMagic(f.enc[:0])
+	e := transport.Envelope{}
+	for _, t := range batch {
+		e.Tuple = t
+		f.enc = e.AppendFrame(f.enc)
+	}
+	applied, err := f.sendLocked(f.seq, f.enc, len(batch))
+	if err != nil {
+		f.stats.Dropped++
+		f.stats.LastError = err.Error()
+		if f.opts.Logf != nil {
+			f.opts.Logf("topology: dropping batch seq %d after retries: %v", f.seq, err)
+		}
+		return
+	}
+	f.stats.Batches++
+	f.stats.Tuples += int64(len(batch))
+	if !applied {
+		f.stats.Duplicates++
+	}
+}
+
+// sendLocked posts one encoded batch, retrying transient failures with
+// doubling backoff. It returns whether the analyzer applied the batch
+// (false = duplicate, which is success: the data is already in).
+func (f *Forwarder) sendLocked(seq uint64, body []byte, n int) (bool, error) {
+	url := f.downstream + "/peer/ingest"
+	delay := f.opts.RetryBase
+	var lastErr error
+	for attempt := 0; attempt <= f.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			f.stats.Retries++
+			time.Sleep(delay)
+			if delay < 10*time.Second {
+				delay *= 2
+			}
+		}
+		req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		if err != nil {
+			return false, fmt.Errorf("topology: building peer request: %w", err)
+		}
+		req.Header.Set("Content-Type", transport.ContentTypeBinary)
+		req.Header.Set(OriginHeader, f.opts.Origin)
+		req.Header.Set(EpochHeader, strconv.FormatUint(f.opts.Epoch, 10))
+		req.Header.Set(SeqHeader, strconv.FormatUint(seq, 10))
+		if f.opts.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+f.opts.Token)
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		applied, err := decodePeerAck(resp)
+		if err != nil {
+			lastErr = err
+			if !retryablePeerStatus(resp.StatusCode) {
+				return false, err
+			}
+			continue
+		}
+		return applied, nil
+	}
+	return false, fmt.Errorf("topology: forwarding batch of %d to %s: %w", n, url, lastErr)
+}
+
+// PeerAck is the JSON response of /peer/ingest and /peer/merge: whether
+// the payload changed analyzer state (false = duplicate or stale, which
+// the sender treats as success).
+type PeerAck struct {
+	Applied bool `json:"applied"`
+}
+
+func decodePeerAck(resp *http.Response) (bool, error) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return false, fmt.Errorf("topology: peer answered %d: %s", resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var ack PeerAck
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&ack); err != nil {
+		return false, fmt.Errorf("topology: decoding peer ack: %w", err)
+	}
+	return ack.Applied, nil
+}
+
+// retryablePeerStatus reports whether a peer response status is transient:
+// overload sheds and 5xx are retried, everything else (auth failures,
+// malformed-request 4xx) is sticky — retrying a 401 forever would only
+// hide the misconfiguration.
+func retryablePeerStatus(status int) bool {
+	return status == http.StatusTooManyRequests ||
+		status == http.StatusRequestTimeout ||
+		status >= 500
+}

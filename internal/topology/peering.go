@@ -1,0 +1,250 @@
+// Analyzer peering: periodic anti-entropy pushes of each analyzer's LOCAL
+// model contribution to its sibling analyzers.
+//
+// The exchange is state replacement, not delta shipping: every push
+// carries the full merged export of the sender's own shards (what the
+// sender ingested itself — relay batches and direct reports — never what
+// it learned from peers), tagged (origin, epoch, seq). The receiver
+// stores at most one contribution per origin and replaces it when a
+// newer (epoch, seq) arrives. Replacement is what makes the protocol
+// idempotent and order-independent: applying the same update twice, or
+// applying updates out of order, converges to the same stored state with
+// no double counting and no floating-point subtraction anywhere.
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"p2b/internal/server"
+)
+
+// PeerUpdate is the JSON body of POST /peer/merge: one analyzer's local
+// contribution to the fleet model.
+type PeerUpdate struct {
+	// Origin names the sending analyzer's contribution stream.
+	Origin string `json:"origin"`
+	// Epoch is the sender's boot nonce; sequence numbers reset with it.
+	Epoch uint64 `json:"epoch"`
+	// Seq increases with every push within one epoch. A receiver holding
+	// (epoch, seq') with seq' >= seq ignores the update as stale.
+	Seq uint64 `json:"seq"`
+	// State is the sender's merged local accumulator export — the same
+	// additive sufficient statistics a checkpoint stores.
+	State *server.PersistedState `json:"state"`
+}
+
+// SyncStatus is one peer's outbound anti-entropy health, reported on
+// /healthz and the stats routes of the pushing node.
+type SyncStatus struct {
+	Target    string `json:"target"`               // peer base URL
+	Pushes    int64  `json:"pushes"`               // successful pushes
+	Skipped   int64  `json:"skipped"`              // cycles skipped because local state was unchanged
+	Errors    int64  `json:"errors"`               // failed pushes
+	LastError string `json:"last_error,omitempty"` // most recent failure, cleared on success
+	// LastSyncUnixNano is when the last successful push completed
+	// (0 = never). Readers derive peer-merge lag from it.
+	LastSyncUnixNano int64 `json:"last_sync_unix_nano"`
+}
+
+// PeeringOptions configures an analyzer's outbound anti-entropy loop.
+type PeeringOptions struct {
+	// Origin names this analyzer's contribution stream. Required.
+	Origin string
+	// Epoch qualifies push sequence numbers across restarts. Zero selects
+	// a fresh boot nonce.
+	Epoch uint64
+	// Peers are the sibling analyzers' base URLs. Required (non-empty).
+	Peers []string
+	// Interval is the push period (default 2s). Convergence lag between
+	// analyzers is bounded by roughly one interval plus transfer time.
+	Interval time.Duration
+	// Token, when non-empty, authenticates pushes as a bearer token.
+	Token string
+	// Export returns the analyzer's current LOCAL state (its own shards
+	// only, never peer contributions — exporting those would echo every
+	// peer's data back at it through third parties, and while replacement
+	// semantics keep that correct, it wastes bandwidth and muddies origin
+	// accounting). Required.
+	Export func() *server.PersistedState
+	// LocalVersion returns a counter that changes whenever local state
+	// changes; unchanged versions skip the push. Nil pushes every cycle.
+	LocalVersion func() uint64
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Logf receives push failures. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Peering runs the outbound anti-entropy loop of one analyzer.
+type Peering struct {
+	opts   PeeringOptions
+	client *http.Client
+
+	mu     sync.Mutex
+	seq    uint64
+	states map[string]*SyncStatus // keyed by peer URL
+	lastV  map[string]uint64      // local version last pushed per peer
+	pushed map[string]bool        // whether lastV entry is valid
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewPeering validates opts and returns a peering loop; call Start to run
+// it. Sync (one push cycle) can also be driven manually, which is what
+// deterministic tests do.
+func NewPeering(opts PeeringOptions) (*Peering, error) {
+	if opts.Origin == "" {
+		return nil, fmt.Errorf("topology: peering needs an origin name")
+	}
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("topology: peering needs at least one peer URL")
+	}
+	if opts.Export == nil {
+		return nil, fmt.Errorf("topology: peering needs an Export func")
+	}
+	if opts.Epoch == 0 {
+		opts.Epoch = uint64(time.Now().UnixNano())
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 2 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	p := &Peering{
+		opts:   opts,
+		client: client,
+		states: make(map[string]*SyncStatus, len(opts.Peers)),
+		lastV:  make(map[string]uint64, len(opts.Peers)),
+		pushed: make(map[string]bool, len(opts.Peers)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, peer := range opts.Peers {
+		p.states[peer] = &SyncStatus{Target: peer}
+	}
+	return p, nil
+}
+
+// Start launches the periodic push loop. Stop it with Close.
+func (p *Peering) Start() {
+	go func() {
+		defer close(p.done)
+		t := time.NewTicker(p.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.Sync()
+			}
+		}
+	}()
+}
+
+// Close stops the push loop after finishing any in-flight cycle. A final
+// Sync before Close hands the peers everything local.
+func (p *Peering) Close() {
+	select {
+	case <-p.stop:
+		return
+	default:
+	}
+	close(p.stop)
+	<-p.done
+}
+
+// Sync runs one push cycle: export local state once, send it to every
+// peer whose copy is stale. Safe to call concurrently with the background
+// loop (cycles serialize on the internal mutex).
+func (p *Peering) Sync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var version uint64
+	if p.opts.LocalVersion != nil {
+		version = p.opts.LocalVersion()
+	}
+	var state *server.PersistedState
+	var seq uint64
+	for _, peer := range p.opts.Peers {
+		st := p.states[peer]
+		if p.opts.LocalVersion != nil && p.pushed[peer] && p.lastV[peer] == version {
+			st.Skipped++
+			continue
+		}
+		if state == nil {
+			// One export serves every peer this cycle; the receiving side
+			// keys staleness on (epoch, seq), so all peers sharing one seq
+			// is exactly right.
+			state = p.opts.Export()
+			// Local bookkeeping like relay duplicate-guard positions stays
+			// local: a peer stores this update as OUR contribution and must
+			// not inherit our dedup state.
+			state.Relays = nil
+			p.seq++
+			seq = p.seq
+		}
+		if err := p.push(peer, seq, state); err != nil {
+			st.Errors++
+			st.LastError = err.Error()
+			if p.opts.Logf != nil {
+				p.opts.Logf("topology: peer push to %s: %v", peer, err)
+			}
+			continue
+		}
+		st.Pushes++
+		st.LastError = ""
+		st.LastSyncUnixNano = time.Now().UnixNano()
+		p.lastV[peer] = version
+		p.pushed[peer] = true
+	}
+}
+
+func (p *Peering) push(peer string, seq uint64, state *server.PersistedState) error {
+	blob, err := json.Marshal(PeerUpdate{
+		Origin: p.opts.Origin,
+		Epoch:  p.opts.Epoch,
+		Seq:    seq,
+		State:  state,
+	})
+	if err != nil {
+		return fmt.Errorf("topology: encoding peer update: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, peer+"/peer/merge", bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("topology: building merge request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if p.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.opts.Token)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	// A stale ack (applied=false) is success: the peer already holds a
+	// contribution at least this new, which is all anti-entropy wants.
+	_, err = decodePeerAck(resp)
+	return err
+}
+
+// Status returns the per-peer outbound sync status, sorted by target URL.
+func (p *Peering) Status() []SyncStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SyncStatus, 0, len(p.states))
+	for _, st := range p.states {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}

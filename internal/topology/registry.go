@@ -1,0 +1,193 @@
+// The bulletin board: an HTTP registry of live nodes. Deliberately tiny —
+// it holds a static seed topology plus dynamically announced nodes with a
+// TTL, and it never participates in the data path. Losing the board stops
+// new agents from discovering relays; it never loses a report.
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Registry is the bulletin board's state: static seed nodes (from config,
+// never expiring) plus announced nodes that expire when their heartbeats
+// stop. It is safe for concurrent use.
+type Registry struct {
+	ttl time.Duration
+	now func() time.Time // injectable clock for TTL tests
+
+	mu     sync.Mutex
+	static []Node
+	live   map[string]announcement
+}
+
+type announcement struct {
+	node Node
+	at   time.Time
+}
+
+// DefaultTTL is how long an announced node stays on the board without a
+// fresh heartbeat. Heartbeats at TTL/3 (what StartHeartbeat sends) survive
+// two consecutive losses.
+const DefaultTTL = 30 * time.Second
+
+// NewRegistry returns a board seeded with the given static document
+// (may be nil for an empty board). ttl <= 0 selects DefaultTTL.
+func NewRegistry(static *Document, ttl time.Duration) (*Registry, error) {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	r := &Registry{ttl: ttl, now: time.Now, live: make(map[string]announcement)}
+	if static != nil {
+		if err := static.Validate(); err != nil {
+			return nil, err
+		}
+		r.static = append(r.static, static.Nodes...)
+	}
+	return r, nil
+}
+
+// Register announces (or heartbeats) one node: the entry replaces any
+// previous announcement under the same name and starts a fresh TTL window.
+// A name colliding with a static seed node is rejected — static entries
+// are operator config and outrank announcements.
+func (r *Registry) Register(n Node) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.static {
+		if s.Name == n.Name {
+			return fmt.Errorf("topology: node name %q is statically configured and cannot be re-announced", n.Name)
+		}
+	}
+	r.live[n.Name] = announcement{node: n, at: r.now()}
+	return nil
+}
+
+// Document returns the board's current view: static nodes plus every
+// announcement younger than the TTL, expired entries dropped.
+func (r *Registry) Document() *Document {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &Document{Nodes: append([]Node(nil), r.static...)}
+	cutoff := r.now().Add(-r.ttl)
+	for name, a := range r.live {
+		if a.at.Before(cutoff) {
+			delete(r.live, name)
+			continue
+		}
+		d.Nodes = append(d.Nodes, a.node)
+	}
+	return d
+}
+
+// Handler returns the board's HTTP surface:
+//
+//	GET  /topology           the current Document (JSON)
+//	POST /topology/register  announce/heartbeat one Node (JSON body)
+//	GET  /healthz            liveness
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /topology", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(r.Document())
+	})
+	mux.HandleFunc("POST /topology/register", func(w http.ResponseWriter, req *http.Request) {
+		var n Node
+		dec := json.NewDecoder(io.LimitReader(req.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&n); err != nil {
+			http.Error(w, fmt.Sprintf("topology: bad node body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if err := r.Register(n); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte("{\"status\":\"ok\"}\n"))
+	})
+	return mux
+}
+
+// FetchDocument downloads and validates the board's topology from
+// boardURL (the base URL of a running p2bboard or -registry node).
+func FetchDocument(boardURL string) (*Document, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(boardURL + "/topology")
+	if err != nil {
+		return nil, fmt.Errorf("topology: fetching board: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("topology: board answered %d: %s", resp.StatusCode, msg)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("topology: reading board response: %w", err)
+	}
+	return ParseDocument(data)
+}
+
+// RegisterNode announces one node on the board at boardURL.
+func RegisterNode(boardURL string, n Node) error {
+	blob, err := json.Marshal(n)
+	if err != nil {
+		return fmt.Errorf("topology: encoding node: %w", err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Post(boardURL+"/topology/register", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("topology: registering with board: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("topology: board refused registration (%d): %s", resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// StartHeartbeat announces n on the board now and re-announces it every
+// ttl/3 until the returned stop function is called. Registration failures
+// are retried on the next beat — the board is availability infrastructure,
+// so a hiccup must not kill the node.
+func StartHeartbeat(boardURL string, n Node, ttl time.Duration, logf func(format string, args ...any)) (stop func()) {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := RegisterNode(boardURL, n); err != nil {
+		logf("topology: initial board registration: %v", err)
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if err := RegisterNode(boardURL, n); err != nil {
+					logf("topology: board heartbeat: %v", err)
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

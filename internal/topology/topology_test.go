@@ -1,0 +1,227 @@
+package topology
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestParseRole(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Role
+		wantErr bool
+	}{
+		{"", RoleCombined, false},
+		{"combined", RoleCombined, false},
+		{"relay", RoleRelay, false},
+		{"analyzer", RoleAnalyzer, false},
+		{"  Relay ", RoleRelay, false},
+		{"ANALYZER", RoleAnalyzer, false},
+		{"shuffler", "", true},
+		{"analyser", "", true},
+	}
+	for _, tc := range cases {
+		got, err := ParseRole(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseRole(%q): want error, got %q", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRole(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseRole(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRoleCapabilities(t *testing.T) {
+	cases := []struct {
+		role    Role
+		reports bool
+		model   bool
+	}{
+		{RoleCombined, true, true},
+		{RoleRelay, true, false},
+		{RoleAnalyzer, false, true},
+	}
+	for _, tc := range cases {
+		if got := tc.role.AcceptsReports(); got != tc.reports {
+			t.Errorf("%s.AcceptsReports() = %v, want %v", tc.role, got, tc.reports)
+		}
+		if got := tc.role.ServesModel(); got != tc.model {
+			t.Errorf("%s.ServesModel() = %v, want %v", tc.role, got, tc.model)
+		}
+	}
+}
+
+func TestParseDocument(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr bool
+	}{
+		{"valid", `{"nodes":[{"name":"a","role":"relay","url":"http://h:1"}]}`, false},
+		{"empty", `{"nodes":[]}`, false},
+		{"no nodes key", `{}`, false},
+		{"unknown field", `{"nodes":[],"extra":1}`, true},
+		{"missing name", `{"nodes":[{"role":"relay","url":"http://h:1"}]}`, true},
+		{"bad role", `{"nodes":[{"name":"a","role":"mixer","url":"http://h:1"}]}`, true},
+		{"missing url", `{"nodes":[{"name":"a","role":"relay"}]}`, true},
+		{"schemeless url", `{"nodes":[{"name":"a","role":"relay","url":"h:1"}]}`, true},
+		{"duplicate names", `{"nodes":[{"name":"a","role":"relay","url":"http://h:1"},{"name":"a","role":"analyzer","url":"http://h:2"}]}`, true},
+		{"not json", `nodes: []`, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseDocument([]byte(tc.in))
+			if tc.wantErr && err == nil {
+				t.Fatalf("want error, got none")
+			}
+			if !tc.wantErr && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		})
+	}
+}
+
+func fleetDoc() *Document {
+	return &Document{Nodes: []Node{
+		{Name: "relay-b", Role: RoleRelay, URL: "http://r2"},
+		{Name: "analyzer-a", Role: RoleAnalyzer, URL: "http://a1"},
+		{Name: "relay-a", Role: RoleRelay, URL: "http://r1"},
+		{Name: "combined-a", Role: RoleCombined, URL: "http://c1"},
+	}}
+}
+
+func names(nodes []Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	return out
+}
+
+func TestReportTargetsPreferRelays(t *testing.T) {
+	d := fleetDoc()
+	if got, want := names(d.ReportTargets()), []string{"relay-a", "relay-b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReportTargets = %v, want %v", got, want)
+	}
+	// Without relays, combined nodes take the reports.
+	d2 := &Document{Nodes: []Node{{Name: "combined-a", Role: RoleCombined, URL: "http://c1"}}}
+	if got, want := names(d2.ReportTargets()), []string{"combined-a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("ReportTargets = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzersIncludeCombined(t *testing.T) {
+	if got, want := names(fleetDoc().Analyzers()), []string{"analyzer-a", "combined-a"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Analyzers = %v, want %v", got, want)
+	}
+}
+
+func TestPickDeterministicAndOrderIndependent(t *testing.T) {
+	nodes := fleetDoc().ReportTargets()
+	first, err := Pick(nodes, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, reversed arrival order: same node.
+	rev := []Node{nodes[1], nodes[0]}
+	again, err := Pick(rev, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Name != again.Name {
+		t.Fatalf("Pick depends on input order: %q vs %q", first.Name, again.Name)
+	}
+	if _, err := Pick(nil, 1); err == nil {
+		t.Fatal("Pick(nil) should error")
+	}
+}
+
+func TestPickSpreadsConsecutiveSeeds(t *testing.T) {
+	nodes := fleetDoc().ReportTargets() // 2 relays
+	counts := map[string]int{}
+	for seed := uint64(0); seed < 1000; seed++ {
+		n, err := Pick(nodes, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[n.Name]++
+	}
+	for name, c := range counts {
+		if c < 300 {
+			t.Fatalf("consecutive seeds collapsed: %v (node %s starved)", counts, name)
+		}
+	}
+}
+
+func TestRegistryTTLExpiry(t *testing.T) {
+	reg, err := NewRegistry(&Document{Nodes: []Node{{Name: "pinned", Role: RoleAnalyzer, URL: "http://a"}}}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := time.Unix(1000, 0)
+	reg.now = func() time.Time { return clock }
+
+	if err := reg.Register(Node{Name: "live", Role: RoleRelay, URL: "http://r"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := names(reg.Document().Nodes), []string{"pinned", "live"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("board = %v, want %v", got, want)
+	}
+
+	// A heartbeat inside the TTL window keeps the node alive past the
+	// original deadline.
+	clock = clock.Add(20 * time.Second)
+	if err := reg.Register(Node{Name: "live", Role: RoleRelay, URL: "http://r"}); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(25 * time.Second)
+	if got := len(reg.Document().Nodes); got != 2 {
+		t.Fatalf("heartbeated node expired early: %v", names(reg.Document().Nodes))
+	}
+
+	// No more heartbeats: the announced node expires, the static one stays.
+	clock = clock.Add(31 * time.Second)
+	if got, want := names(reg.Document().Nodes), []string{"pinned"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("board after expiry = %v, want %v", got, want)
+	}
+
+	// Static names are operator config and cannot be shadowed.
+	if err := reg.Register(Node{Name: "pinned", Role: RoleRelay, URL: "http://evil"}); err == nil {
+		t.Fatal("re-announcing a static name should be rejected")
+	}
+}
+
+func TestRegistryHTTPRoundTrip(t *testing.T) {
+	reg, err := NewRegistry(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(reg.Handler())
+	defer ts.Close()
+
+	n := Node{Name: "relay-1", Role: RoleRelay, URL: "http://10.0.0.9:8080"}
+	if err := RegisterNode(ts.URL, n); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := FetchDocument(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 1 || doc.Nodes[0] != n {
+		t.Fatalf("round-tripped board = %+v, want [%+v]", doc.Nodes, n)
+	}
+
+	// Invalid announcements are refused before they reach the board.
+	if err := RegisterNode(ts.URL, Node{Name: "bad", Role: "mixer", URL: "http://x"}); err == nil {
+		t.Fatal("invalid role should be refused")
+	}
+}
