@@ -1,0 +1,147 @@
+// Command p2bvet runs the repo's custom static-analysis suite: five
+// analyzers enforcing the project's determinism, hot-path, WAL and
+// telemetry contracts at compile time (see DESIGN.md "Static invariants
+// & p2bvet").
+//
+// Usage:
+//
+//	p2bvet [-C dir] [-json] [patterns...]
+//
+// Patterns default to ./... (the whole module). A pattern may also be a
+// package directory relative to the module root (./internal/persist).
+// Exit status is 1 when any unsuppressed finding remains; suppressed
+// findings are counted in the budget line but do not fail the run.
+//
+// With -json the full findings list (including suppressed entries and
+// their written reasons) and the per-analyzer suppression budget are
+// printed to stdout as one JSON document — CI uploads it as an artifact
+// so budget growth is reviewable per PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"p2b/internal/analyzers"
+	"p2b/internal/analyzers/load"
+)
+
+func main() {
+	var (
+		dir      = flag.String("C", ".", "module root to analyze")
+		jsonOut  = flag.Bool("json", false, "emit the findings report as JSON on stdout")
+		listOnly = flag.Bool("help-analyzers", false, "print the suite's analyzers and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, a := range analyzers.Analyzers() {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := moduleRoot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := load.New(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := resolve(loader, root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep, err := analyzers.Run(loader, pkgs, analyzers.Suite())
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if rep.Active > 0 {
+		os.Exit(1)
+	}
+}
+
+// resolve maps command-line patterns to loaded packages. "./..." (or
+// "all") loads the whole module; other patterns are module-relative
+// package directories.
+func resolve(loader *load.Loader, root string, patterns []string) ([]*load.Package, error) {
+	for _, p := range patterns {
+		if p == "./..." || p == "..." || p == "all" {
+			return loader.LoadAll()
+		}
+	}
+	mod, err := modulePathOf(root)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*load.Package
+	for _, p := range patterns {
+		rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(p, "./")))
+		imp := mod
+		if rel != "." {
+			imp = mod + "/" + rel
+		}
+		pkg, err := loader.Load(imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("p2bvet: no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+func modulePathOf(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("p2bvet: no module line in %s/go.mod", root)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "p2bvet:", err)
+	os.Exit(2)
+}

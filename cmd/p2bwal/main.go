@@ -84,14 +84,16 @@ func main() {
 			fmt.Printf("checkpoint seq=%d pending=%d\n", ckpt.WALSeq, len(ckpt.Shuffler.Pending))
 		}
 		if _, err := persist.ReadLog(*dir, 0, func(rec persist.Record) error {
-			switch {
-			case rec.Flush:
+			switch rec.Type {
+			case persist.RecordFlush:
 				fmt.Printf("seq=%d flush\n", rec.Seq)
-			case rec.Deliver:
+			case persist.RecordDeliver:
 				fmt.Printf("seq=%d deliver origin=%s epoch=%d peer_seq=%d n=%d\n",
 					rec.Seq, rec.Origin, rec.Epoch, rec.PeerSeq, len(rec.Tuples))
-			default:
+			case persist.RecordTuples:
 				fmt.Printf("seq=%d tuples n=%d\n", rec.Seq, len(rec.Tuples))
+			default:
+				return fmt.Errorf("unknown record type %d at seq %d", rec.Type, rec.Seq)
 			}
 			return nil
 		}); err != nil {
@@ -115,24 +117,24 @@ func main() {
 		enc := []byte(nil)
 		_, err = persist.ReadLog(*dir, 0, func(rec persist.Record) error {
 			records++
-			if rec.Flush {
+			switch rec.Type {
+			case persist.RecordFlush:
 				return post(client, *node+"/shuffler/flush", "", nil, http.StatusNoContent)
-			}
-			tuples += len(rec.Tuples)
-			enc = transport.AppendMagic(enc[:0])
-			e := transport.Envelope{}
-			for _, t := range rec.Tuples {
-				e.Tuple = t
-				enc = e.AppendFrame(enc)
-			}
-			if rec.Deliver {
+			case persist.RecordDeliver:
 				// Relay-forwarded batches bypassed the shuffler originally, so
 				// the replay must too: re-deliver at the original (origin,
 				// epoch, seq) position. The target's duplicate guard makes the
 				// replay idempotent.
+				tuples += len(rec.Tuples)
+				enc = encodeTuples(enc, rec.Tuples)
 				return deliverPeer(client, *node, *peerToken, rec, enc)
+			case persist.RecordTuples:
+				tuples += len(rec.Tuples)
+				enc = encodeTuples(enc, rec.Tuples)
+				return post(client, *node+"/shuffler/reports", transport.ContentTypeBinary, enc, http.StatusAccepted)
+			default:
+				return fmt.Errorf("unknown record type %d at seq %d", rec.Type, rec.Seq)
 			}
-			return post(client, *node+"/shuffler/reports", transport.ContentTypeBinary, enc, http.StatusAccepted)
 		})
 		if err != nil {
 			fatal(err)
@@ -141,6 +143,18 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown mode %q (want verify, dump or replay)", mode))
 	}
+}
+
+// encodeTuples re-encodes a replayed record's tuples as one P2B1 batch
+// stream into dst's storage.
+func encodeTuples(dst []byte, tuples []transport.Tuple) []byte {
+	dst = transport.AppendMagic(dst[:0])
+	e := transport.Envelope{}
+	for _, t := range tuples {
+		e.Tuple = t
+		dst = e.AppendFrame(dst)
+	}
+	return dst
 }
 
 // deliverPeer re-delivers one relay-forwarded batch to the target's

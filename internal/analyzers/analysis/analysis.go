@@ -1,0 +1,85 @@
+// Package analysis defines the minimal analyzer framework the p2bvet
+// suite is built on.
+//
+// It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer owns a Run function that inspects one type-checked package
+// through a Pass and reports Diagnostics — so the five p2bvet analyzers
+// read like standard vet analyzers and could be ported to the real
+// framework mechanically. The module is dependency-free by policy
+// (DESIGN.md), so the framework itself is rebuilt here on the standard
+// library: packages are parsed with go/parser and type-checked with
+// go/types (see p2b/internal/analyzers/load).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check. Run is invoked once per
+// analyzed package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, in
+	// //p2bvet:ignore suppressions, and in the -json budget report.
+	// It must be a single lower-case word.
+	Name string
+
+	// Doc is the analyzer's one-paragraph contract: the invariant it
+	// enforces and what a finding means. Shown by `p2bvet -help`.
+	Doc string
+
+	// Run inspects the package behind pass and calls pass.Report for
+	// every violation. The returned value is ignored by the runner
+	// (it exists so Run signatures match the x/tools shape); a
+	// non-nil error aborts the whole vet run — reserve it for "the
+	// analyzer itself is broken", never for findings.
+	Run func(pass *Pass) (any, error)
+}
+
+// A Pass is the single-package view handed to Analyzer.Run: the parsed
+// syntax, the type information, and the Report sink for diagnostics.
+type Pass struct {
+	// Analyzer is the check this pass is running.
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions. It is
+	// shared across every package in the run.
+	Fset *token.FileSet
+
+	// Files holds the package's parsed non-test source files.
+	// Test files (_test.go) are outside p2bvet's scope: the suite
+	// guards shipped invariants, and tests legitimately use
+	// wall-clocks and ad-hoc allocation.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo records types, definitions, uses and selections for
+	// the expressions in Files.
+	TypesInfo *types.Info
+
+	// IsExhaustive reports whether the named type carries a
+	// //p2bvet:exhaustive marker in its declaration doc comment
+	// (possibly in another package of the run). Populated by the
+	// loader; used by the walswitch analyzer.
+	IsExhaustive func(tn *types.TypeName) bool
+
+	// Report delivers one finding. The runner attaches suppression
+	// handling and output formatting.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a fmt.Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position inside the analyzed package
+// and a human-readable message stating the violated invariant.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

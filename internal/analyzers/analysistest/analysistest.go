@@ -1,0 +1,164 @@
+// Package analysistest runs a p2bvet analyzer over committed fixture
+// packages and checks its diagnostics against expectations written in
+// the fixture source, mirroring golang.org/x/tools' analysistest:
+//
+//	rand.Intn(6) // want `global rand\.Intn call`
+//
+// A `// want` comment holds one or more backquoted or double-quoted
+// regular expressions; the line must produce exactly that many
+// diagnostics (ordered by column), each matching its pattern. A
+// diagnostic on a line with no want comment is an unexpected finding;
+// a want comment with no diagnostic is a missed one. Both fail the
+// test, so fixtures document the analyzer's positive AND negative
+// behavior.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"p2b/internal/analyzers/analysis"
+	"p2b/internal/analyzers/load"
+)
+
+// Run loads each fixture package under dir (an analysistest-style
+// tree: dir/src/<pkg>/...) with the fixture loader, applies the
+// analyzer, and matches diagnostics against the // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := load.NewFixture(filepath.Join(dir, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		checkPackage(t, loader, a, pkg)
+	}
+}
+
+type diag struct {
+	pos token.Position
+	msg string
+}
+
+func checkPackage(t *testing.T, loader *load.Loader, a *analysis.Analyzer, pkg *load.Package) {
+	t.Helper()
+	fset := loader.Fset()
+	var got []diag
+	pass := &analysis.Pass{
+		Analyzer:     a,
+		Fset:         fset,
+		Files:        pkg.Files,
+		Pkg:          pkg.Types,
+		TypesInfo:    pkg.TypesInfo,
+		IsExhaustive: loader.IsExhaustive,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, diag{pos: fset.Position(d.Pos), msg: d.Message})
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s on fixture %s: %v", a.Name, pkg.Path, err)
+	}
+
+	want := collectWants(t, fset, pkg)
+
+	// Group diagnostics by (file, line), ordered by column.
+	byLine := make(map[lineKey][]diag)
+	for _, d := range got {
+		k := lineKey{d.pos.Filename, d.pos.Line}
+		byLine[k] = append(byLine[k], d)
+	}
+	for k := range byLine {
+		ds := byLine[k]
+		sort.Slice(ds, func(i, j int) bool { return ds[i].pos.Column < ds[j].pos.Column })
+	}
+
+	for k, patterns := range want {
+		ds := byLine[k]
+		if len(ds) != len(patterns) {
+			t.Errorf("%s:%d: want %d diagnostic(s), got %d: %s",
+				k.file, k.line, len(patterns), len(ds), messages(ds))
+			continue
+		}
+		for i, p := range patterns {
+			if !p.MatchString(ds[i].msg) {
+				t.Errorf("%s:%d: diagnostic %q does not match want pattern %q",
+					k.file, k.line, ds[i].msg, p)
+			}
+		}
+	}
+	for k, ds := range byLine {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %s", k.file, k.line, messages(ds))
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+// wantRe matches one backquoted or double-quoted pattern in a want
+// comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants scans fixture comments for `// want` expectations.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *load.Package) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	want := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(c.Text), "//"))
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := lineKey{pos.Filename, pos.Line}
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = unescape(m[2])
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					want[k] = append(want[k], re)
+				}
+				if len(want[k]) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern", pos)
+				}
+			}
+		}
+	}
+	return want
+}
+
+// unescape undoes the backslash escapes of a double-quoted want
+// pattern.
+func unescape(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func messages(ds []diag) string {
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = fmt.Sprintf("%q", d.msg)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,273 @@
+// Package atomichygiene implements the p2bvet analyzer that guards the
+// two classic misuses of sync primitives in the serving packages:
+//
+//   - Mixed access: a field that is ever passed as &x.f to a
+//     sync/atomic function must be accessed atomically everywhere —
+//     one plain read racing one atomic write is a data race the race
+//     detector only catches if a test happens to interleave it.
+//   - Lock copying: passing, assigning, ranging over or returning a
+//     value whose type (transitively) contains a sync.Mutex, WaitGroup,
+//     Once, or an atomic.* value type copies the primitive's state and
+//     silently forks the synchronization domain. Fresh composite
+//     literals are fine (a zero mutex is valid); copying an existing
+//     value is not.
+//
+// This is a deliberately narrower, dependency-free cousin of vet's
+// copylocks + a mixed-atomic check vet does not have.
+package atomichygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"p2b/internal/analyzers/analysis"
+)
+
+// Analyzer is the atomichygiene analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomichygiene",
+	Doc: "atomic fields must be accessed atomically everywhere; values containing " +
+		"mutexes/atomics must not be copied (params, assignments, ranges, returns)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{pass: pass, lockMemo: make(map[types.Type]bool)}
+	c.collectAtomicFields()
+	for _, f := range pass.Files {
+		ast.Inspect(f, c.check)
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	lockMemo map[types.Type]bool
+	// atomicFields maps field objects ever passed to sync/atomic
+	// functions; atomicUses records the positions of those sanctioned
+	// selector expressions.
+	atomicFields map[*types.Var]bool
+	atomicUses   map[token.Pos]bool
+}
+
+// collectAtomicFields finds every &x.f argument to a sync/atomic
+// function call across the package.
+func (c *checker) collectAtomicFields() {
+	c.atomicFields = make(map[*types.Var]bool)
+	c.atomicUses = make(map[token.Pos]bool)
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection, ok := c.pass.TypesInfo.Selections[fsel]
+				if !ok {
+					continue
+				}
+				if fv, ok := selection.Obj().(*types.Var); ok && fv.IsField() {
+					c.atomicFields[fv] = true
+					c.atomicUses[fsel.Pos()] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *checker) check(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		c.checkMixedAccess(n)
+	case *ast.FuncDecl:
+		c.checkFuncSig(n.Recv, n.Type)
+	case *ast.FuncLit:
+		c.checkFuncSig(nil, n.Type)
+	case *ast.AssignStmt:
+		c.checkAssign(n)
+	case *ast.RangeStmt:
+		c.checkRange(n)
+	case *ast.ReturnStmt:
+		c.checkReturn(n)
+	}
+	return true
+}
+
+// checkMixedAccess flags plain (non-atomic) uses of fields that are
+// elsewhere passed to sync/atomic functions.
+func (c *checker) checkMixedAccess(sel *ast.SelectorExpr) {
+	if c.atomicUses[sel.Pos()] {
+		return
+	}
+	selection, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok {
+		return
+	}
+	fv, ok := selection.Obj().(*types.Var)
+	if !ok || !c.atomicFields[fv] {
+		return
+	}
+	c.pass.Reportf(sel.Pos(),
+		"field %s is accessed with sync/atomic elsewhere; this plain access races with it",
+		fv.Name())
+}
+
+// checkFuncSig flags by-value receivers and parameters whose types
+// contain a lock or atomic.
+func (c *checker) checkFuncSig(recv *ast.FieldList, ft *ast.FuncType) {
+	report := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypesInfo.Types[field.Type].Type
+			if t == nil {
+				continue
+			}
+			if name, bad := c.containsLock(t); bad {
+				c.pass.Reportf(field.Pos(), "%s passes %s by value; it contains %s",
+					kind, c.typeStr(t), name)
+			}
+		}
+	}
+	report(recv, "receiver")
+	report(ft.Params, "parameter")
+}
+
+// checkAssign flags copying an existing lock-containing value. Fresh
+// composite literals and function-call results are allowed: a returned
+// value is the callee's to hand over, and a zero literal has no state.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for _, rhs := range as.Rhs {
+		e := ast.Unparen(rhs)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue // literals, calls, conversions: not a copy of live state
+		}
+		t := c.pass.TypesInfo.Types[rhs].Type
+		if t == nil {
+			continue
+		}
+		if name, bad := c.containsLock(t); bad {
+			c.pass.Reportf(rhs.Pos(), "assignment copies %s which contains %s",
+				c.typeStr(t), name)
+		}
+	}
+}
+
+func (c *checker) checkRange(rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	// In the `for _, v := range xs` form the value var is a defining
+	// identifier, recorded in Defs rather than in the expression Types.
+	t := c.pass.TypesInfo.Types[rs.Value].Type
+	if t == nil {
+		if id, ok := rs.Value.(*ast.Ident); ok {
+			if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+				t = obj.Type()
+			}
+		}
+	}
+	if t == nil {
+		return
+	}
+	if name, bad := c.containsLock(t); bad {
+		c.pass.Reportf(rs.Value.Pos(), "range copies %s values which contain %s",
+			c.typeStr(t), name)
+	}
+}
+
+func (c *checker) checkReturn(rt *ast.ReturnStmt) {
+	for _, res := range rt.Results {
+		e := ast.Unparen(res)
+		switch e.(type) {
+		case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+		default:
+			continue
+		}
+		t := c.pass.TypesInfo.Types[res].Type
+		if t == nil {
+			continue
+		}
+		if name, bad := c.containsLock(t); bad {
+			c.pass.Reportf(res.Pos(), "return copies %s which contains %s",
+				c.typeStr(t), name)
+		}
+	}
+}
+
+// lockTypes are the sync primitives whose by-value copy forks state.
+// sync.Map and sync.Pool embed noCopy already but are included for the
+// mixed tree walk; RWMutex/Cond contain Mutex transitively anyway.
+var lockTypes = map[string]map[string]bool{
+	"sync":        {"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true, "Map": true, "Pool": true},
+	"sync/atomic": {"Bool": true, "Int32": true, "Int64": true, "Uint32": true, "Uint64": true, "Uintptr": true, "Pointer": true, "Value": true},
+}
+
+// containsLock reports whether t transitively contains a sync
+// primitive, naming the first one found. Pointers, slices, maps and
+// channels break the chain: sharing a pointer to a mutex is correct.
+func (c *checker) containsLock(t types.Type) (string, bool) {
+	if done, ok := c.lockMemo[t]; ok {
+		if !done {
+			return "", false
+		}
+		// Re-derive the name on the (rare) memo-hit-positive path.
+	}
+	name, bad := c.containsLock1(t, make(map[types.Type]bool))
+	c.lockMemo[t] = bad
+	return name, bad
+}
+
+func (c *checker) containsLock1(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			if names, ok := lockTypes[obj.Pkg().Path()]; ok && names[obj.Name()] {
+				return obj.Pkg().Name() + "." + obj.Name(), true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name, bad := c.containsLock1(u.Field(i).Type(), seen); bad {
+				return name, true
+			}
+		}
+	case *types.Array:
+		return c.containsLock1(u.Elem(), seen)
+	}
+	return "", false
+}
+
+func (c *checker) typeStr(t types.Type) string {
+	return types.TypeString(t, types.RelativeTo(c.pass.Pkg))
+}

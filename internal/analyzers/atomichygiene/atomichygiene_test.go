@@ -1,0 +1,12 @@
+package atomichygiene_test
+
+import (
+	"testing"
+
+	"p2b/internal/analyzers/analysistest"
+	"p2b/internal/analyzers/atomichygiene"
+)
+
+func TestAtomichygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", atomichygiene.Analyzer, "atomicfix")
+}

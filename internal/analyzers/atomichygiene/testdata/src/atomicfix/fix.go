@@ -1,0 +1,79 @@
+// Package atomicfix seeds the two misuse classes atomichygiene flags —
+// plain access to an atomically-updated field, and by-value copies of
+// lock-containing values — next to the sanctioned shapes: atomic reads,
+// pointer sharing, and fresh composite literals.
+package atomicfix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter guards its map with a mutex.
+type Counter struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Stats counts hits with sync/atomic.
+type Stats struct {
+	hits uint64
+}
+
+// Inc bumps hits atomically.
+func (s *Stats) Inc() { atomic.AddUint64(&s.hits, 1) }
+
+// Hits reads the same field without atomics: a data race.
+func (s *Stats) Hits() uint64 {
+	return s.hits // want `field hits is accessed with sync/atomic elsewhere`
+}
+
+// HitsAtomic is the correct read.
+func (s *Stats) HitsAtomic() uint64 { return atomic.LoadUint64(&s.hits) }
+
+// ByValue copies the mutex in its parameter.
+func ByValue(c Counter) int { // want `parameter passes Counter by value; it contains sync\.Mutex`
+	return len(c.m)
+}
+
+// ByPointer shares the counter correctly.
+func ByPointer(c *Counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Snapshot copies live counter state through a dereference.
+func Snapshot(c *Counter) int {
+	d := *c // want `assignment copies Counter which contains sync\.Mutex`
+	return len(d.m)
+}
+
+// Fresh builds a zero-state value: composite literals are not copies.
+func Fresh() *Counter {
+	c := Counter{m: map[string]int{}}
+	return &c
+}
+
+// Drain iterates by value, copying each element's mutex.
+func Drain(list []Counter) int {
+	total := 0
+	for _, c := range list { // want `range copies Counter values which contain sync\.Mutex`
+		total += len(c.m)
+	}
+	return total
+}
+
+// DrainByIndex iterates by index and shares instead of copying.
+func DrainByIndex(list []Counter) int {
+	total := 0
+	for i := range list {
+		total += ByPointer(&list[i])
+	}
+	return total
+}
+
+// Export hands the struct out by value.
+func Export(c *Counter) Counter {
+	return *c // want `return copies Counter which contains sync\.Mutex`
+}

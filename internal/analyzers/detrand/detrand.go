@@ -1,0 +1,209 @@
+// Package detrand implements the p2bvet analyzer that keeps
+// determinism-critical packages free of hidden nondeterminism.
+//
+// The repo's headline guarantees — bit-identical crash recovery and
+// byte-for-byte fleet/single-node equivalence — hold only while the
+// pipeline packages stay deterministic functions of their inputs. Three
+// classic leaks are caught statically:
+//
+//   - wall-clock calls (time.Now / time.Since / time.Until). Using
+//     time.Now as a *value* is allowed: that is exactly the injectable
+//     clock seam idiom (var clock = time.Now; cfg.now = time.Now) the
+//     repo uses so tests and replay can substitute a fake clock.
+//   - the global math/rand (and math/rand/v2) generators. Constructor
+//     and type references are allowed — building a locally seeded
+//     generator (rand.New(rand.NewPCG(...))) is precisely what
+//     p2b/internal/rng does.
+//   - map iteration feeding an exported slice: a range over a map that
+//     appends to a slice which is never sorted in the same function.
+//     Go's map order is randomized per run, so such a slice leaks
+//     nondeterministic order into stats, exports or wire payloads.
+//     Append-then-sort (the repo's standard snapshot idiom) passes.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"p2b/internal/analyzers/analysis"
+)
+
+// Analyzer is the detrand analyzer. Which packages it runs over is
+// decided by the p2bvet suite configuration, not here.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall-clock reads, global math/rand and unsorted map-order leaks " +
+		"in determinism-critical packages; inject clocks and seeded generators instead",
+	Run: run,
+}
+
+// randConstructors are the math/rand[/v2] functions that build a
+// locally seeded generator rather than touching the global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapRanges(pass, n.Body)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall flags direct calls to wall-clock and global-rand functions.
+// Only call positions are flagged: mentioning time.Now as a value is
+// the approved clock-seam idiom.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(),
+				"call to time.%s in a determinism-critical package; route it through an injectable clock seam (var clock = time.Now)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // method on an explicitly built generator
+		}
+		if randConstructors[fn.Name()] {
+			return
+		}
+		pass.Reportf(call.Pos(),
+			"global %s.%s call; use a seeded generator (p2b/internal/rng) so runs are reproducible",
+			fn.Pkg().Name(), fn.Name())
+	}
+}
+
+// calleeFunc resolves the called function, or nil for builtins,
+// conversions and calls through function-typed values (which includes
+// calls through clock seams — intentionally not flagged).
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// checkMapRanges scans one function body for map-range loops that
+// append to a slice and verifies the slice is sorted somewhere in the
+// same body. Sorting after the loop is the repo's snapshot idiom
+// (collect map entries, sort.Slice by a stable key); a map-range append
+// with no sort leaks randomized map order into the built slice.
+func checkMapRanges(pass *analysis.Pass, body *ast.BlockStmt) {
+	type pendingAppend struct {
+		loop   *ast.RangeStmt
+		target string // types.ExprString of the appended-to expression
+	}
+	var pending []pendingAppend
+	sorted := make(map[string]bool)
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Nested closures get their own scan; sort.Slice's
+			// less-func must not count as the loop body's work.
+			checkMapRanges(pass, n.Body)
+			return false
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.Types[n.X].Type
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return true
+			}
+			for _, tgt := range appendTargets(pass, n.Body) {
+				pending = append(pending, pendingAppend{loop: n, target: tgt})
+			}
+			return true
+		case *ast.CallExpr:
+			if tgt, ok := sortTarget(pass, n); ok {
+				sorted[tgt] = true
+			}
+			return true
+		}
+		return true
+	})
+
+	reported := make(map[*ast.RangeStmt]bool)
+	for _, p := range pending {
+		if sorted[p.target] || reported[p.loop] {
+			continue
+		}
+		reported[p.loop] = true
+		pass.Reportf(p.loop.Pos(),
+			"map iteration appends to %s without sorting it in this function; map order is randomized per run",
+			p.target)
+	}
+}
+
+// appendTargets returns the rendered destination expressions of append
+// calls assigned inside a map-range body (x = append(x, ...)).
+func appendTargets(pass *analysis.Pass, body ast.Node) []string {
+	var targets []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" ||
+				pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+				continue
+			}
+			if i < len(as.Lhs) {
+				targets = append(targets, types.ExprString(as.Lhs[i]))
+			}
+		}
+		return true
+	})
+	return targets
+}
+
+// sortTarget recognizes sort.* and slices.Sort* calls and returns the
+// rendered expression they sort.
+func sortTarget(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || len(call.Args) == 0 {
+		return "", false
+	}
+	switch fn.Pkg().Path() {
+	case "sort", "slices":
+	default:
+		return "", false
+	}
+	arg := ast.Unparen(call.Args[0])
+	// sort.Sort(byKey(xs)) wraps the slice in a conversion or
+	// constructor; unwrap single-argument calls so xs still counts.
+	if inner, ok := arg.(*ast.CallExpr); ok && len(inner.Args) == 1 {
+		arg = ast.Unparen(inner.Args[0])
+	}
+	return types.ExprString(arg), true
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"p2b/internal/analyzers/analysistest"
+	"p2b/internal/analyzers/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrandfix")
+}

@@ -1,0 +1,93 @@
+// Package detrandfix seeds every violation class detrand catches, plus
+// the approved idioms that must stay clean: clock seams as values,
+// locally seeded generators, and append-then-sort map iteration.
+package detrandfix
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// clock is the approved injectable seam: time.Now used as a value.
+var clock = time.Now
+
+// Epoch reads the wall clock directly.
+func Epoch() uint64 {
+	return uint64(time.Now().UnixNano()) // want `call to time\.Now`
+}
+
+// SeamEpoch reads through the seam and is clean.
+func SeamEpoch() uint64 {
+	return uint64(clock().UnixNano())
+}
+
+// Age uses the time.Since shorthand.
+func Age(start time.Time) time.Duration {
+	return time.Since(start) // want `call to time\.Since`
+}
+
+// Remaining uses time.Until.
+func Remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want `call to time\.Until`
+}
+
+// Pick draws from the global math/rand generator.
+func Pick(n int) int {
+	return rand.Intn(n) // want `global rand\.Intn call`
+}
+
+// PickV2 draws from the global math/rand/v2 generator.
+func PickV2(n int) int {
+	return randv2.IntN(n) // want `global rand\.IntN call`
+}
+
+// Seeded builds a local generator; constructors and methods are clean.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// SeededV2 builds a local v2 generator; also clean.
+func SeededV2() uint64 {
+	r := randv2.New(randv2.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+// Keys leaks map order into the returned slice.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to keys without sorting`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys collects then sorts: the repo's snapshot idiom, clean.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Copy iterates a map into a map; order cannot leak, clean.
+func Copy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Sum folds a map into an order-independent scalar, clean.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

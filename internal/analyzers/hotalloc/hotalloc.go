@@ -1,0 +1,262 @@
+// Package hotalloc implements the p2bvet analyzer that keeps
+// //p2b:hotpath-annotated functions allocation-free.
+//
+// The repo's zero-alloc contracts (bandit kernels, mat kernels, metric
+// updates, the shuffler submit path, the cached model-read path) are
+// enforced at runtime by testing.AllocsPerRun tests, but those only
+// catch a regression on the exact path the test drives. hotalloc flags
+// the allocation *sources* statically in any function whose doc comment
+// carries //p2b:hotpath:
+//
+//   - make/new builtins, map and slice literals, &T{} literals
+//   - fmt calls (each formats through reflection and allocates)
+//   - string<->[]byte conversions
+//   - closures (func literals capture by reference and escape)
+//   - go statements (a goroutine per hot-path call is an allocation
+//     and a scheduling hazard)
+//   - interface boxing: passing, assigning or returning a concrete
+//     multi-word value where an interface is expected
+//
+// Escape hatches are deliberate: expressions inside panic(...) guard a
+// cold crash path and are exempt (the kernels' dimension checks panic
+// with fmt.Sprintf), plain append reuses capacity, pointer-shaped
+// values (pointers, maps, channels, funcs) box without allocating, and
+// plain struct literals stay on the stack.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"p2b/internal/analyzers/analysis"
+)
+
+// Annotation marks a function as a zero-alloc hot path in its doc
+// comment.
+const Annotation = "//p2b:hotpath"
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc: "flag allocation sources (make/new, literals, fmt, conversions, closures, " +
+		"interface boxing, go statements) inside functions marked " + Annotation,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHot(fd) {
+				continue
+			}
+			checkBody(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func isHot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == Annotation {
+			return true
+		}
+	}
+	return false
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	results := fd.Type.Results
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isPanicCall(pass, n) {
+				// Crash-path guard: the panic message may format
+				// freely, the steady state never reaches it.
+				return false
+			}
+			checkCall(pass, n)
+		case *ast.CompositeLit:
+			checkCompositeLit(pass, n)
+		case *ast.UnaryExpr:
+			// &T{...} allocates the struct on the heap whenever it
+			// escapes; in a hot path treat it as an allocation.
+			if _, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+				pass.Reportf(n.Pos(), "&composite literal allocates in hot path %s", fd.Name.Name)
+			}
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure literal in hot path %s captures and escapes", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path %s spawns per call", fd.Name.Name)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				lt := pass.TypesInfo.Types[n.Lhs[i]].Type
+				checkBoxingExpr(pass, lt, n.Rhs[i])
+			}
+		case *ast.ReturnStmt:
+			if results == nil {
+				return true
+			}
+			if len(n.Results) == len(results.List) {
+				for i, res := range n.Results {
+					checkBoxingExpr(pass, pass.TypesInfo.Types[results.List[i].Type].Type, res)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCall flags allocating builtins, fmt calls, allocating
+// conversions, and interface boxing at argument positions.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins and conversions resolve through the identifier.
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	}
+	if id != nil {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch obj.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in hot path", obj.Name())
+			}
+			return
+		}
+	}
+
+	// Conversions: string <-> []byte copy their contents.
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		if from != nil && isStringBytes(to, from) {
+			pass.Reportf(call.Pos(), "%s conversion copies in hot path", types.TypeString(to, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+
+	if fn := callee(pass, id); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "fmt.%s formats through reflection and allocates in hot path", fn.Name())
+		return
+	}
+
+	// Interface boxing at argument positions.
+	sig := signatureOf(pass, fun)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok && call.Ellipsis == 0 {
+				pt = sl.Elem()
+			} else {
+				pt = last
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxingExpr(pass, pt, arg)
+	}
+}
+
+func checkCompositeLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(lit.Pos(), "map literal allocates in hot path")
+	case *types.Slice:
+		pass.Reportf(lit.Pos(), "slice literal allocates in hot path")
+	}
+}
+
+// checkBoxingExpr flags storing a concrete multi-word value into an
+// interface-typed destination. Pointer-shaped values (pointers, maps,
+// channels, funcs) fit an interface word without allocating and pass.
+func checkBoxingExpr(pass *analysis.Pass, dst types.Type, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	st := tv.Type
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return
+	case *types.Basic:
+		if st.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+			return
+		}
+	}
+	pass.Reportf(src.Pos(), "storing %s into interface boxes and allocates in hot path",
+		types.TypeString(st, types.RelativeTo(pass.Pkg)))
+}
+
+func isPanicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && obj.Name() == "panic"
+}
+
+func isStringBytes(to, from types.Type) bool {
+	return (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func callee(pass *analysis.Pass, id *ast.Ident) *types.Func {
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func signatureOf(pass *analysis.Pass, fun ast.Expr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[fun]
+	if !ok || tv.Type == nil || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

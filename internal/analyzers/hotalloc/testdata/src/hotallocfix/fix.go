@@ -1,0 +1,96 @@
+// Package hotallocfix seeds every allocation class hotalloc flags inside
+// annotated hot-path functions, plus the exemptions: unannotated
+// functions, panic guard subtrees, and pointer-shaped interface values.
+package hotallocfix
+
+import "fmt"
+
+type point struct{ x, y float64 }
+
+func sink(v any) { _ = v }
+
+func worker(ch chan int) { ch <- 1 }
+
+// Cold is unannotated: anything goes.
+func Cold(n int) []int {
+	out := make([]int, n)
+	fmt.Println(out)
+	return out
+}
+
+// HotMake builds a slice per call.
+//
+//p2b:hotpath
+func HotMake(n int) []int {
+	return make([]int, n) // want `make allocates in hot path`
+}
+
+// HotLiterals allocates composite literals.
+//
+//p2b:hotpath
+func HotLiterals() {
+	m := map[string]int{"a": 1} // want `map literal allocates in hot path`
+	s := []int{1, 2, 3}         // want `slice literal allocates in hot path`
+	p := &point{x: 1}           // want `&composite literal allocates in hot path HotLiterals`
+	_, _, _ = m, s, p
+}
+
+// HotFmt formats on the hot path.
+//
+//p2b:hotpath
+func HotFmt(n int) {
+	fmt.Println(n) // want `fmt\.Println formats through reflection and allocates in hot path`
+}
+
+// HotConvert copies between string and byte-slice representations.
+//
+//p2b:hotpath
+func HotConvert(s string) []byte {
+	return []byte(s) // want `\[\]byte conversion copies in hot path`
+}
+
+// HotBox passes a scalar through an interface parameter.
+//
+//p2b:hotpath
+func HotBox(n int) {
+	sink(n) // want `storing int into interface boxes and allocates in hot path`
+}
+
+// HotClosure builds a func value per call.
+//
+//p2b:hotpath
+func HotClosure(n int) func() int {
+	return func() int { return n } // want `closure literal in hot path HotClosure captures and escapes`
+}
+
+// HotSpawn starts a goroutine per call.
+//
+//p2b:hotpath
+func HotSpawn(ch chan int) {
+	go worker(ch) // want `go statement in hot path HotSpawn spawns per call`
+}
+
+// HotGuard panics on bad input; the guard's formatting is off the
+// measured path and must stay clean.
+//
+//p2b:hotpath
+func HotGuard(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("length mismatch: %d != %d", len(a), len(b)))
+	}
+	var dot float64
+	for i, v := range a {
+		dot += v * b[i]
+	}
+	return dot
+}
+
+// HotPointerShaped passes pointer-shaped values through interfaces:
+// they fit the interface word without allocating, so no finding.
+//
+//p2b:hotpath
+func HotPointerShaped(p *point, m map[string]int) {
+	sink(p)
+	sink(m)
+	sink(nil)
+}

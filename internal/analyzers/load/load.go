@@ -1,0 +1,354 @@
+// Package load parses and type-checks the packages p2bvet analyzes.
+//
+// The module is dependency-free, so there is no golang.org/x/tools/go/packages
+// to lean on. Instead the loader type-checks analyzed packages from
+// source with go/types: imports inside the analyzed tree are resolved
+// recursively through the same loader (so cross-package facts like
+// //p2bvet:exhaustive markers are visible), and standard-library imports
+// are satisfied by the compiler's source importer
+// (go/importer.ForCompiler "source"), which type-checks stdlib packages
+// from GOROOT source. Both directions share one token.FileSet so every
+// diagnostic position is coherent.
+//
+// Scope: only non-test files are loaded. p2bvet guards shipped
+// invariants; _test.go files legitimately use wall-clocks, global rand
+// and ad-hoc allocation, and external test packages (foo_test) would
+// force a dual-package model for no analyzer benefit.
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package of the analyzed tree.
+type Package struct {
+	// Path is the package's import path ("p2b/internal/persist"), or
+	// for fixture loaders the path relative to the fixture root.
+	Path string
+	// Dir is the directory the package was read from.
+	Dir string
+	// Files holds the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// TypesInfo records type facts for every expression in Files.
+	TypesInfo *types.Info
+}
+
+// A Loader loads packages under one root directory, memoizing results
+// so shared dependencies type-check once.
+type Loader struct {
+	fset       *token.FileSet
+	rootDir    string
+	modulePath string // "" for fixture loaders: import paths are root-relative
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+	exhaustive map[*types.TypeName]bool
+}
+
+// ExhaustiveMarker is the doc-comment annotation that opts a named type
+// into walswitch's exhaustive-switch enforcement.
+const ExhaustiveMarker = "//p2bvet:exhaustive"
+
+// New returns a loader for the Go module rooted at rootDir. The module
+// path is read from go.mod; import paths under it resolve to module
+// directories and everything else falls through to the GOROOT source
+// importer.
+func New(rootDir string) (*Loader, error) {
+	mod, err := modulePath(filepath.Join(rootDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader(rootDir)
+	l.modulePath = mod
+	return l, nil
+}
+
+// NewFixture returns a loader for an analysistest-style fixture tree:
+// import paths are directories relative to rootDir (typically
+// testdata/src), with no module prefix.
+func NewFixture(rootDir string) *Loader {
+	return newLoader(rootDir)
+}
+
+func newLoader(rootDir string) *Loader {
+	// The source importer type-checks GOROOT packages with the
+	// go/build context; with cgo enabled it would try to invoke the
+	// cgo preprocessor on packages like net. Analysis needs the
+	// pure-Go view, which is also what the repo ships.
+	build.Default.CgoEnabled = false
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		rootDir:    rootDir,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+		exhaustive: make(map[*types.TypeName]bool),
+	}
+}
+
+// Fset returns the file set shared by every package this loader loads.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// IsExhaustive reports whether tn's declaration carries the
+// //p2bvet:exhaustive marker in any package loaded so far. Analyzed
+// packages load after their dependencies, so by the time an analyzer
+// sees a switch, the tag type's defining package has been scanned.
+func (l *Loader) IsExhaustive(tn *types.TypeName) bool { return l.exhaustive[tn] }
+
+// Load type-checks the package at the given import path (module-rooted,
+// or fixture-root-relative for fixture loaders) and memoizes the result.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("load: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("load: %q is outside the analyzed tree", path)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no non-test Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: importerFunc(func(imp string) (*types.Package, error) { return l.importPkg(imp) }),
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("load %s: %w", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %w", path, err)
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, TypesInfo: info}
+	l.pkgs[path] = pkg
+	l.scanExhaustive(pkg)
+	return pkg, nil
+}
+
+// LoadAll loads every package of the tree: all directories under the
+// root containing non-test Go files, skipping testdata, vendor and
+// hidden directories. Results are sorted by import path.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.rootDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.rootDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(p) {
+			rel, err := filepath.Rel(l.rootDir, p)
+			if err != nil {
+				return err
+			}
+			paths = append(paths, l.pathFor(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// dirFor maps an import path to a directory under the root, reporting
+// false for paths outside the analyzed tree (those go to the stdlib
+// importer instead).
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.rootDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.rootDir, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	}
+	dir := filepath.Join(l.rootDir, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, true
+	}
+	return "", false
+}
+
+// pathFor is the inverse of dirFor for root-relative directories.
+func (l *Loader) pathFor(rel string) string {
+	rel = filepath.ToSlash(rel)
+	if l.modulePath == "" {
+		return rel
+	}
+	if rel == "." {
+		return l.modulePath
+	}
+	return l.modulePath + "/" + rel
+}
+
+// importPkg resolves one import during type-checking: tree-local paths
+// recurse through the loader, everything else is stdlib.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// parseDir parses the non-test Go files of dir with comments attached
+// (suppressions, hotpath annotations and exhaustive markers all live in
+// comments), in sorted file order for deterministic diagnostics.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// scanExhaustive records every type declaration in pkg whose doc
+// comment carries the //p2bvet:exhaustive marker.
+func (l *Loader) scanExhaustive(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !hasMarker(ts.Doc) && !(len(gd.Specs) == 1 && hasMarker(gd.Doc)) {
+					continue
+				}
+				if tn, ok := pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					l.exhaustive[tn] = true
+				}
+			}
+		}
+	}
+}
+
+func hasMarker(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == ExhaustiveMarker {
+			return true
+		}
+	}
+	return false
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("load: no module line in %s", gomod)
+}
+
+// importerFunc adapts a function to the types.Importer interface.
+type importerFunc func(path string) (*types.Package, error)
+
+// Import implements types.Importer.
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

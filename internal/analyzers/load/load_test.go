@@ -1,0 +1,78 @@
+package load
+
+import (
+	"go/types"
+	"strings"
+	"testing"
+)
+
+func TestFixtureCrossPackageLoad(t *testing.T) {
+	l := NewFixture("testdata/src")
+	app, err := l.Load("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Types.Name() != "app" {
+		t.Fatalf("package name = %q, want app", app.Types.Name())
+	}
+	// The import resolved through the loader, not the stdlib importer.
+	liba, err := l.Load("liba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(app.Types.Imports()) != 1 || app.Types.Imports()[0] != liba.Types {
+		t.Fatalf("app imports = %v, want the loader's liba package", app.Types.Imports())
+	}
+	// Loading is memoized: same package object both times.
+	again, err := l.Load("app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != app {
+		t.Fatal("Load did not memoize")
+	}
+}
+
+func TestExhaustiveMarkerScan(t *testing.T) {
+	l := NewFixture("testdata/src")
+	liba, err := l.Load("liba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := liba.Types.Scope().Lookup("Rec").(*types.TypeName)
+	plain := liba.Types.Scope().Lookup("Plain").(*types.TypeName)
+	if !l.IsExhaustive(rec) {
+		t.Error("Rec carries the marker but IsExhaustive = false")
+	}
+	if l.IsExhaustive(plain) {
+		t.Error("Plain carries no marker but IsExhaustive = true")
+	}
+}
+
+func TestLoadRejectsOutsideTree(t *testing.T) {
+	l := NewFixture("testdata/src")
+	if _, err := l.Load("no/such/pkg"); err == nil {
+		t.Fatal("loading a missing path should error")
+	}
+}
+
+func TestModuleLoad(t *testing.T) {
+	l, err := New("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("p2b/internal/mat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Path() != "p2b/internal/mat" {
+		t.Fatalf("path = %q", pkg.Types.Path())
+	}
+	// _test.go files are out of scope by design.
+	for _, f := range pkg.Files {
+		name := l.Fset().Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			t.Fatalf("loaded test file %s", name)
+		}
+	}
+}

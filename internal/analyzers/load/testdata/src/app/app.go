@@ -1,0 +1,13 @@
+// Package app imports liba so the loader tests exercise cross-package
+// resolution through the fixture tree.
+package app
+
+import "liba"
+
+// Describe names a record kind.
+func Describe(r liba.Rec) string {
+	if r == liba.RecOne {
+		return "one"
+	}
+	return "other"
+}

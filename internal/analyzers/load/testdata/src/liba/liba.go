@@ -1,0 +1,16 @@
+// Package liba declares a marked enum type for the loader tests.
+package liba
+
+// Rec is an enum whose switches must be exhaustive.
+//
+//p2bvet:exhaustive
+type Rec byte
+
+// Rec's constants.
+const (
+	RecOne Rec = 1
+	RecTwo Rec = 2
+)
+
+// Plain carries no marker.
+type Plain int

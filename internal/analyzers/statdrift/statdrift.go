@@ -1,0 +1,285 @@
+// Package statdrift implements the p2bvet analyzer backing the
+// telemetry no-drift rule from PR 7: the Prometheus /metrics exposition
+// must sample the same state the JSON stats routes serialize, so the
+// two views of the node can never disagree.
+//
+// The rule is enforced at type granularity. For every
+// CounterFunc/GaugeFunc registration (a func-literal collector), the
+// analyzer collects the module-local named types the collector closure
+// reads through selectors — those are the state sources feeding
+// /metrics. Separately it builds the package's "JSON surface": starting
+// from every function that reaches a JSON sink (writeJSON, json.Marshal,
+// json.Encoder.Encode), it gathers the module-local named types those
+// functions read, plus the transitive exported-field closure of the
+// values actually serialized. Every collector source type must appear
+// in the JSON surface; a collector sampling state no stats route
+// serializes has drifted and is flagged.
+//
+// The runtime backstop is the metrics/JSON equivalence e2e test; this
+// analyzer catches the drift at compile time, including for routes the
+// e2e happens not to exercise.
+package statdrift
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"p2b/internal/analyzers/analysis"
+)
+
+// Analyzer is the statdrift analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "statdrift",
+	Doc: "every CounterFunc/GaugeFunc collector must sample state that a JSON stats " +
+		"route also serializes (the telemetry no-drift rule)",
+	Run: run,
+}
+
+// collectorMethods are the registration methods whose func-literal
+// argument is a metrics collector.
+var collectorMethods = map[string]bool{"CounterFunc": true, "GaugeFunc": true}
+
+// jsonGraphDepth bounds the call-graph expansion from JSON sink
+// functions through package-local callees.
+const jsonGraphDepth = 4
+
+func run(pass *analysis.Pass) (any, error) {
+	jsonTypes, hasSink := jsonSurface(pass)
+	if !hasSink {
+		// The no-drift rule compares the /metrics view against the
+		// package's JSON stats view. A package with no JSON sink
+		// (e.g. an agent-side CLI exposing only /metrics) has nothing
+		// to drift from.
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !collectorMethods[sel.Sel.Name] {
+				return true
+			}
+			var closure *ast.FuncLit
+			for _, arg := range call.Args {
+				if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					closure = fl
+				}
+			}
+			if closure == nil {
+				return true
+			}
+			sources := localSelectorTypes(pass, closure)
+			var missing []string
+			for tn := range sources {
+				if !jsonTypes[tn] {
+					missing = append(missing, tn.Name())
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(closure.Pos(),
+					"%s collector samples %s, which no JSON stats route serializes (no-drift rule)",
+					sel.Sel.Name, strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// jsonSurface computes the module-local named types reachable from the
+// package's JSON-serializing functions, and whether the package has any
+// JSON sink at all.
+func jsonSurface(pass *analysis.Pass) (map[*types.TypeName]bool, bool) {
+	// Index the package's function declarations by object so the
+	// call graph can expand through package-local callees.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+
+	// Seed: every top-level function whose body contains a JSON sink
+	// call, plus the static types of the serialized values.
+	surface := make(map[*types.TypeName]bool)
+	graph := make(map[*ast.FuncDecl]bool)
+	hasSink := false
+	for _, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg, ok := jsonSinkArg(pass, call)
+			if !ok {
+				return true
+			}
+			hasSink = true
+			graph[fd] = true
+			if arg != nil {
+				if t := pass.TypesInfo.Types[arg].Type; t != nil {
+					addSerializedClosure(pass, t, surface, 0)
+				}
+			}
+			return true
+		})
+	}
+
+	// Expand the graph through package-local callees a few hops, then
+	// fold in every module-local type the graph bodies read.
+	frontier := graph
+	for depth := 0; depth < jsonGraphDepth && len(frontier) > 0; depth++ {
+		next := make(map[*ast.FuncDecl]bool)
+		for fd := range frontier {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := pass.TypesInfo.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if callee, ok := decls[obj]; ok && !graph[callee] {
+					graph[callee] = true
+					next[callee] = true
+				}
+				return true
+			})
+		}
+		frontier = next
+	}
+	for fd := range graph {
+		for tn := range localSelectorTypes(pass, fd.Body) {
+			surface[tn] = true
+		}
+	}
+	return surface, hasSink
+}
+
+// jsonSinkArg reports whether call is a JSON sink and returns the
+// serialized value expression when it is identifiable.
+func jsonSinkArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name == "writeJSON" && len(call.Args) >= 1 {
+			// The repo convention: writeJSON(w, v) or writeJSON(w, code, v);
+			// the serialized value is the last argument.
+			return call.Args[len(call.Args)-1], true
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return nil, false
+		}
+		if fn.Pkg().Path() != "encoding/json" {
+			return nil, false
+		}
+		switch fn.Name() {
+		case "Marshal", "MarshalIndent", "Encode":
+			if len(call.Args) >= 1 {
+				return call.Args[0], true
+			}
+			return nil, true
+		}
+	}
+	return nil, false
+}
+
+// addSerializedClosure adds t and the types reachable through its
+// exported fields and element types — everything encoding/json would
+// serialize from a value of type t.
+func addSerializedClosure(pass *analysis.Pass, t types.Type, out map[*types.TypeName]bool, depth int) {
+	if t == nil || depth > 6 {
+		return
+	}
+	t = types.Unalias(t)
+	if named, ok := t.(*types.Named); ok {
+		tn := named.Obj()
+		if isModuleLocal(pass, tn) {
+			if out[tn] {
+				return
+			}
+			out[tn] = true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		addSerializedClosure(pass, u.Elem(), out, depth+1)
+	case *types.Slice:
+		addSerializedClosure(pass, u.Elem(), out, depth+1)
+	case *types.Array:
+		addSerializedClosure(pass, u.Elem(), out, depth+1)
+	case *types.Map:
+		addSerializedClosure(pass, u.Elem(), out, depth+1)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if f.Exported() || f.Embedded() {
+				addSerializedClosure(pass, f.Type(), out, depth+1)
+			}
+		}
+	}
+}
+
+// localSelectorTypes returns the module-local named types that node
+// reads through selector expressions (x.F, x.M()): the state types the
+// code observes.
+func localSelectorTypes(pass *analysis.Pass, node ast.Node) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	ast.Inspect(node, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[sel.X].Type
+		if t == nil {
+			return true
+		}
+		for {
+			t = types.Unalias(t)
+			if p, ok := t.Underlying().(*types.Pointer); ok {
+				t = p.Elem()
+				continue
+			}
+			break
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			if tn := named.Obj(); isModuleLocal(pass, tn) {
+				out[tn] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isModuleLocal reports whether tn is declared in this module (same
+// package, or a package sharing the module's root path segment).
+func isModuleLocal(pass *analysis.Pass, tn *types.TypeName) bool {
+	pkg := tn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	if pkg == pass.Pkg {
+		return true
+	}
+	return firstSegment(pkg.Path()) == firstSegment(pass.Pkg.Path())
+}
+
+func firstSegment(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

@@ -1,0 +1,12 @@
+package statdrift_test
+
+import (
+	"testing"
+
+	"p2b/internal/analyzers/analysistest"
+	"p2b/internal/analyzers/statdrift"
+)
+
+func TestStatdrift(t *testing.T) {
+	analysistest.Run(t, "testdata", statdrift.Analyzer, "statdriftfix", "statdriftnosink")
+}

@@ -1,0 +1,42 @@
+// Package statdriftfix seeds a drifted Func collector: the package
+// serializes stats over JSON, one collector samples that same state,
+// and one samples a type no stats route ever serializes.
+package statdriftfix
+
+import "encoding/json"
+
+// stats is the state the JSON route serializes.
+type stats struct {
+	Hits uint64
+}
+
+// hidden is sampled by a collector but never serialized.
+type hidden struct {
+	misses uint64
+}
+
+// registry mimics the metrics registry's Func-collector API.
+type registry struct{}
+
+// CounterFunc registers a counter sampled by fn.
+func (r *registry) CounterFunc(name string, fn func() uint64) {}
+
+// GaugeFunc registers a gauge sampled by fn.
+func (r *registry) GaugeFunc(name string, fn func() float64) {}
+
+// payload is the JSON body of the stats route.
+type payload struct {
+	S stats `json:"s"`
+}
+
+// serve marshals the stats payload: the package's JSON surface.
+func serve(p payload) ([]byte, error) {
+	return json.Marshal(p)
+}
+
+// register wires collectors. The stats-backed one matches the JSON
+// surface; the hidden-backed one has drifted.
+func register(r *registry, s *stats, h *hidden) {
+	r.CounterFunc("hits", func() uint64 { return s.Hits })
+	r.CounterFunc("misses", func() uint64 { return h.misses }) // want `CounterFunc collector samples hidden, which no JSON stats route serializes`
+}

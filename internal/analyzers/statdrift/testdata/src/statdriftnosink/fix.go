@@ -1,0 +1,20 @@
+// Package statdriftnosink exposes collectors but serializes no JSON:
+// with no stats route there is nothing to drift from, so statdrift must
+// stay silent (the vacuous pass that keeps agent-side CLIs clean).
+package statdriftnosink
+
+// counters is agent-side state exposed only over /metrics.
+type counters struct {
+	sent uint64
+}
+
+// registry mimics the metrics registry's Func-collector API.
+type registry struct{}
+
+// CounterFunc registers a counter sampled by fn.
+func (r *registry) CounterFunc(name string, fn func() uint64) {}
+
+// Register wires a collector over state no JSON route serializes.
+func Register(r *registry, c *counters) {
+	r.CounterFunc("sent", func() uint64 { return c.sent })
+}

@@ -1,0 +1,28 @@
+// Package suppfix exercises the p2bvet suppression machinery: an
+// active violation, both suppression placements, and a malformed
+// suppression with no reason.
+package suppfix
+
+import "time"
+
+// Active is an unsuppressed violation.
+func Active() int64 {
+	return time.Now().UnixNano()
+}
+
+// Trailing suppresses on the flagged line itself.
+func Trailing() int64 {
+	return time.Now().UnixNano() //p2bvet:ignore detrand fixture: same-line suppression
+}
+
+// Above suppresses from the line above the flagged statement.
+func Above() int64 {
+	//p2bvet:ignore detrand fixture: line-above suppression
+	return time.Now().UnixNano()
+}
+
+// Missing lacks a reason: the suppression itself becomes a finding and
+// the violation it meant to cover stays active.
+func Missing() int64 {
+	return time.Now().UnixNano() //p2bvet:ignore detrand
+}

@@ -1,0 +1,213 @@
+// Package analyzers is the p2bvet runner: it applies the suite's
+// analyzers to loaded packages, resolves //p2bvet:ignore suppressions,
+// and renders text and JSON reports with a per-analyzer suppression
+// budget so budget growth is visible per PR.
+//
+// Suppression syntax, enforced here:
+//
+//	//p2bvet:ignore <analyzer> <reason>
+//
+// The comment suppresses findings of the named analyzer on its own
+// line and on the immediately following line (so it can trail the
+// flagged statement or sit on its own line above it). The reason is
+// mandatory: a suppression without one is itself reported as a finding
+// that cannot be suppressed.
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"p2b/internal/analyzers/analysis"
+	"p2b/internal/analyzers/load"
+)
+
+// IgnorePrefix starts a p2bvet suppression comment.
+const IgnorePrefix = "//p2bvet:ignore"
+
+// A Finding is one diagnostic after suppression resolution.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name ("p2bvet" for
+	// malformed-suppression meta findings).
+	Analyzer string `json:"analyzer"`
+	// Package is the import path of the package the finding is in.
+	Package string `json:"package"`
+	// Position is the file:line:column location.
+	Position string `json:"position"`
+	// Message states the violated invariant.
+	Message string `json:"message"`
+	// Suppressed reports whether a //p2bvet:ignore covers the finding.
+	Suppressed bool `json:"suppressed"`
+	// Reason is the suppression's written justification, when suppressed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// A Report is the result of one vet run.
+type Report struct {
+	// Findings holds every diagnostic, suppressed or not, sorted by
+	// position.
+	Findings []Finding `json:"findings"`
+	// Budget counts suppressed findings per analyzer — the number a
+	// PR review watches.
+	Budget map[string]int `json:"suppression_budget"`
+	// Active is the number of unsuppressed findings; non-zero fails
+	// the run.
+	Active int `json:"active"`
+}
+
+// A Config scopes one analyzer to a set of package paths.
+type Config struct {
+	// Analyzer is the check to run.
+	Analyzer *analysis.Analyzer
+	// Packages lists the import paths the analyzer applies to; nil
+	// means every loaded package.
+	Packages []string
+}
+
+// appliesTo reports whether the analyzer runs over pkgPath.
+func (c Config) appliesTo(pkgPath string) bool {
+	if c.Packages == nil {
+		return true
+	}
+	for _, p := range c.Packages {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies each configured analyzer to the packages it is scoped to
+// and resolves suppressions into a Report.
+func Run(loader *load.Loader, pkgs []*load.Package, suite []Config) (*Report, error) {
+	rep := &Report{Budget: make(map[string]int)}
+	fset := loader.Fset()
+	for _, pkg := range pkgs {
+		supps, malformed := scanSuppressions(fset, pkg)
+		for _, m := range malformed {
+			rep.Findings = append(rep.Findings, m)
+		}
+		for _, cfg := range suite {
+			if !cfg.appliesTo(pkg.Path) {
+				continue
+			}
+			a := cfg.Analyzer
+			pass := &analysis.Pass{
+				Analyzer:     a,
+				Fset:         fset,
+				Files:        pkg.Files,
+				Pkg:          pkg.Types,
+				TypesInfo:    pkg.TypesInfo,
+				IsExhaustive: loader.IsExhaustive,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Package:  pkg.Path,
+					Position: pos.String(),
+					Message:  d.Message,
+				}
+				if reason, ok := supps.match(pos, a.Name); ok {
+					f.Suppressed = true
+					f.Reason = reason
+				}
+				rep.Findings = append(rep.Findings, f)
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool {
+		if rep.Findings[i].Position != rep.Findings[j].Position {
+			return rep.Findings[i].Position < rep.Findings[j].Position
+		}
+		return rep.Findings[i].Analyzer < rep.Findings[j].Analyzer
+	})
+	for _, f := range rep.Findings {
+		if f.Suppressed {
+			rep.Budget[f.Analyzer]++
+		} else {
+			rep.Active++
+		}
+	}
+	return rep, nil
+}
+
+// suppressions maps (file, line, analyzer) to a reason.
+type suppressions map[suppKey]string
+
+type suppKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// match looks up a suppression covering the diagnostic position: the
+// comment's own line or the line above it.
+func (s suppressions) match(pos token.Position, analyzer string) (string, bool) {
+	for _, line := range [...]int{pos.Line, pos.Line - 1} {
+		if reason, ok := s[suppKey{pos.Filename, line, analyzer}]; ok {
+			return reason, true
+		}
+	}
+	return "", false
+}
+
+// scanSuppressions collects the //p2bvet:ignore comments of a package,
+// reporting malformed ones (unknown shape or missing reason) as
+// unsuppressable meta findings.
+func scanSuppressions(fset *token.FileSet, pkg *load.Package) (suppressions, []Finding) {
+	supps := make(suppressions)
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, IgnorePrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(text, IgnorePrefix))
+				if len(fields) < 2 {
+					malformed = append(malformed, Finding{
+						Analyzer: "p2bvet",
+						Package:  pkg.Path,
+						Position: pos.String(),
+						Message:  "malformed suppression: want //p2bvet:ignore <analyzer> <reason>; the reason is mandatory",
+					})
+					continue
+				}
+				supps[suppKey{pos.Filename, pos.Line, fields[0]}] = strings.Join(fields[1:], " ")
+			}
+		}
+	}
+	return supps, malformed
+}
+
+// Render writes the human-readable report: one line per active finding,
+// then the suppression budget.
+func (r *Report) Render(w interface{ Write([]byte) (int, error) }) {
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", f.Position, f.Message, f.Analyzer)
+	}
+	if len(r.Budget) > 0 {
+		names := make([]string, 0, len(r.Budget))
+		for name := range r.Budget {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, r.Budget[name]))
+		}
+		fmt.Fprintf(w, "p2bvet: suppression budget: %s\n", strings.Join(parts, " "))
+	}
+	fmt.Fprintf(w, "p2bvet: %d active finding(s), %d suppressed\n", r.Active, len(r.Findings)-r.Active)
+}

@@ -1,0 +1,162 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"p2b/internal/analyzers/detrand"
+	"p2b/internal/analyzers/load"
+)
+
+func runSuppFix(t *testing.T, suite []Config) *Report {
+	t.Helper()
+	loader := load.NewFixture("testdata/src")
+	pkg, err := loader.Load("suppfix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(loader, []*load.Package{pkg}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestRunSuppressions(t *testing.T) {
+	rep := runSuppFix(t, []Config{{Analyzer: detrand.Analyzer}})
+
+	// Four detrand violations plus one malformed-suppression meta
+	// finding; the reasoned suppressions cover two of them.
+	if got := len(rep.Findings); got != 5 {
+		t.Fatalf("findings = %d, want 5: %+v", got, rep.Findings)
+	}
+	if rep.Active != 3 {
+		t.Errorf("active = %d, want 3 (Active, Missing, malformed meta)", rep.Active)
+	}
+	if rep.Budget["detrand"] != 2 {
+		t.Errorf("budget[detrand] = %d, want 2", rep.Budget["detrand"])
+	}
+
+	var reasons []string
+	var meta int
+	for _, f := range rep.Findings {
+		if f.Suppressed {
+			reasons = append(reasons, f.Reason)
+		}
+		if f.Analyzer == "p2bvet" {
+			meta++
+			if f.Suppressed {
+				t.Error("malformed-suppression meta finding must not be suppressible")
+			}
+			if !strings.Contains(f.Message, "reason is mandatory") {
+				t.Errorf("meta message = %q", f.Message)
+			}
+		}
+	}
+	if meta != 1 {
+		t.Errorf("meta findings = %d, want 1", meta)
+	}
+	want := []string{"fixture: same-line suppression", "fixture: line-above suppression"}
+	for _, w := range want {
+		found := false
+		for _, r := range reasons {
+			found = found || r == w
+		}
+		if !found {
+			t.Errorf("suppression reason %q not recorded; got %v", w, reasons)
+		}
+	}
+}
+
+func TestConfigScoping(t *testing.T) {
+	// detrand scoped to a different package: no detrand findings, but
+	// suppression hygiene is still checked everywhere.
+	rep := runSuppFix(t, []Config{{Analyzer: detrand.Analyzer, Packages: []string{"elsewhere"}}})
+	for _, f := range rep.Findings {
+		if f.Analyzer == "detrand" {
+			t.Fatalf("scoped-out analyzer still ran: %+v", f)
+		}
+	}
+	if rep.Active != 1 {
+		t.Fatalf("active = %d, want 1 (the malformed suppression)", rep.Active)
+	}
+
+	cfg := Config{Analyzer: detrand.Analyzer, Packages: []string{"a", "b"}}
+	if cfg.appliesTo("c") || !cfg.appliesTo("b") {
+		t.Error("appliesTo package list broken")
+	}
+	if !(Config{Analyzer: detrand.Analyzer}).appliesTo("anything") {
+		t.Error("nil Packages must mean every package")
+	}
+}
+
+func TestReportJSONShape(t *testing.T) {
+	rep := runSuppFix(t, []Config{{Analyzer: detrand.Analyzer}})
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Findings []struct {
+			Analyzer   string `json:"analyzer"`
+			Package    string `json:"package"`
+			Position   string `json:"position"`
+			Message    string `json:"message"`
+			Suppressed bool   `json:"suppressed"`
+		} `json:"findings"`
+		Budget map[string]int `json:"suppression_budget"`
+		Active int            `json:"active"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded.Findings) != 5 || decoded.Active != 3 || decoded.Budget["detrand"] != 2 {
+		t.Fatalf("decoded report = %+v", decoded)
+	}
+	for _, f := range decoded.Findings {
+		if f.Analyzer == "" || f.Package != "suppfix" || f.Position == "" || f.Message == "" {
+			t.Fatalf("incomplete finding in JSON: %+v", f)
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	rep := runSuppFix(t, []Config{{Analyzer: detrand.Analyzer}})
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "p2bvet: suppression budget: detrand=2") {
+		t.Errorf("budget line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "p2bvet: 3 active finding(s), 2 suppressed") {
+		t.Errorf("totals line missing:\n%s", out)
+	}
+	// Suppressed findings stay out of the active listing.
+	if got := strings.Count(out, "(detrand)"); got != 2 {
+		t.Errorf("active detrand lines = %d, want 2:\n%s", got, out)
+	}
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, cfg := range suite {
+		if cfg.Analyzer == nil || cfg.Analyzer.Name == "" || cfg.Analyzer.Run == nil {
+			t.Fatalf("malformed suite entry: %+v", cfg)
+		}
+		if seen[cfg.Analyzer.Name] {
+			t.Fatalf("duplicate analyzer %s", cfg.Analyzer.Name)
+		}
+		seen[cfg.Analyzer.Name] = true
+	}
+	for _, name := range []string{"detrand", "hotalloc", "walswitch", "atomichygiene", "statdrift"} {
+		if !seen[name] {
+			t.Errorf("suite missing %s", name)
+		}
+	}
+}

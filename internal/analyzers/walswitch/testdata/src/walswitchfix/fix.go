@@ -1,0 +1,58 @@
+// Package walswitchfix seeds an incomplete switch over a marked
+// constant type, alongside the passing shapes: full coverage (including
+// grouped cases) and switches over unmarked types.
+package walswitchfix
+
+// RecType enumerates the fixture's record kinds; every switch over it
+// must handle all of them.
+//
+//p2bvet:exhaustive
+type RecType byte
+
+// The declared record kinds.
+const (
+	RecA RecType = 1
+	RecB RecType = 2
+	RecC RecType = 3
+)
+
+// Plain is unmarked: switches over it may be as sparse as they like.
+type Plain int
+
+// Plain's constants.
+const (
+	P1 Plain = 1
+	P2 Plain = 2
+)
+
+// Describe misses RecC; the default clause does not excuse it.
+func Describe(t RecType) string {
+	switch t { // want `switch on RecType is not exhaustive: missing cases RecC`
+	case RecA:
+		return "a"
+	case RecB:
+		return "b"
+	default:
+		return "?"
+	}
+}
+
+// Full lists every constant, grouping two in one clause.
+func Full(t RecType) string {
+	switch t {
+	case RecA, RecB:
+		return "ab"
+	case RecC:
+		return "c"
+	}
+	return ""
+}
+
+// Loose switches sparsely over the unmarked type without complaint.
+func Loose(p Plain) bool {
+	switch p {
+	case P1:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,119 @@
+// Package walswitch implements the p2bvet analyzer that makes switches
+// over marked enum-like types exhaustive.
+//
+// A named constant type whose declaration doc comment carries the
+// //p2bvet:exhaustive marker (persist.RecordType is the motivating
+// case) promises that every switch over a value of that type lists
+// every declared constant of the type explicitly. A default clause does
+// NOT satisfy the check: the whole point is that adding a new WAL
+// record type (the roadmap's durable relay identity will add one) must
+// fail CI at every replay, dump and checkpoint switch until each site
+// states how the new record is handled.
+//
+// Constants are collected from the marked type's defining package
+// scope, so a switch in cmd/p2bwal over persist.RecordType is held to
+// the same set the persist package declares.
+package walswitch
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"p2b/internal/analyzers/analysis"
+)
+
+// Analyzer is the walswitch analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "walswitch",
+	Doc: "switches over //p2bvet:exhaustive-marked constant types must list every " +
+		"declared constant; a default clause does not excuse a missing case",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tagType := pass.TypesInfo.Types[sw.Tag].Type
+	if tagType == nil {
+		return
+	}
+	named, ok := types.Unalias(tagType).(*types.Named)
+	if !ok {
+		return
+	}
+	tn := named.Obj()
+	if pass.IsExhaustive == nil || !pass.IsExhaustive(tn) {
+		return
+	}
+
+	required := declaredConstants(tn, named)
+	if len(required) == 0 {
+		return
+	}
+	for _, clause := range sw.Body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, expr := range cc.List {
+			tv, ok := pass.TypesInfo.Types[expr]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			for name, val := range required {
+				if constant.Compare(val, token.EQL, tv.Value) {
+					delete(required, name)
+				}
+			}
+		}
+	}
+	if len(required) == 0 {
+		return
+	}
+	missing := make([]string, 0, len(required))
+	for name := range required {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch on %s is not exhaustive: missing cases %s (type is marked %s)",
+		types.TypeString(named, types.RelativeTo(pass.Pkg)),
+		strings.Join(missing, ", "), "//p2bvet:exhaustive")
+}
+
+// declaredConstants returns name -> value for every package-level
+// constant of the marked type, taken from its defining package.
+func declaredConstants(tn *types.TypeName, named *types.Named) map[string]constant.Value {
+	pkg := tn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	out := make(map[string]constant.Value)
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		if types.Identical(types.Unalias(c.Type()), named) {
+			out[name] = c.Val()
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package walswitch_test
+
+import (
+	"testing"
+
+	"p2b/internal/analyzers/analysistest"
+	"p2b/internal/analyzers/walswitch"
+)
+
+func TestWalswitch(t *testing.T) {
+	analysistest.Run(t, "testdata", walswitch.Analyzer, "walswitchfix")
+}

@@ -45,6 +45,8 @@ type CodePolicy interface {
 
 // argmaxTieBreak returns the index of the maximum value, breaking ties
 // uniformly at random so that early rounds (all scores equal) explore.
+//
+//p2b:hotpath
 func argmaxTieBreak(scores []float64, r *rng.Rand) int {
 	best := scores[0]
 	count := 1
@@ -132,6 +134,8 @@ func (l *LinUCB) Alpha() float64 { return l.alpha }
 func (l *LinUCB) Pulls(arm int) int64 { return l.n[arm] }
 
 // Select returns the arm with the highest upper confidence bound for x.
+//
+//p2b:hotpath
 func (l *LinUCB) Select(x []float64) int {
 	v := mat.Vec(x)
 	if len(v) != l.d {
@@ -145,12 +149,16 @@ func (l *LinUCB) Select(x []float64) int {
 
 // Score returns the UCB score of one arm for context x, exposed for tests
 // and diagnostics.
+//
+//p2b:hotpath
 func (l *LinUCB) Score(x []float64, arm int) float64 {
 	return l.score(mat.Vec(x), arm)
 }
 
 // score computes one arm's UCB score using the shared scratch vector: with
 // w = A^{-1} x, score = b . w + alpha sqrt(x . w) (A^{-1} is symmetric).
+//
+//p2b:hotpath
 func (l *LinUCB) score(v mat.Vec, arm int) float64 {
 	av := l.ainv[arm].MulVecTo(l.av, v) // A^{-1} x
 	mean := l.b[arm].Dot(av)            // theta . x = b . (A^{-1} x)
@@ -166,6 +174,8 @@ func (l *LinUCB) theta(arm int) mat.Vec {
 func (l *LinUCB) Theta(arm int) []float64 { return l.theta(arm).Clone() }
 
 // Update performs the ridge regression update for the played arm.
+//
+//p2b:hotpath
 func (l *LinUCB) Update(x []float64, action int, reward float64) {
 	v := mat.Vec(x)
 	if len(v) != l.d {

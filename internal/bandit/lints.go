@@ -78,6 +78,8 @@ func (t *LinThompson) Arms() int { return t.arms }
 func (t *LinThompson) Dim() int { return t.d }
 
 // Select draws one posterior sample per arm and plays the argmax.
+//
+//p2b:hotpath
 func (t *LinThompson) Select(x []float64) int {
 	v := mat.Vec(x)
 	if len(v) != t.d {

@@ -63,6 +63,8 @@ func (t *TabularUCB) checkCode(y int) {
 }
 
 // ScoreCode returns the UCB score of one arm for code y.
+//
+//p2b:hotpath
 func (t *TabularUCB) ScoreCode(y, arm int) float64 {
 	t.checkCode(y)
 	i := y*t.arms + arm
@@ -75,6 +77,8 @@ func (t *TabularUCB) ScoreCode(y, arm int) float64 {
 // scores live in a per-learner scratch buffer, so SelectCode allocates
 // nothing — and a TabularUCB must not be shared across goroutines without
 // external locking.
+//
+//p2b:hotpath
 func (t *TabularUCB) SelectCode(y int) int {
 	t.checkCode(y)
 	scores := t.scores
@@ -87,6 +91,8 @@ func (t *TabularUCB) SelectCode(y int) int {
 }
 
 // UpdateCode incorporates an observed reward for (code, action).
+//
+//p2b:hotpath
 func (t *TabularUCB) UpdateCode(y, action int, reward float64) {
 	t.checkCode(y)
 	if action < 0 || action >= t.arms {

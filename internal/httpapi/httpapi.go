@@ -537,6 +537,8 @@ func modelETag(kind string, epoch, version uint64, binary bool) string {
 // etagMatches implements the If-None-Match comparison: a comma-separated
 // list of entity tags (possibly weak-prefixed) or the wildcard "*". It is
 // allocation-free — it runs on every revalidation of every polling device.
+//
+//p2b:hotpath
 func etagMatches(header, etag string) bool {
 	for len(header) > 0 {
 		var tag string
@@ -609,6 +611,8 @@ func modelKindParam(r *http.Request) string {
 }
 
 // payloadIndex maps a (kind, representation) pair to its cache slot.
+//
+//p2b:hotpath
 func payloadIndex(kind string, binary bool) int {
 	i := 0
 	switch kind {

@@ -30,6 +30,8 @@ import (
 var statusClasses = [...]string{"2xx", "3xx", "4xx", "5xx", "429", "503"}
 
 // classIndex maps an HTTP status to its statusClasses slot.
+//
+//p2b:hotpath
 func classIndex(status int) int {
 	switch {
 	case status == http.StatusTooManyRequests:

@@ -32,6 +32,8 @@ func (v Vec) Clone() Vec {
 }
 
 // Dot returns the inner product of v and w. It panics on length mismatch.
+//
+//p2b:hotpath
 func (v Vec) Dot(w Vec) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("mat: Dot dimension mismatch %d vs %d", len(v), len(w)))
@@ -44,6 +46,8 @@ func (v Vec) Dot(w Vec) float64 {
 }
 
 // AddScaled adds alpha*w to v in place.
+//
+//p2b:hotpath
 func (v Vec) AddScaled(alpha float64, w Vec) {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("mat: AddScaled dimension mismatch %d vs %d", len(v), len(w)))
@@ -54,6 +58,8 @@ func (v Vec) AddScaled(alpha float64, w Vec) {
 }
 
 // Scale multiplies v by alpha in place.
+//
+//p2b:hotpath
 func (v Vec) Scale(alpha float64) {
 	for i := range v {
 		v[i] *= alpha
@@ -64,6 +70,8 @@ func (v Vec) Scale(alpha float64) {
 func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
 
 // Dist2 returns the squared Euclidean distance between v and w.
+//
+//p2b:hotpath
 func (v Vec) Dist2(w Vec) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("mat: Dist2 dimension mismatch %d vs %d", len(v), len(w)))
@@ -137,6 +145,8 @@ func (m *Dense) MulVec(x Vec) Vec {
 // MulVecTo computes m * x into dst and returns it. dst must have length N
 // and may not alias x; it is the allocation-free variant hot paths use with
 // a reused scratch vector.
+//
+//p2b:hotpath
 func (m *Dense) MulVecTo(dst, x Vec) Vec {
 	if len(x) != m.N {
 		panic(fmt.Sprintf("mat: MulVec dimension mismatch %d vs %d", len(x), m.N))
@@ -157,6 +167,8 @@ func (m *Dense) MulVecTo(dst, x Vec) Vec {
 
 // AddOuter adds scale * (u u^T) to m in place. This is the LinUCB design
 // matrix update A += x x^T.
+//
+//p2b:hotpath
 func (m *Dense) AddOuter(u Vec, scale float64) {
 	if len(u) != m.N {
 		panic(fmt.Sprintf("mat: AddOuter dimension mismatch %d vs %d", len(u), m.N))
@@ -355,6 +367,8 @@ func ShermanMorrison(inv *Dense, u Vec) error {
 
 // ShermanMorrisonTo is ShermanMorrison with a caller-provided scratch
 // vector of length N (overwritten), making the update allocation-free.
+//
+//p2b:hotpath
 func ShermanMorrisonTo(inv *Dense, u, scratch Vec) error {
 	if len(u) != inv.N {
 		panic(fmt.Sprintf("mat: ShermanMorrison dimension mismatch %d vs %d", len(u), inv.N))

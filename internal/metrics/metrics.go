@@ -42,6 +42,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//p2b:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -49,6 +51,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n (negative deltas are ignored — counters only go up).
+//
+//p2b:hotpath
 func (c *Counter) Add(n int64) {
 	if c != nil && n > 0 {
 		c.v.Add(n)
@@ -70,6 +74,8 @@ type Gauge struct {
 }
 
 // Set replaces the value.
+//
+//p2b:hotpath
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -77,6 +83,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the value by n (either sign).
+//
+//p2b:hotpath
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -148,6 +156,8 @@ func SizeBuckets() []float64 { return ExpBuckets(64, 4, 11) }
 // Observe records one value. Values below the first bound land in the
 // first bucket; values above the last land in the +Inf bucket. NaN is
 // dropped — one poisoned measurement must not corrupt the sum forever.
+//
+//p2b:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return

@@ -45,7 +45,7 @@ func TestWALDeliverRecordRoundTrip(t *testing.T) {
 		t.Fatalf("replayed %d records, want 2", len(recs))
 	}
 	d := recs[0]
-	if !d.Deliver || d.Origin != "relay-1" || d.Epoch != 42 || d.PeerSeq != 9 {
+	if d.Type != RecordDeliver || d.Origin != "relay-1" || d.Epoch != 42 || d.PeerSeq != 9 {
 		t.Fatalf("deliver record = %+v", d)
 	}
 	if len(d.Tuples) != len(want) {
@@ -56,7 +56,7 @@ func TestWALDeliverRecordRoundTrip(t *testing.T) {
 			t.Fatalf("tuple %d = %+v, want %+v", i, d.Tuples[i], want[i])
 		}
 	}
-	if recs[1].Deliver || recs[1].Origin != "" {
+	if recs[1].Type == RecordDeliver || recs[1].Origin != "" {
 		t.Fatalf("plain record inherited deliver fields: %+v", recs[1])
 	}
 }

@@ -148,11 +148,11 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 
 	err = wal.Replay(m.ckptSeq, func(rec Record) error {
 		m.recovery.ReplayedRecords++
-		switch {
-		case rec.Flush:
+		switch rec.Type {
+		case RecordFlush:
 			m.recovery.ReplayedFlushes++
 			shuf.Flush()
-		case rec.Deliver:
+		case RecordDeliver:
 			// Straight to the server, bypassing the shuffler, exactly like
 			// the live /peer/ingest path. The server's (origin, epoch, seq)
 			// guard — restored from the checkpoint — drops records the
@@ -160,9 +160,11 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 			m.recovery.ReplayedPeer++
 			m.recovery.ReplayedTuples += len(rec.Tuples)
 			srv.DeliverPeerBatch(rec.Origin, rec.Epoch, rec.PeerSeq, rec.Tuples)
-		default:
+		case RecordTuples:
 			m.recovery.ReplayedTuples += len(rec.Tuples)
 			shuf.SubmitTuples(rec.Tuples)
+		default:
+			return fmt.Errorf("%w: replaying unknown record type %d at seq %d", ErrCorrupt, rec.Type, rec.Seq)
 		}
 		return nil
 	})
@@ -206,13 +208,13 @@ func (m *Manager) appendStart() time.Time {
 	if m.opts.Metrics == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return walClock()
 }
 
 // observeAppend records one successful WAL append's latency.
 func (m *Manager) observeAppend(start time.Time) {
 	if m.opts.Metrics != nil {
-		m.opts.Metrics.AppendSeconds.Observe(time.Since(start).Seconds())
+		m.opts.Metrics.AppendSeconds.Observe(walClock().Sub(start).Seconds())
 	}
 }
 
@@ -317,7 +319,7 @@ func (m *Manager) Checkpoint() error {
 		}
 	}
 	if m.opts.Metrics != nil {
-		m.opts.Metrics.CheckpointSeconds.Observe(time.Since(start).Seconds())
+		m.opts.Metrics.CheckpointSeconds.Observe(walClock().Sub(start).Seconds())
 		m.opts.Metrics.Checkpoints.Inc()
 	}
 	return nil

@@ -22,12 +22,12 @@
 // crc is CRC-32C over the 13 header bytes after the crc field plus the
 // payload. Record types:
 //
-//	recordTuples (1): payload is a transport batch stream — the "P2B1"
+//	RecordTuples (1): payload is a transport batch stream — the "P2B1"
 //	    magic followed by length-prefixed frames, the exact codec the HTTP
 //	    batch route speaks (internal/transport/wire.go), with zero metadata.
-//	recordFlush (2): empty payload; the shuffler's pending buffer was
+//	RecordFlush (2): empty payload; the shuffler's pending buffer was
 //	    force-flushed at this point in the stream.
-//	recordDeliver (3): a relay-forwarded peer batch delivered directly to
+//	RecordDeliver (3): a relay-forwarded peer batch delivered directly to
 //	    the analyzer server, bypassing the local shuffler (the relay already
 //	    shuffled it). payload is u8(len(origin)) origin u64le(epoch)
 //	    u64le(peer seq) followed by a transport batch stream.
@@ -86,11 +86,27 @@ const (
 // so tests can exercise rotation without writing 64 MiB.
 var maxSegmentBytes int64 = 64 << 20
 
-// Record types.
+// RecordType identifies what one WAL record holds. Adding a type here
+// (the roadmap's durable relay identity will) forces every replay, dump
+// and checkpoint switch in the repo to state how the new record is
+// handled — p2bvet's walswitch analyzer rejects any switch over a
+// RecordType value that does not list every constant below.
+//
+//p2bvet:exhaustive
+type RecordType byte
+
+// The WAL record types; values are the on-disk type bytes and must
+// never be renumbered.
 const (
-	recordTuples  byte = 1
-	recordFlush   byte = 2
-	recordDeliver byte = 3
+	// RecordTuples is an anonymized tuple batch bound for the local
+	// shuffler.
+	RecordTuples RecordType = 1
+	// RecordFlush marks a forced flush of the shuffler's pending
+	// buffer at this point in the stream.
+	RecordFlush RecordType = 2
+	// RecordDeliver is a relay-forwarded peer batch that bypassed the
+	// local shuffler, deduplicated under its (Origin, Epoch, PeerSeq).
+	RecordDeliver RecordType = 3
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -99,16 +115,18 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // middle of the log, or a nonsensical record header.
 var ErrCorrupt = errors.New("persist: corrupt write-ahead log")
 
-// Record is one replayed WAL entry.
+// Record is one replayed WAL entry. Type says which fields are
+// meaningful: Tuples for RecordTuples, nothing extra for RecordFlush,
+// and Tuples plus the (Origin, Epoch, PeerSeq) peer position for
+// RecordDeliver.
 type Record struct {
 	Seq    uint64
-	Flush  bool              // true for a flush marker; Tuples is empty
+	Type   RecordType
 	Tuples []transport.Tuple // valid only during the replay callback
 
-	// Deliver marks a relay-forwarded peer batch (recordDeliver): Tuples
-	// bypassed the local shuffler and went straight to the analyzer server,
-	// deduplicated under the (Origin, Epoch, PeerSeq) position.
-	Deliver bool
+	// Peer position of a RecordDeliver batch: it bypassed the local
+	// shuffler and went straight to the analyzer server, deduplicated
+	// under (Origin, Epoch, PeerSeq).
 	Origin  string
 	Epoch   uint64
 	PeerSeq uint64
@@ -383,26 +401,26 @@ func scanSegment(seg segmentInfo, prevSeq uint64, last bool, apply func(Record) 
 			return res, fmt.Errorf("%w: %s at offset %d: sequence %d not after %d", ErrCorrupt, seg.path, off, seq, res.lastSeq)
 		}
 		payload := rest[recordHeaderLen:end]
-		switch typ {
-		case recordTuples:
+		switch RecordType(typ) {
+		case RecordTuples:
 			if apply != nil {
 				tuples, err = decodeTuplesPayload(payload, tuples[:0])
 				if err != nil {
 					return res, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, off, err)
 				}
-				if err := apply(Record{Seq: seq, Tuples: tuples}); err != nil {
+				if err := apply(Record{Seq: seq, Type: RecordTuples, Tuples: tuples}); err != nil {
 					return res, err
 				}
 			}
-		case recordFlush:
+		case RecordFlush:
 			if apply != nil {
-				if err := apply(Record{Seq: seq, Flush: true}); err != nil {
+				if err := apply(Record{Seq: seq, Type: RecordFlush}); err != nil {
 					return res, err
 				}
 			}
-		case recordDeliver:
+		case RecordDeliver:
 			if apply != nil {
-				rec := Record{Seq: seq, Deliver: true}
+				rec := Record{Seq: seq, Type: RecordDeliver}
 				rec.Origin, rec.Epoch, rec.PeerSeq, tuples, err = decodeDeliverPayload(payload, tuples[:0])
 				if err != nil {
 					return res, fmt.Errorf("%w: %s at offset %d: %v", ErrCorrupt, seg.path, off, err)
@@ -444,7 +462,7 @@ func tornHeader(data []byte) bool {
 	return prefix || zero
 }
 
-// decodeDeliverPayload splits a recordDeliver payload into its peer
+// decodeDeliverPayload splits a RecordDeliver payload into its peer
 // position and tuple stream.
 func decodeDeliverPayload(payload []byte, dst []transport.Tuple) (origin string, epoch, peerSeq uint64, tuples []transport.Tuple, err error) {
 	if len(payload) < 1 {
@@ -542,7 +560,7 @@ func (w *WAL) AppendTuples(tuples []transport.Tuple, sync bool) (uint64, error) 
 				e.Tuple = t
 				w.enc = e.AppendFrame(w.enc)
 			}
-			if err := w.appendRecordLocked(recordTuples, w.enc); err != nil {
+			if err := w.appendRecordLocked(RecordTuples, w.enc); err != nil {
 				return err
 			}
 			tuples = tuples[n:]
@@ -581,7 +599,7 @@ func (w *WAL) AppendDeliver(origin string, epoch, peerSeq uint64, tuples []trans
 		if len(w.enc) > maxRecordPayload {
 			return fmt.Errorf("persist: deliver batch of %d tuples encodes to %d bytes, exceeding the %d record bound", len(tuples), len(w.enc), maxRecordPayload)
 		}
-		return w.appendRecordLocked(recordDeliver, w.enc)
+		return w.appendRecordLocked(RecordDeliver, w.enc)
 	})
 	return w.seq, err
 }
@@ -595,7 +613,7 @@ func (w *WAL) AppendFlush(sync bool) (uint64, error) {
 		return w.seq, err
 	}
 	err := w.transactLocked(sync, func() error {
-		return w.appendRecordLocked(recordFlush, nil)
+		return w.appendRecordLocked(RecordFlush, nil)
 	})
 	return w.seq, err
 }
@@ -652,12 +670,12 @@ func (w *WAL) truncateSegLocked(size int64) error {
 	return os.Truncate(w.segPath, size)
 }
 
-func (w *WAL) appendRecordLocked(typ byte, payload []byte) error {
+func (w *WAL) appendRecordLocked(typ RecordType, payload []byte) error {
 	seq := w.seq + 1
 	var hdr [recordHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[8:16], seq)
-	hdr[16] = typ
+	hdr[16] = byte(typ)
 	crc := crc32.Checksum(hdr[4:], crcTable)
 	crc = crc32.Update(crc, crcTable, payload)
 	binary.LittleEndian.PutUint32(hdr[0:4], crc)
@@ -709,13 +727,19 @@ func (w *WAL) Sync() error {
 	return w.syncLocked()
 }
 
+// walClock is the package's telemetry clock seam. Latency histograms
+// (fsync, append, checkpoint) are the only wall-clock consumers in this
+// package — nothing written to the log may ever derive from it, and
+// tests substitute a fake to keep recovery runs reproducible.
+var walClock = time.Now
+
 func (w *WAL) syncLocked() error {
 	if !w.dirty || w.f == nil {
 		return nil
 	}
 	var start time.Time
 	if w.fsyncHist != nil {
-		start = time.Now()
+		start = walClock()
 	}
 	if h := fsHooks.Load(); h != nil && h.BeforeSync != nil {
 		if err := h.BeforeSync(w.segPath); err != nil {
@@ -726,7 +750,7 @@ func (w *WAL) syncLocked() error {
 		return fmt.Errorf("persist: wal sync: %w", err)
 	}
 	if w.fsyncHist != nil {
-		w.fsyncHist.Observe(time.Since(start).Seconds())
+		w.fsyncHist.Observe(walClock().Sub(start).Seconds())
 	}
 	w.dirty = false
 	return nil

@@ -23,7 +23,7 @@ func collectReplay(t *testing.T, w *WAL, after uint64) []Record {
 	err := w.Replay(after, func(rec Record) error {
 		recs = append(recs, Record{
 			Seq:    rec.Seq,
-			Flush:  rec.Flush,
+			Type:   rec.Type,
 			Tuples: append([]transport.Tuple(nil), rec.Tuples...),
 		})
 		return nil
@@ -74,10 +74,10 @@ func TestWALAppendReplayRoundTrip(t *testing.T) {
 	if len(recs) != 3 {
 		t.Fatalf("replayed %d records, want 3", len(recs))
 	}
-	if recs[0].Flush || len(recs[0].Tuples) != 5 || recs[0].Tuples[2] != in1[2] {
+	if recs[0].Type != RecordTuples || len(recs[0].Tuples) != 5 || recs[0].Tuples[2] != in1[2] {
 		t.Fatalf("record 0 wrong: %+v", recs[0])
 	}
-	if !recs[1].Flush {
+	if recs[1].Type != RecordFlush {
 		t.Fatal("record 1 should be a flush marker")
 	}
 	if len(recs[2].Tuples) != 3 || recs[2].Tuples[0] != in2[0] {

@@ -204,6 +204,12 @@ func (c *snapshotCache[T]) get(version uint64, build func() T) T {
 	return st
 }
 
+// epochClock seeds the boot nonce in New. It is the package's only
+// wall-clock seam: the epoch qualifies model versions across restarts
+// but never reaches model state, and tests can pin it for reproducible
+// version strings.
+var epochClock = time.Now
+
 // New returns a server with empty global models.
 func New(cfg Config) *Server {
 	if cfg.K <= 0 || cfg.Arms <= 0 || cfg.D <= 0 {
@@ -215,7 +221,7 @@ func New(cfg Config) *Server {
 			cfg.Shards = 16
 		}
 	}
-	s := &Server{cfg: cfg, epoch: uint64(time.Now().UnixNano()), shards: make([]shard, cfg.Shards)}
+	s := &Server{cfg: cfg, epoch: uint64(epochClock().UnixNano()), shards: make([]shard, cfg.Shards)}
 	s.peers.contribs = make(map[string]*peerContribution)
 	s.peers.relays = make(map[string]PeerSeq)
 	for i := range s.shards {

@@ -122,6 +122,8 @@ func New(cfg Config, sink Sink, r *rng.Rand) *Shuffler {
 // Submit accepts one envelope. Metadata is stripped immediately — identity
 // never rests in the buffer — and a batch is processed once BatchSize
 // tuples have accumulated.
+//
+//p2b:hotpath
 func (s *Shuffler) Submit(e transport.Envelope) {
 	s.mu.Lock()
 	s.stats.Received++
@@ -152,6 +154,8 @@ func (s *Shuffler) Submit(e transport.Envelope) {
 // submitted one Submit call at a time.
 //
 // The tuples slice is only read during the call; callers may reuse it.
+//
+//p2b:hotpath
 func (s *Shuffler) SubmitTuples(tuples []transport.Tuple) {
 	if len(tuples) == 0 {
 		return

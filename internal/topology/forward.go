@@ -90,7 +90,7 @@ func NewForwarder(downstream string, opts ForwarderOptions) (*Forwarder, error) 
 		return nil, fmt.Errorf("topology: forwarder needs an origin name")
 	}
 	if opts.Epoch == 0 {
-		opts.Epoch = uint64(time.Now().UnixNano())
+		opts.Epoch = uint64(wallClock().UnixNano())
 	}
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 10

@@ -110,7 +110,7 @@ func NewPeering(opts PeeringOptions) (*Peering, error) {
 		return nil, fmt.Errorf("topology: peering needs an Export func")
 	}
 	if opts.Epoch == 0 {
-		opts.Epoch = uint64(time.Now().UnixNano())
+		opts.Epoch = uint64(wallClock().UnixNano())
 	}
 	if opts.Interval <= 0 {
 		opts.Interval = 2 * time.Second
@@ -203,7 +203,7 @@ func (p *Peering) Sync() {
 		}
 		st.Pushes++
 		st.LastError = ""
-		st.LastSyncUnixNano = time.Now().UnixNano()
+		st.LastSyncUnixNano = wallClock().UnixNano()
 		p.lastV[peer] = version
 		p.pushed[peer] = true
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 )
@@ -85,6 +86,10 @@ func (r *Registry) Document() *Document {
 		}
 		d.Nodes = append(d.Nodes, a.node)
 	}
+	// Map order would otherwise leak into the served document: two
+	// fetches of the same board state must be byte-identical, and
+	// agents index into this list when picking a relay.
+	sort.Slice(d.Nodes, func(i, j int) bool { return d.Nodes[i].Name < d.Nodes[j].Name })
 	return d
 }
 

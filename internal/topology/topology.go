@@ -27,7 +27,14 @@ import (
 	"net/url"
 	"sort"
 	"strings"
+	"time"
 )
+
+// wallClock is the package's wall-clock seam. It feeds only epoch boot
+// nonces and sync telemetry timestamps — never batch content or merge
+// state — and tests substitute a fake to make those reproducible. The
+// registry carries its own injectable clock for TTL expiry.
+var wallClock = time.Now
 
 // Role names what a node does in the fleet.
 type Role string

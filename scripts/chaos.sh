@@ -23,7 +23,7 @@
 # WHEN things happen, never WHAT arrives.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 PORT_NODE="${PORT_NODE:-18093}"
 PORT_PROXY="${PORT_PROXY:-18094}"
@@ -35,8 +35,8 @@ PROXY_PID=""
 
 cleanup() {
   status=$?
-  [ -n "$NODE_PID" ] && kill -9 "$NODE_PID" 2>/dev/null || true
-  [ -n "$PROXY_PID" ] && kill -9 "$PROXY_PID" 2>/dev/null || true
+  if [ -n "$NODE_PID" ]; then kill -9 "$NODE_PID" 2>/dev/null || true; fi
+  if [ -n "$PROXY_PID" ]; then kill -9 "$PROXY_PID" 2>/dev/null || true; fi
   # On failure, export the run's logs and state dumps for post-mortem
   # (CI uploads $CHAOS_ARTIFACTS as a workflow artifact).
   if [ "$status" -ne 0 ] && [ -n "${CHAOS_ARTIFACTS:-}" ]; then

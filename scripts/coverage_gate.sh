@@ -5,7 +5,7 @@
 # coverage/) so CI can upload them as artifacts.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 OUT="${OUT:-coverage}"
 FLOORS="testdata/coverage_floor.txt"
 mkdir -p "$OUT"

@@ -20,7 +20,7 @@
 # acked report durable, so the equivalence is exact, not approximate.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 PORT_A="${PORT_A:-18091}"
 PORT_B="${PORT_B:-18092}"
@@ -31,8 +31,8 @@ NODE_PID=""
 CLEAN_PID=""
 
 cleanup() {
-  [ -n "$NODE_PID" ] && kill -9 "$NODE_PID" 2>/dev/null || true
-  [ -n "$CLEAN_PID" ] && kill -9 "$CLEAN_PID" 2>/dev/null || true
+  if [ -n "$NODE_PID" ]; then kill -9 "$NODE_PID" 2>/dev/null || true; fi
+  if [ -n "$CLEAN_PID" ]; then kill -9 "$CLEAN_PID" 2>/dev/null || true; fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -109,7 +109,13 @@ CLEAN_PID=""
 echo "== compare: recovered state must be bit-identical to the clean run =="
 diff "$WORK/recovered_tabular.json" "$WORK/clean_tabular.json"
 diff "$WORK/recovered_linucb.json" "$WORK/clean_linucb.json"
-diff "$WORK/recovered_shuffler_stats.json" "$WORK/clean_shuffler_stats.json"
+# The overload block is process-lifetime admission telemetry, not logged
+# state: the recovered node was restarted (counters reset to zero) while
+# the clean node admitted its whole input as fresh HTTP traffic. Strip
+# it; every other stats field is durable and must match exactly.
+sed 's/,"overload":{[^}]*}//' "$WORK/recovered_shuffler_stats.json" >"$WORK/recovered_shuffler_stats.cmp"
+sed 's/,"overload":{[^}]*}//' "$WORK/clean_shuffler_stats.json" >"$WORK/clean_shuffler_stats.cmp"
+diff "$WORK/recovered_shuffler_stats.cmp" "$WORK/clean_shuffler_stats.cmp"
 
 # The comparison must not be vacuous: phase 1 alone forwards hundreds of
 # tuples, so the recovered model's count array must contain a nonzero

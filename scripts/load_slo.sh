@@ -11,7 +11,7 @@
 #   scripts/load_slo.sh testdata/bench_baseline/load_slo   # refresh the baseline
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 OUT="${1:-results}"
 PORT="${PORT_NODE:-18097}"
@@ -20,7 +20,7 @@ WORK="$(mktemp -d)"
 NODE_PID=""
 
 cleanup() {
-  [ -n "$NODE_PID" ] && kill -9 "$NODE_PID" 2>/dev/null || true
+  if [ -n "$NODE_PID" ]; then kill -9 "$NODE_PID" 2>/dev/null || true; fi
   rm -rf "$WORK"
 }
 trap cleanup EXIT

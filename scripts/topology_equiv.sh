@@ -18,7 +18,7 @@
 # "Multi-node topology".
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 PORT_BOARD="${PORT_BOARD:-18110}"
 PORT_SINGLE="${PORT_SINGLE:-18111}"
