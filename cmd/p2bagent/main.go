@@ -70,35 +70,58 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Fleet discovery: ask the bulletin board for the topology and pick a
-	// report target deterministically from the seed, so a fleet launcher
-	// with spread seeds spreads its load across the relay tier. Reports and
-	// model syncs may land on different processes — a relay accepts reports
-	// but holds no model, so model traffic picks from the analyzers.
+	// Fleet discovery: reports go through the SDK's FailoverTransport,
+	// which owns the board fetch, picks a live report target
+	// deterministically from the seed (so a fleet launcher with spread
+	// seeds spreads its load across the relay tier) and — when that
+	// target's circuit breaker trips mid-run — re-discovers and fails over
+	// to a surviving relay without restarting the fleet. Model syncs may
+	// land on a different process: a relay accepts reports but holds no
+	// model, so model traffic picks from the analyzers.
+	topts := agent.HTTPTransportOptions{
+		Wire:        wireMode,
+		MaxBatch:    *maxBatch,
+		MaxAge:      *maxAge,
+		MaxInFlight: *inflight,
+		MaxRetries:  *retries,
+		RetryBase:   *retryAt,
+		Seed:        *seed,
+	}
 	modelNode := *node
+	var tr reportTransport
 	if *board != "" {
+		var ft *agent.FailoverTransport
 		err := withRetries(10, func() error {
 			doc, err := topology.FetchDocument(*board)
 			if err != nil {
 				return err
 			}
-			reports, err := topology.Pick(doc.ReportTargets(), *seed)
-			if err != nil {
-				return fmt.Errorf("no report target: %w", err)
-			}
 			models, err := topology.Pick(doc.Analyzers(), *seed)
 			if err != nil {
 				return fmt.Errorf("no model-serving node: %w", err)
 			}
-			*node, modelNode = reports.URL, models.URL
-			fmt.Printf("p2bagent: board %s assigned reports -> %s %q (%s), models -> %s %q (%s)\n",
-				*board, reports.Role, reports.Name, reports.URL, models.Role, models.Name, models.URL)
+			ft, err = agent.NewFailoverTransport(*board, agent.FailoverOptions{
+				Seed:      *seed,
+				Transport: topts,
+				Logf:      log.Printf,
+			})
+			if err != nil {
+				return err
+			}
+			modelNode = models.URL
+			st := ft.Status()
+			*node = st.URL
+			fmt.Printf("p2bagent: board %s assigned reports -> %q (%s), models -> %s %q (%s)\n",
+				*board, st.Node, st.URL, models.Role, models.Name, models.URL)
 			return nil
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p2bagent: discovering the fleet on %s: %v\n", *board, err)
 			os.Exit(1)
 		}
+		tr = ft
+	} else {
+		tr = agent.NewHTTPTransport(*node, topts)
 	}
 
 	root := rng.New(*seed)
@@ -132,16 +155,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "p2bagent: warm-start model fetch failed: %v\n", err)
 		os.Exit(1)
 	}
-
-	tr := agent.NewHTTPTransport(*node, agent.HTTPTransportOptions{
-		Wire:        wireMode,
-		MaxBatch:    *maxBatch,
-		MaxAge:      *maxAge,
-		MaxInFlight: *inflight,
-		MaxRetries:  *retries,
-		RetryBase:   *retryAt,
-		Seed:        *seed,
-	})
 
 	if *metAddr != "" {
 		go serveMetrics(*metAddr, tr, src)
@@ -216,7 +229,7 @@ func main() {
 // a Func collector sampling the same Stats() the end-of-run summary prints,
 // so a scrape mid-run costs a few atomic loads and two mutexes, never a
 // simulation stall.
-func serveMetrics(addr string, tr *agent.HTTPTransport, src *agent.HTTPSource) {
+func serveMetrics(addr string, tr reportTransport, src *agent.HTTPSource) {
 	reg := metrics.NewRegistry()
 	reg.CounterFunc("p2b_agent_reports_total", "",
 		"Reports handed to the transport.",
@@ -251,6 +264,16 @@ func serveMetrics(addr string, tr *agent.HTTPTransport, src *agent.HTTPSource) {
 	if err := srv.ListenAndServe(); err != nil {
 		log.Printf("p2bagent: metrics listener: %v", err)
 	}
+}
+
+// reportTransport is the method set the fleet drives on its report path,
+// satisfied by both the plain HTTPTransport (-node) and the board-driven
+// FailoverTransport (-registry).
+type reportTransport interface {
+	agent.Transport
+	FlushNode() error
+	Close() error
+	Stats() agent.BatchStats
 }
 
 // withRetries runs fn up to attempts times, 200ms apart.

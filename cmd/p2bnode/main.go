@@ -42,9 +42,14 @@
 //
 // Analyzers (and combined nodes) push their local model contribution to
 // every -peers URL on a -peer-sync interval, so any analyzer can serve
-// GET /server/model with the fleet-wide model. -peer-token authenticates
-// the peer routes in both directions. With -registry the node announces
-// itself on a p2bboard bulletin board so agents can discover it.
+// GET /server/model with the fleet-wide model. On the -digest-sync
+// interval they additionally pull: each round fetches every peer's
+// /peer/digest high-water vector and retrieves only the contributions
+// this node is missing, so an analyzer that was partitioned away (and
+// whose siblings have nothing new to push) still converges on its own
+// schedule. -peer-token authenticates the peer routes in both
+// directions. With -registry the node announces itself on a p2bboard
+// bulletin board so agents can discover it.
 //
 // # Durability
 //
@@ -125,6 +130,7 @@ func main() {
 		downstream  = flag.String("downstream", "", "relay only: base URL of the analyzer finished batches are forwarded to")
 		peersFlag   = flag.String("peers", "", "comma-separated base URLs of sibling analyzers to push local state to")
 		peerSync    = flag.Duration("peer-sync", 2*time.Second, "anti-entropy push interval to -peers")
+		digestSync  = flag.Duration("digest-sync", 15*time.Second, "pull-based anti-entropy interval: each round fetches peer digests and pulls only missing contributions, so a partitioned analyzer converges without waiting for inbound pushes (0 = pushes only)")
 		peerToken   = flag.String("peer-token", "", "bearer token required on inbound /peer/* routes and sent on outbound peer traffic (empty = open)")
 		registry    = flag.String("registry", "", "bulletin-board base URL to announce this node on (see cmd/p2bboard; empty = no announcement)")
 		registryTTL = flag.Duration("registry-ttl", topology.DefaultTTL, "announcement TTL on the bulletin board")
@@ -218,15 +224,31 @@ func main() {
 	})
 	var mgr *persist.Manager
 	if *dataDir != "" {
-		var err error
-		mgr, err = persist.Open(*dataDir, shuf, srv, persist.Options{
+		popts := persist.Options{
 			SyncInterval:       *walSync,
 			CheckpointInterval: *ckptEvery,
 			RetainWAL:          *walRetain,
 			Metrics:            persist.NewMetrics(reg),
-		})
+		}
+		if fwd != nil {
+			// A durable relay persists its forwarding identity: recovery
+			// restores the (epoch, seq) cursor before the replay below can
+			// re-forward a batch, so WAL-tail retransmits reuse the
+			// pre-crash epoch and the analyzer's duplicate guard drops them.
+			popts.Cursor = fwd
+		}
+		var err error
+		mgr, err = persist.Open(*dataDir, shuf, srv, popts)
 		if err != nil {
 			log.Fatalf("p2bnode: recovering %s: %v", *dataDir, err)
+		}
+		if fwd != nil {
+			// Every forwarded batch first syncs the WAL records behind it,
+			// so a crash can never truncate records a downstream analyzer
+			// already counted under this (epoch, seq).
+			fwd.SetSync(mgr.SyncWAL)
+			epoch, fseq := fwd.Cursor()
+			log.Printf("p2bnode: relay cursor epoch %d seq %d (restored: %v)", epoch, fseq, mgr.Recovery().CursorRestored)
 		}
 		rec := mgr.Recovery()
 		log.Printf("p2bnode: durable in %s (checkpoint seq %d, replayed %d records, wal at seq %d)",
@@ -243,25 +265,67 @@ func main() {
 			func() float64 { return float64(mgr.Info().Segments) })
 	}
 
+	// One boot epoch qualifies every position this node advertises for its
+	// own contribution stream — outbound pushes and the /peer/digest and
+	// /peer/contrib self entries — so a sibling that learned our position
+	// from a push and one that learned it from a digest agree.
+	peerEpoch := topology.BootEpoch()
+
 	// Outbound anti-entropy: analyzers and combined nodes with -peers push
-	// their local contribution to every sibling on the -peer-sync interval.
+	// their local contribution to every sibling on the -peer-sync interval,
+	// and — unless -digest-sync is 0 — pull what they are missing on the
+	// digest-round interval.
 	var peering *topology.Peering
 	if len(peerURLs) > 0 {
 		var err error
 		peering, err = topology.NewPeering(topology.PeeringOptions{
-			Origin:       *name,
-			Peers:        peerURLs,
-			Interval:     *peerSync,
-			Token:        *peerToken,
-			Export:       srv.ExportState,
-			LocalVersion: srv.LocalVersion,
-			Logf:         log.Printf,
+			Origin:         *name,
+			Epoch:          peerEpoch,
+			Peers:          peerURLs,
+			Interval:       *peerSync,
+			Token:          *peerToken,
+			Export:         srv.ExportState,
+			LocalVersion:   srv.LocalVersion,
+			Logf:           log.Printf,
+			DigestInterval: *digestSync,
+			Local: func() []topology.DigestEntry {
+				var out []topology.DigestEntry
+				for _, c := range srv.PeerStatus().Contributions {
+					out = append(out, topology.DigestEntry{Origin: c.Origin, Epoch: c.Epoch, Seq: c.Seq})
+				}
+				return out
+			},
+			Apply: func(u topology.PeerUpdate) (bool, error) {
+				return srv.MergePeerState(u.Origin, u.Epoch, u.Seq, u.State)
+			},
 		})
 		if err != nil {
 			log.Fatalf("p2bnode: %v", err)
 		}
 		peering.Start()
-		log.Printf("p2bnode: pushing state to %d peer(s) every %v as origin %q", len(peerURLs), *peerSync, *name)
+		log.Printf("p2bnode: pushing state to %d peer(s) every %v as origin %q (digest round: %v)", len(peerURLs), *peerSync, *name, *digestSync)
+	}
+
+	// The heartbeat handle exists before the handlers so its Status can be
+	// wired into /healthz and /metrics; the loop itself starts only once
+	// the listener is up, so agents discovering this node find it
+	// reachable. ovProbe is filled by the handler constructor below and
+	// lets each announcement carry the node's live degrade state.
+	var hb *topology.Heartbeat
+	var ovProbe func() httpapi.OverloadStats
+	if *registry != "" {
+		hb = topology.NewHeartbeat(*registry,
+			topology.Node{Name: *name, Role: role, URL: *advertise},
+			topology.HeartbeatOptions{
+				TTL:      *registryTTL,
+				Logf:     log.Printf,
+				Seed:     *seed,
+				Degraded: func() bool { return ovProbe != nil && ovProbe().Degraded },
+			})
+	}
+	var boardStatus func() topology.HeartbeatStatus
+	if hb != nil {
+		boardStatus = hb.Status
 	}
 
 	var handler http.Handler
@@ -271,6 +335,8 @@ func main() {
 			WALPolicy: policy,
 			Metrics:   reg,
 			Shapes:    httpapi.ModelShapes{K: *k, Arms: *arms, D: *d},
+			Board:     boardStatus,
+			Overload:  &ovProbe,
 		}
 		if mgr != nil {
 			ropts.Ingest = mgr
@@ -284,9 +350,13 @@ func main() {
 			Metrics:   reg,
 			Admission: adm,
 			Role:      string(role),
+			Board:     boardStatus,
+			Overload:  &ovProbe,
 			Peer: &httpapi.PeerOptions{
 				Origin: *name,
 				Token:  *peerToken,
+				Epoch:  peerEpoch,
+				Export: srv.ExportState,
 			},
 		}
 		if mgr != nil {
@@ -313,12 +383,10 @@ func main() {
 	defer stop()
 
 	// Announce on the bulletin board last, once the listener is about to
-	// accept: agents discovering this node should find it reachable.
-	var stopHeartbeat func()
-	if *registry != "" {
-		stopHeartbeat = topology.StartHeartbeat(*registry,
-			topology.Node{Name: *name, Role: role, URL: *advertise},
-			*registryTTL, log.Printf)
+	// accept: agents discovering this node should find it reachable. An
+	// unreachable board is retried on a jittered backoff inside the loop.
+	if hb != nil {
+		hb.Start()
 		log.Printf("p2bnode: announcing %q (%s) at %s on board %s", *name, role, *advertise, *registry)
 	}
 
@@ -335,8 +403,8 @@ func main() {
 	}
 	stop() // a second signal kills the process the default way
 	log.Printf("p2bnode: shutting down (drain %v)", *drain)
-	if stopHeartbeat != nil {
-		stopHeartbeat() // let the board entry expire; agents stop picking us
+	if hb != nil {
+		hb.Stop() // let the board entry expire; agents stop picking us
 	}
 
 	// Stop accepting and drain in-flight requests first, so no report can

@@ -66,7 +66,11 @@ func main() {
 	switch mode {
 	case "verify":
 		if ckpt != nil {
-			fmt.Printf("checkpoint: ok, covers seq %d\n", ckpt.WALSeq)
+			fmt.Printf("checkpoint: ok, covers seq %d", ckpt.WALSeq)
+			if ckpt.Relay != nil {
+				fmt.Printf(", relay cursor epoch=%d seq=%d", ckpt.Relay.Epoch, ckpt.Relay.Seq)
+			}
+			fmt.Println()
 		} else {
 			fmt.Println("checkpoint: none")
 		}
@@ -92,6 +96,8 @@ func main() {
 					rec.Seq, rec.Origin, rec.Epoch, rec.PeerSeq, len(rec.Tuples))
 			case persist.RecordTuples:
 				fmt.Printf("seq=%d tuples n=%d\n", rec.Seq, len(rec.Tuples))
+			case persist.RecordCursor:
+				fmt.Printf("seq=%d cursor epoch=%d fwd_seq=%d\n", rec.Seq, rec.Epoch, rec.PeerSeq)
 			default:
 				return fmt.Errorf("unknown record type %d at seq %d", rec.Type, rec.Seq)
 			}
@@ -132,6 +138,11 @@ func main() {
 				tuples += len(rec.Tuples)
 				enc = encodeTuples(enc, rec.Tuples)
 				return post(client, *node+"/shuffler/reports", transport.ContentTypeBinary, enc, http.StatusAccepted)
+			case persist.RecordCursor:
+				// The source relay's forwarding identity, not ingestion input:
+				// nothing to re-submit. The record is counted but carries no
+				// tuples, so replay equivalence is unaffected.
+				return nil
 			default:
 				return fmt.Errorf("unknown record type %d at seq %d", rec.Type, rec.Seq)
 			}

@@ -57,6 +57,7 @@ import (
 	"p2b/internal/metrics"
 	"p2b/internal/server"
 	"p2b/internal/shuffler"
+	"p2b/internal/topology"
 	"p2b/internal/transport"
 )
 
@@ -140,6 +141,18 @@ type NodeOptions struct {
 	// (/peer/ingest, /peer/merge, /peer/status) and adds the "peers"
 	// section to /healthz and /server/stats.
 	Peer *PeerOptions
+	// Board, when non-nil, reports the node's bulletin-board registration
+	// health (typically a topology.Heartbeat's Status method): a "board"
+	// section on /healthz plus the p2b_board_* metric families, so an
+	// operator can see from either surface whether discovery can find
+	// this node.
+	Board func() topology.HeartbeatStatus
+	// Overload, when non-nil, is filled in at construction with the same
+	// overload snapshot closure /healthz serves (nil is stored when the
+	// node is unbounded and non-degradable). The embedding process reads
+	// it to publish the degrade flag on the bulletin board — the state
+	// lives inside the handler, and an out-param beats re-deriving it.
+	Overload *func() OverloadStats
 }
 
 // NewNodeHandler mounts a shuffler and a server on one mux under the
@@ -178,6 +191,9 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			return st
 		}
 	}
+	if opts.Overload != nil {
+		*opts.Overload = overload
+	}
 	role := opts.Role
 	if role == "" {
 		role = "combined"
@@ -204,7 +220,7 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 	sh.peers = peers
 	var nm *nodeMetrics
 	if opts.Metrics != nil {
-		nm = newNodeMetrics(opts.Metrics, shuf, srv, sh, overload, opts.Peer)
+		nm = newNodeMetrics(opts.Metrics, shuf, srv, sh, overload, opts.Peer, opts.Board)
 		sh.nm = nm
 		mux.Handle("GET /metrics", metrics.Handler(opts.Metrics))
 	}
@@ -230,7 +246,11 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 			ModelReads ModelReadStats     `json:"model_reads"`
 			Overload   *OverloadStats     `json:"overload,omitempty"`
 			Peers      *PeerHealth        `json:"peers,omitempty"`
-			Persist    any                `json:"persist,omitempty"`
+			// Board is the node's own registration health on the bulletin
+			// board — whether discovery can find it — not the board
+			// process's health.
+			Board   *topology.HeartbeatStatus `json:"board,omitempty"`
+			Persist any                       `json:"persist,omitempty"`
 		}{
 			Status: "ok",
 			Role:   role,
@@ -253,6 +273,10 @@ func NewNodeHandlerOpts(shuf *shuffler.Shuffler, srv *server.Server, opts NodeOp
 				// dashboards that accepted reports are not currently durable.
 				status.Status = "degraded"
 			}
+		}
+		if opts.Board != nil {
+			bs := opts.Board()
+			status.Board = &bs
 		}
 		if opts.Health != nil {
 			status.Persist = opts.Health()
@@ -1056,14 +1080,15 @@ type SnapshotCacheStats struct {
 // predating roles), and Peers carries the replication status of a node
 // with a peer surface.
 type Health struct {
-	Status     string             `json:"status"`
-	Role       string             `json:"role,omitempty"`
-	Model      ModelShapes        `json:"model"`
-	Snapshots  SnapshotCacheStats `json:"snapshots"`
-	ModelReads ModelReadStats     `json:"model_reads"`
-	Overload   *OverloadStats     `json:"overload,omitempty"`
-	Peers      *PeerHealth        `json:"peers,omitempty"`
-	Persist    json.RawMessage    `json:"persist,omitempty"`
+	Status     string                    `json:"status"`
+	Role       string                    `json:"role,omitempty"`
+	Model      ModelShapes               `json:"model"`
+	Snapshots  SnapshotCacheStats        `json:"snapshots"`
+	ModelReads ModelReadStats            `json:"model_reads"`
+	Overload   *OverloadStats            `json:"overload,omitempty"`
+	Peers      *PeerHealth               `json:"peers,omitempty"`
+	Board      *topology.HeartbeatStatus `json:"board,omitempty"`
+	Persist    json.RawMessage           `json:"persist,omitempty"`
 }
 
 // FetchHealth probes the node's /healthz route (the client must have been

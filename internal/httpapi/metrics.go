@@ -79,6 +79,8 @@ var instrumentedRoutes = []struct {
 	{"healthz", false},
 	{"peer_ingest", true},
 	{"peer_merge", true},
+	{"peer_digest", false},
+	{"peer_contrib", false},
 }
 
 // newRouteInstruments registers the per-route HTTP families. Both the node
@@ -169,8 +171,9 @@ func registerOverloadMetrics(reg *metrics.Registry, overload func() OverloadStat
 // push-style instruments into the shuffler. overload is the same closure
 // /healthz and the stats routes read; nil means the node is unbounded and
 // non-degradable, and the overload families are omitted (exactly like the
-// JSON sections).
-func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.Server, sh *serverHandler, overload func() OverloadStats, peer *PeerOptions) *nodeMetrics {
+// JSON sections). board is the registration-health closure the /healthz
+// "board" section serves; nil (no bulletin board) omits its families.
+func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.Server, sh *serverHandler, overload func() OverloadStats, peer *PeerOptions, board func() topology.HeartbeatStatus) *nodeMetrics {
 	nm := &nodeMetrics{routes: newRouteInstruments(reg)}
 
 	// Shuffler pipeline: counters mirror the mutex-guarded Stats that
@@ -215,6 +218,9 @@ func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.
 	if overload != nil {
 		registerOverloadMetrics(reg, overload)
 	}
+	if board != nil {
+		registerBoardMetrics(reg, board)
+	}
 
 	if peer != nil {
 		// Replication counters: the same atomics PeerStatus snapshots for
@@ -258,6 +264,35 @@ func newNodeMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, srv *server.
 			reg.GaugeFunc("p2b_peer_sync_max_lag_seconds", "",
 				"Age of the oldest peer's last successful state push (-1 until every peer has been reached once).",
 				func() float64 { return peerSyncMaxLag(peer.Sync(), time.Now()) })
+			// Digest-round (pull) health, from the same Status() snapshot.
+			// All zero on a push-only node.
+			reg.CounterFunc("p2b_peer_sync_pulls_total", "",
+				"Completed digest rounds, summed over peers.",
+				func() float64 {
+					var n int64
+					for _, st := range peer.Sync() {
+						n += st.Pulls
+					}
+					return float64(n)
+				})
+			reg.CounterFunc("p2b_peer_sync_pull_errors_total", "",
+				"Failed digest rounds (digest fetch, contrib fetch or apply), summed over peers.",
+				func() float64 {
+					var n int64
+					for _, st := range peer.Sync() {
+						n += st.PullErrors
+					}
+					return float64(n)
+				})
+			reg.CounterFunc("p2b_peer_sync_fetched_total", "",
+				"Contributions fetched and applied via digest rounds, summed over peers.",
+				func() float64 {
+					var n int64
+					for _, st := range peer.Sync() {
+						n += st.Fetched
+					}
+					return float64(n)
+				})
 		}
 	}
 	return nm
@@ -279,10 +314,31 @@ func peerSyncMaxLag(sts []topology.SyncStatus, now time.Time) float64 {
 	return lag
 }
 
+// registerBoardMetrics registers the bulletin-board registration families
+// against the same closure the /healthz "board" section serializes.
+// failures == attempts growing together is the alert: the fleet cannot
+// discover this node.
+func registerBoardMetrics(reg *metrics.Registry, board func() topology.HeartbeatStatus) {
+	reg.CounterFunc("p2b_board_register_attempts_total", "",
+		"Bulletin-board registrations attempted (startup retries and heartbeats).",
+		func() float64 { return float64(board().Attempts) })
+	reg.CounterFunc("p2b_board_register_failures_total", "",
+		"Bulletin-board registrations the board refused or that never reached it.",
+		func() float64 { return float64(board().Failures) })
+	reg.GaugeFunc("p2b_board_registered", "",
+		"1 once this node has registered on the bulletin board at least once this boot.",
+		func() float64 {
+			if board().Registered {
+				return 1
+			}
+			return 0
+		})
+}
+
 // newRelayMetrics is the relay handler's registry wiring: the same route
 // and shuffler families a combined node registers (dashboards reuse), plus
 // the forwarder's downstream counters in place of server ingestion.
-func newRelayMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, fwd *topology.Forwarder, overload func() OverloadStats) *nodeMetrics {
+func newRelayMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, fwd *topology.Forwarder, overload func() OverloadStats, board func() topology.HeartbeatStatus) *nodeMetrics {
 	nm := &nodeMetrics{routes: newRouteInstruments(reg)}
 	registerShufflerMetrics(reg, shuf)
 	reg.CounterFunc("p2b_forward_batches_total", "",
@@ -302,6 +358,9 @@ func newRelayMetrics(reg *metrics.Registry, shuf *shuffler.Shuffler, fwd *topolo
 		func() float64 { return float64(fwd.Stats().Dropped) })
 	if overload != nil {
 		registerOverloadMetrics(reg, overload)
+	}
+	if board != nil {
+		registerBoardMetrics(reg, board)
 	}
 	return nm
 }

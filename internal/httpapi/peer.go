@@ -11,12 +11,23 @@
 //	POST /peer/merge   one sibling analyzer's local-state export
 //	                   (topology.PeerUpdate JSON), stored per origin with
 //	                   replace-if-newer semantics
+//	GET  /peer/digest  the per-origin (epoch, seq) high-water vector of
+//	                   every contribution this node can serve — its own
+//	                   live state plus stored sibling contributions — for
+//	                   the pull side of the digest round
+//	GET  /peer/contrib?origin=X  one contribution as a topology.PeerUpdate:
+//	                   this node's own (exported live, stamped with the
+//	                   local version captured before the export) or a
+//	                   stored third party's (served verbatim at its stored
+//	                   position, which is what makes healing transitive)
 //	GET  /peer/status  replication counters and per-origin positions
 //
 // Both POST routes answer 200 with a topology.PeerAck naming whether the
 // payload changed state; a duplicate or stale payload acks applied=false,
 // which senders treat as success. When the node was started with a peer
-// token, requests must carry it as a bearer token.
+// token, requests must carry it as a bearer token; the digest and contrib
+// GETs are authenticated too — they hand out model state, exactly what
+// the merge route accepts.
 //
 // Relay-side: NewRelayHandler mounts the same /shuffler/ routes a combined
 // node serves (same admission gate, same durable-ingest hooks, same
@@ -62,6 +73,16 @@ type PeerOptions struct {
 	// Sync reports the node's outbound anti-entropy status (nil when the
 	// node pushes to no peers).
 	Sync func() []topology.SyncStatus
+	// Epoch is the boot nonce stamping this node's own contribution on
+	// /peer/digest and /peer/contrib — the same epoch the node's outbound
+	// peering pushes under, so a puller and a pushee agree on the
+	// position they hold. Zero (together with a nil Export) omits the
+	// self entry: the node serves only stored third-party contributions.
+	Epoch uint64
+	// Export returns the node's LOCAL state for a self-origin contrib
+	// fetch (wire it to server.ExportState, the same func the peering
+	// push loop uses). Nil omits the self entry from the digest.
+	Export func() *server.PersistedState
 }
 
 // PeerHealth is the "peers" section of /healthz, /server/stats and the
@@ -181,6 +202,57 @@ func newPeerHandler(srv *server.Server, opts *PeerOptions, adm *Admission, nm *n
 		}
 		writeJSON(w, topology.PeerAck{Applied: applied})
 	})))
+	mux.HandleFunc("GET /digest", nm.wrap("peer_digest", func(w http.ResponseWriter, r *http.Request) {
+		if !opts.authorized(r) {
+			http.Error(w, "httpapi: peer token required", http.StatusUnauthorized)
+			return
+		}
+		var d topology.Digest
+		if opts.Export != nil && opts.Epoch != 0 {
+			// The self entry advertises the live local version, not the
+			// last pushed seq: both are stamps of the same counter, so a
+			// sibling holding the last push sees a gap exactly when local
+			// state moved since.
+			d.Entries = append(d.Entries, topology.DigestEntry{
+				Origin: opts.Origin, Epoch: opts.Epoch, Seq: srv.LocalVersion(),
+			})
+		}
+		for _, c := range srv.PeerStatus().Contributions {
+			d.Entries = append(d.Entries, topology.DigestEntry{Origin: c.Origin, Epoch: c.Epoch, Seq: c.Seq})
+		}
+		writeJSON(w, d)
+	}))
+	mux.HandleFunc("GET /contrib", nm.wrap("peer_contrib", func(w http.ResponseWriter, r *http.Request) {
+		if !opts.authorized(r) {
+			http.Error(w, "httpapi: peer token required", http.StatusUnauthorized)
+			return
+		}
+		origin := r.URL.Query().Get("origin")
+		if origin == "" {
+			http.Error(w, "httpapi: contrib fetch needs an origin query parameter", http.StatusBadRequest)
+			return
+		}
+		if origin == opts.Origin && opts.Export != nil && opts.Epoch != 0 {
+			// The version is captured BEFORE the export: the exported
+			// content is at least that version, so the puller stores a
+			// floor — the race with a concurrent ingest costs a redundant
+			// refetch next round, never a missed update.
+			version := srv.LocalVersion()
+			state := opts.Export()
+			// Relay duplicate-guard positions stay local, exactly as on
+			// the push path: the puller stores this as OUR contribution
+			// and must not inherit our dedup state.
+			state.Relays = nil
+			writeJSON(w, topology.PeerUpdate{Origin: origin, Epoch: opts.Epoch, Seq: version, State: state})
+			return
+		}
+		pos, state, ok := srv.PeerContribution(origin)
+		if !ok {
+			http.Error(w, fmt.Sprintf("httpapi: no stored contribution from origin %q", origin), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, topology.PeerUpdate{Origin: origin, Epoch: pos.Epoch, Seq: pos.Seq, State: state})
+	}))
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, peers())
 	})
@@ -222,17 +294,25 @@ type RelayOptions struct {
 	// combined node (a relay holds no model of its own to derive them
 	// from).
 	Shapes ModelShapes
+	// Board reports the relay's bulletin-board registration health on
+	// /healthz and the p2b_board_* families, exactly as NodeOptions.Board
+	// does on a combined node.
+	Board func() topology.HeartbeatStatus
+	// Overload, when non-nil, is filled in at construction with the
+	// overload snapshot closure, exactly as NodeOptions.Overload.
+	Overload *func() OverloadStats
 }
 
 // RelayHealth is the relay's /healthz body.
 type RelayHealth struct {
-	Status     string                `json:"status"`
-	Role       string                `json:"role"`
-	Model      ModelShapes           `json:"model"`
-	Downstream string                `json:"downstream"`
-	Forward    topology.ForwardStats `json:"forward"`
-	Overload   *OverloadStats        `json:"overload,omitempty"`
-	Persist    any                   `json:"persist,omitempty"`
+	Status     string                    `json:"status"`
+	Role       string                    `json:"role"`
+	Model      ModelShapes               `json:"model"`
+	Downstream string                    `json:"downstream"`
+	Forward    topology.ForwardStats     `json:"forward"`
+	Overload   *OverloadStats            `json:"overload,omitempty"`
+	Board      *topology.HeartbeatStatus `json:"board,omitempty"`
+	Persist    any                       `json:"persist,omitempty"`
 }
 
 // NewRelayHandler mounts the HTTP surface of a relay node: the full
@@ -262,10 +342,13 @@ func NewRelayHandler(shuf *shuffler.Shuffler, fwd *topology.Forwarder, opts Rela
 			return st
 		}
 	}
+	if opts.Overload != nil {
+		*opts.Overload = overload
+	}
 	var nm *nodeMetrics
 	mux := http.NewServeMux()
 	if opts.Metrics != nil {
-		nm = newRelayMetrics(opts.Metrics, shuf, fwd, overload)
+		nm = newRelayMetrics(opts.Metrics, shuf, fwd, overload, opts.Board)
 		mux.Handle("GET /metrics", metrics.Handler(opts.Metrics))
 	}
 	mux.Handle("/shuffler/", http.StripPrefix("/shuffler", newShufflerHandlerOpts(shuf, ing, opts.Admission, overload, nm)))
@@ -283,6 +366,10 @@ func NewRelayHandler(shuf *shuffler.Shuffler, fwd *topology.Forwarder, opts Rela
 			if ov.Degraded {
 				status.Status = "degraded"
 			}
+		}
+		if opts.Board != nil {
+			bs := opts.Board()
+			status.Board = &bs
 		}
 		if opts.Health != nil {
 			status.Persist = opts.Health()

@@ -41,6 +41,20 @@ type Checkpoint struct {
 	WALSeq   uint64                 `json:"wal_seq"`
 	Server   *server.PersistedState `json:"server"`
 	Shuffler *shuffler.State        `json:"shuffler"`
+	// Relay is the forwarding cursor of a relay node at the cut: the
+	// epoch it stamps batches with and the last sequence it assigned.
+	// Nil on nodes that forward nothing (combined, analyzer). The field
+	// is what lets a restarted relay skip re-deriving pre-checkpoint
+	// sequence numbers — those batches' WAL records are pruned, so only
+	// the checkpoint remembers how many were cut.
+	Relay *RelayCursor `json:"relay,omitempty"`
+}
+
+// RelayCursor is a relay's durable forwarding position: sequence numbers
+// Seq and below have been assigned under Epoch.
+type RelayCursor struct {
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
 }
 
 // WriteCheckpoint atomically replaces dir's checkpoint: the new state is

@@ -1,0 +1,182 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+
+	"p2b/internal/transport"
+)
+
+// fakeCursor is a minimal CursorCarrier: enough to observe what recovery
+// restores and what first boots mint, without a live forwarder.
+type fakeCursor struct {
+	epoch, seq uint64
+	sets       int
+}
+
+func (c *fakeCursor) Cursor() (uint64, uint64) { return c.epoch, c.seq }
+func (c *fakeCursor) SetCursor(e, s uint64)    { c.epoch, c.seq, c.sets = e, s, c.sets+1 }
+
+func openWithCursor(t *testing.T, dir string, c CursorCarrier) *Manager {
+	t.Helper()
+	shuf, srv := newNode()
+	m, err := Open(dir, shuf, srv, Options{Cursor: c, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// The durable-identity lifecycle: a first boot writes the minted cursor
+// to the WAL before traffic, a crash-restart restores it from the log, a
+// checkpoint carries it once the log is pruned, and the live cursor (not
+// the boot value) is what each later cut remembers.
+func TestCursorSurvivesCrashAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+
+	// Boot 1: empty dir. The minted (epoch, seq) must become durable.
+	boot1 := &fakeCursor{epoch: 77, seq: 0}
+	m1 := openWithCursor(t, dir, boot1)
+	if boot1.sets != 0 {
+		t.Fatalf("first boot restored a cursor %d times into an empty dir", boot1.sets)
+	}
+	if rec := m1.Recovery(); rec.CursorRestored {
+		t.Fatal("first boot reports a restored cursor")
+	}
+	// The record must be on disk already — before any traffic.
+	if n := countCursorRecords(t, dir); n != 1 {
+		t.Fatalf("first boot left %d cursor records in the WAL, want 1", n)
+	}
+	if err := m1.SubmitTuples([]transport.Tuple{{Code: 1, Action: 1, Reward: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	boot1.seq = 5 // batches cut during the run advance the live cursor
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 2: no checkpoint — the WAL record restores epoch 77, and the
+	// advanced seq is NOT restored from it (replay re-derives sequence
+	// numbers; the record only pins the epoch at its write position).
+	boot2 := &fakeCursor{epoch: 999}
+	m2 := openWithCursor(t, dir, boot2)
+	if !m2.Recovery().CursorRestored {
+		t.Fatal("crash-restart did not restore the cursor from the WAL")
+	}
+	if boot2.epoch != 77 || boot2.seq != 0 {
+		t.Fatalf("restored cursor = (%d, %d), want (77, 0)", boot2.epoch, boot2.seq)
+	}
+	boot2.seq = 9
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Relay == nil || ckpt.Relay.Epoch != 77 || ckpt.Relay.Seq != 9 {
+		t.Fatalf("checkpoint relay cursor = %+v, want epoch 77 seq 9 (the live cursor at the cut)", ckpt.Relay)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot 3: the checkpoint pruned the log, so the cursor — including the
+	// checkpoint-time seq — must come from the checkpoint alone.
+	boot3 := &fakeCursor{epoch: 1234}
+	m3 := openWithCursor(t, dir, boot3)
+	if !m3.Recovery().CursorRestored {
+		t.Fatal("restart after checkpoint did not restore the cursor")
+	}
+	if boot3.epoch != 77 || boot3.seq != 9 {
+		t.Fatalf("checkpoint-restored cursor = (%d, %d), want (77, 9)", boot3.epoch, boot3.seq)
+	}
+	// No second cursor record: the identity is already durable.
+	if n := countCursorRecords(t, dir); n != 0 {
+		t.Fatalf("restored boot appended %d cursor records, want 0 (the checkpoint carries the identity)", n)
+	}
+	if err := m3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A node opened without a carrier (combined/analyzer, or a relay dir
+// inspected by other tooling) must tolerate cursor records in the log
+// and must never checkpoint a cursor of its own.
+func TestCursorRecordsIgnoredWithoutCarrier(t *testing.T) {
+	dir := t.TempDir()
+	m1 := openWithCursor(t, dir, &fakeCursor{epoch: 42})
+	if err := m1.SubmitTuples([]transport.Tuple{{Code: 2, Action: 0, Reward: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	shuf, srv := newNode()
+	m2, err := Open(dir, shuf, srv, Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("reopening a relay dir without a carrier: %v", err)
+	}
+	if m2.Recovery().CursorRestored {
+		t.Fatal("carrier-less open claims a restored cursor")
+	}
+	if err := m2.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := LoadCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Relay != nil {
+		t.Fatalf("carrier-less checkpoint recorded a relay cursor: %+v", ckpt.Relay)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A cursor record whose payload is not exactly 16 bytes is corruption,
+// not a tolerable oddity.
+func TestCursorRecordBadPayloadRefusesLoad(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.mu.Lock()
+	werr := w.transactLocked(true, func() error {
+		return w.appendRecordLocked(RecordCursor, []byte{1, 2, 3})
+	})
+	w.mu.Unlock()
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The record has a valid CRC (so it is not a torn tail) but a
+	// nonsensical payload: any decoding read must refuse it.
+	_, err = ReadLog(dir, 0, func(Record) error { return nil })
+	if err == nil {
+		t.Fatal("short cursor payload read without error")
+	}
+	if !strings.Contains(err.Error(), "cursor record payload") {
+		t.Fatalf("error does not name the cursor payload: %v", err)
+	}
+}
+
+// countCursorRecords scans dir's log read-only for RecordCursor entries.
+func countCursorRecords(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	if _, err := ReadLog(dir, 0, func(rec Record) error {
+		if rec.Type == RecordCursor {
+			n++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}

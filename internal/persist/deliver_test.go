@@ -94,6 +94,12 @@ func TestManagerDeliverPeerDurableAndDeduplicated(t *testing.T) {
 	if applied, err := m.DeliverPeer("relay-1", 5, 2, batch); err != nil || !applied {
 		t.Fatalf("next DeliverPeer: applied=%v err=%v", applied, err)
 	}
+	// The pre-WAL dedup must still show up in the duplicate telemetry, or
+	// durable analyzers would report zero duplicates where in-memory ones
+	// report the suppressed batch.
+	if _, _, batches, dups := srv.PeerCounters(); batches != 2 || dups != 1 {
+		t.Fatalf("peer counters after dedup: batches=%d dups=%d, want 2/1", batches, dups)
+	}
 	tab, lin := snapshotJSON(t, srv)
 	if err := m.Close(); err != nil {
 		t.Fatal(err)

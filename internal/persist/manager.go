@@ -33,6 +33,25 @@ type Options struct {
 	// Metrics, when non-nil, instruments WAL appends, fsyncs and
 	// checkpoints (see NewMetrics).
 	Metrics *Metrics
+	// Cursor, when non-nil, is the relay forwarder whose (epoch, seq)
+	// identity this data directory makes durable. Open restores the
+	// cursor — from the checkpoint, then from any replayed RecordCursor —
+	// before replaying tuple records, so WAL-tail re-forwards reuse the
+	// pre-crash epoch; on a first boot it writes one synced cursor record
+	// so the freshly minted epoch survives a crash before any checkpoint.
+	Cursor CursorCarrier
+}
+
+// CursorCarrier is the forwarder-side half of durable relay identity:
+// something that stamps outgoing batches with an (epoch, seq) cursor and
+// can have that cursor restored at recovery. *topology.Forwarder
+// implements it.
+type CursorCarrier interface {
+	// Cursor returns the stamping epoch and the last assigned sequence.
+	Cursor() (epoch, seq uint64)
+	// SetCursor overwrites the cursor; recovery calls it before any
+	// batch is (re-)forwarded.
+	SetCursor(epoch, seq uint64)
 }
 
 // RecoveryInfo summarizes what Open reconstructed from disk.
@@ -44,6 +63,10 @@ type RecoveryInfo struct {
 	ReplayedPeer    int    `json:"replayed_peer"`   // relay-forwarded peer batches re-delivered
 	TruncatedBytes  int64  `json:"truncated_bytes"` // torn tail removed from the final segment
 	LastSeq         uint64 `json:"last_seq"`
+	// CursorRestored reports whether a relay forwarding cursor was
+	// recovered (from the checkpoint or a RecordCursor) rather than
+	// freshly minted this boot.
+	CursorRestored bool `json:"cursor_restored,omitempty"`
 }
 
 // Info is the manager's live status, served by /healthz.
@@ -126,6 +149,14 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 		m.ckptRaw = ckpt.Server.Raw
 		m.hasCkpt = true
 		m.recovery.CheckpointSeq = ckpt.WALSeq
+		if ckpt.Relay != nil && opts.Cursor != nil {
+			// Restore the forwarding identity before the replay below can
+			// cut (and re-forward) a single batch: pre-checkpoint batches
+			// are not re-cut, so the checkpoint is the only record of how
+			// far the sequence advanced under this epoch.
+			opts.Cursor.SetCursor(ckpt.Relay.Epoch, ckpt.Relay.Seq)
+			m.recovery.CursorRestored = true
+		}
 	}
 
 	wal, walInfo, err := OpenWAL(dir)
@@ -163,6 +194,14 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 		case RecordTuples:
 			m.recovery.ReplayedTuples += len(rec.Tuples)
 			shuf.SubmitTuples(rec.Tuples)
+		case RecordCursor:
+			// Written before any post-boot tuple record, so by the time a
+			// replayed batch cuts and re-forwards, the forwarder already
+			// stamps the pre-crash epoch.
+			if opts.Cursor != nil {
+				opts.Cursor.SetCursor(rec.Epoch, rec.PeerSeq)
+				m.recovery.CursorRestored = true
+			}
 		default:
 			return fmt.Errorf("%w: replaying unknown record type %d at seq %d", ErrCorrupt, rec.Type, rec.Seq)
 		}
@@ -171,6 +210,18 @@ func Open(dir string, shuf *shuffler.Shuffler, srv *server.Server, opts Options)
 	if err != nil {
 		wal.Close()
 		return nil, err
+	}
+	if opts.Cursor != nil && !m.recovery.CursorRestored {
+		// First boot of this data directory with a forwarder: make the
+		// freshly minted epoch durable before any traffic is accepted. The
+		// record is synced unconditionally — losing it would re-mint an
+		// epoch on the next boot and reopen the double-counting gap this
+		// record exists to close.
+		epoch, seq := opts.Cursor.Cursor()
+		if _, err := wal.AppendCursor(epoch, seq, true); err != nil {
+			wal.Close()
+			return nil, err
+		}
 	}
 	if m.recovery.CheckpointSeq > 0 || m.recovery.ReplayedRecords > 0 || m.recovery.TruncatedBytes > 0 {
 		opts.Logf("persist: recovered from %s: checkpoint seq %d, replayed %d records (%d tuples, %d flushes), truncated %d torn bytes, log at seq %d",
@@ -244,6 +295,7 @@ func (m *Manager) DeliverPeer(origin string, epoch, seq uint64, tuples []transpo
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.srv.PeerBatchSeen(origin, epoch, seq) {
+		m.srv.NoteRelayDuplicate()
 		return false, nil
 	}
 	start := m.appendStart()
@@ -304,6 +356,14 @@ func (m *Manager) Checkpoint() error {
 		Server:   m.srv.ExportState(),
 		Shuffler: shufState,
 	}
+	if m.opts.Cursor != nil {
+		// Ingestion is quiesced under m.mu and forwarding is synchronous
+		// inside it, so the cursor here is exactly consistent with the
+		// shuffler state above: every batch counted in Seq was cut from
+		// records at or before WALSeq.
+		epoch, fseq := m.opts.Cursor.Cursor()
+		ckpt.Relay = &RelayCursor{Epoch: epoch, Seq: fseq}
+	}
 	if err := WriteCheckpoint(m.dir, ckpt); err != nil {
 		return err
 	}
@@ -324,6 +384,12 @@ func (m *Manager) Checkpoint() error {
 	}
 	return nil
 }
+
+// SyncWAL makes every appended record durable now. It is the relay
+// forwarder's pre-send durability hook (Forwarder.SetSync): called from
+// inside a batch delivery, which runs under the manager's ingestion lock,
+// so it must touch only the WAL's own mutex — and does.
+func (m *Manager) SyncWAL() error { return m.wal.Sync() }
 
 // Recovery returns what Open reconstructed.
 func (m *Manager) Recovery() RecoveryInfo {

@@ -31,6 +31,11 @@
 //	    the analyzer server, bypassing the local shuffler (the relay already
 //	    shuffled it). payload is u8(len(origin)) origin u64le(epoch)
 //	    u64le(peer seq) followed by a transport batch stream.
+//	RecordCursor (4): the relay's durable forwarding identity — payload is
+//	    u64le(epoch) u64le(seq). Written once per boot that mints a fresh
+//	    epoch, so a restarted relay resumes its (epoch, seq) stream instead
+//	    of re-forwarding its WAL tail under an epoch the downstream
+//	    analyzer's duplicate guard cannot recognize.
 //
 // Sequence numbers are assigned per record, start at 1, and increase
 // strictly. A checkpoint names the last sequence number it covers; recovery
@@ -87,10 +92,10 @@ const (
 var maxSegmentBytes int64 = 64 << 20
 
 // RecordType identifies what one WAL record holds. Adding a type here
-// (the roadmap's durable relay identity will) forces every replay, dump
-// and checkpoint switch in the repo to state how the new record is
-// handled — p2bvet's walswitch analyzer rejects any switch over a
-// RecordType value that does not list every constant below.
+// forces every replay, dump and checkpoint switch in the repo to state
+// how the new record is handled — p2bvet's walswitch analyzer rejects
+// any switch over a RecordType value that does not list every constant
+// below.
 //
 //p2bvet:exhaustive
 type RecordType byte
@@ -107,6 +112,12 @@ const (
 	// RecordDeliver is a relay-forwarded peer batch that bypassed the
 	// local shuffler, deduplicated under its (Origin, Epoch, PeerSeq).
 	RecordDeliver RecordType = 3
+	// RecordCursor pins the relay's durable forwarding identity: the
+	// (epoch, seq) the local forwarder held when the record was written.
+	// Replay restores it before any tuple record can cut a batch, so a
+	// restarted relay re-forwards its WAL tail under the SAME epoch and
+	// the downstream duplicate guard absorbs the retransmits.
+	RecordCursor RecordType = 4
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -117,8 +128,9 @@ var ErrCorrupt = errors.New("persist: corrupt write-ahead log")
 
 // Record is one replayed WAL entry. Type says which fields are
 // meaningful: Tuples for RecordTuples, nothing extra for RecordFlush,
-// and Tuples plus the (Origin, Epoch, PeerSeq) peer position for
-// RecordDeliver.
+// Tuples plus the (Origin, Epoch, PeerSeq) peer position for
+// RecordDeliver, and (Epoch, PeerSeq) — the forwarding cursor — for
+// RecordCursor.
 type Record struct {
 	Seq    uint64
 	Type   RecordType
@@ -126,7 +138,8 @@ type Record struct {
 
 	// Peer position of a RecordDeliver batch: it bypassed the local
 	// shuffler and went straight to the analyzer server, deduplicated
-	// under (Origin, Epoch, PeerSeq).
+	// under (Origin, Epoch, PeerSeq). A RecordCursor reuses Epoch and
+	// PeerSeq for the relay's own forwarding position.
 	Origin  string
 	Epoch   uint64
 	PeerSeq uint64
@@ -430,6 +443,21 @@ func scanSegment(seg segmentInfo, prevSeq uint64, last bool, apply func(Record) 
 					return res, err
 				}
 			}
+		case RecordCursor:
+			if apply != nil {
+				if len(payload) != 16 {
+					return res, fmt.Errorf("%w: %s at offset %d: cursor record payload is %d bytes, want 16", ErrCorrupt, seg.path, off, len(payload))
+				}
+				rec := Record{
+					Seq:     seq,
+					Type:    RecordCursor,
+					Epoch:   binary.LittleEndian.Uint64(payload[0:8]),
+					PeerSeq: binary.LittleEndian.Uint64(payload[8:16]),
+				}
+				if err := apply(rec); err != nil {
+					return res, err
+				}
+			}
 		default:
 			return res, fmt.Errorf("%w: %s at offset %d: unknown record type %d", ErrCorrupt, seg.path, off, typ)
 		}
@@ -600,6 +628,26 @@ func (w *WAL) AppendDeliver(origin string, epoch, peerSeq uint64, tuples []trans
 			return fmt.Errorf("persist: deliver batch of %d tuples encodes to %d bytes, exceeding the %d record bound", len(tuples), len(w.enc), maxRecordPayload)
 		}
 		return w.appendRecordLocked(RecordDeliver, w.enc)
+	})
+	return w.seq, err
+}
+
+// AppendCursor logs the relay's forwarding cursor — the epoch it mints
+// sequence numbers under and the last sequence assigned — with the same
+// sync and rollback semantics as AppendTuples. The manager writes one
+// synced cursor record the first time a data directory meets a
+// forwarder, before any traffic, so the epoch survives a kill -9 that
+// arrives before the first checkpoint.
+func (w *WAL) AppendCursor(epoch, seq uint64, sync bool) (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.maybeRotateLocked(); err != nil {
+		return w.seq, err
+	}
+	err := w.transactLocked(sync, func() error {
+		w.enc = binary.LittleEndian.AppendUint64(w.enc[:0], epoch)
+		w.enc = binary.LittleEndian.AppendUint64(w.enc, seq)
+		return w.appendRecordLocked(RecordCursor, w.enc)
 	})
 	return w.seq, err
 }

@@ -41,10 +41,12 @@ type PeerSeq struct {
 	Seq   uint64 `json:"seq"`
 }
 
-// stale reports whether an incoming (epoch, seq) is covered by p: same
-// epoch and not newer. A different epoch is never stale — the origin
-// rebooted and restarted its sequence.
-func (p PeerSeq) stale(epoch, seq uint64) bool {
+// Covers reports whether an incoming (epoch, seq) is already covered by
+// p: same epoch and not newer. A different epoch is never covered — the
+// origin rebooted and restarted its sequence. Both the inbound merge
+// guard and the pull side of the digest round use this one predicate, so
+// "would fetch" and "would reject" can never disagree.
+func (p PeerSeq) Covers(epoch, seq uint64) bool {
 	return p.Epoch == epoch && seq <= p.Seq
 }
 
@@ -104,7 +106,7 @@ type PeerOriginStatus struct {
 // mark, not a set.
 func (s *Server) DeliverPeerBatch(origin string, epoch, seq uint64, batch []transport.Tuple) bool {
 	s.peers.mu.Lock()
-	if last, ok := s.peers.relays[origin]; ok && last.stale(epoch, seq) {
+	if last, ok := s.peers.relays[origin]; ok && last.Covers(epoch, seq) {
 		s.peers.mu.Unlock()
 		s.peers.relayDuplicates.Add(1)
 		return false
@@ -124,7 +126,16 @@ func (s *Server) PeerBatchSeen(origin string, epoch, seq uint64) bool {
 	s.peers.mu.Lock()
 	defer s.peers.mu.Unlock()
 	last, ok := s.peers.relays[origin]
-	return ok && last.stale(epoch, seq)
+	return ok && last.Covers(epoch, seq)
+}
+
+// NoteRelayDuplicate counts one relay batch suppressed outside
+// DeliverPeerBatch. The durable path dedups with PeerBatchSeen before
+// logging (so duplicates never reach the WAL) and must report the
+// suppression here, or /peer/status would undercount duplicates on
+// durable analyzers relative to in-memory ones.
+func (s *Server) NoteRelayDuplicate() {
+	s.peers.relayDuplicates.Add(1)
 }
 
 // MergePeerState stores one sibling analyzer's local-state export,
@@ -156,7 +167,7 @@ func (s *Server) MergePeerState(origin string, epoch, seq uint64, ps *PersistedS
 		}
 	}
 	s.peers.mu.Lock()
-	if cur, ok := s.peers.contribs[origin]; ok && cur.pos.stale(epoch, seq) {
+	if cur, ok := s.peers.contribs[origin]; ok && cur.pos.Covers(epoch, seq) {
 		s.peers.mu.Unlock()
 		s.peers.mergesRejected.Add(1)
 		return false, nil
@@ -193,6 +204,21 @@ func (s *Server) PeerStatus() PeerStatus {
 	sort.Slice(st.Contributions, func(i, j int) bool { return st.Contributions[i].Origin < st.Contributions[j].Origin })
 	sort.Slice(st.RelayStreams, func(i, j int) bool { return st.RelayStreams[i].Origin < st.RelayStreams[j].Origin })
 	return st
+}
+
+// PeerContribution returns one stored sibling-analyzer contribution: its
+// replication position and the state itself. The state is immutable once
+// stored (replacement semantics), so callers — the /peer/contrib route
+// serializing it to a digest-round puller — may read it without holding
+// any lock. ok is false when no contribution from origin is stored.
+func (s *Server) PeerContribution(origin string) (pos PeerSeq, state *PersistedState, ok bool) {
+	s.peers.mu.Lock()
+	defer s.peers.mu.Unlock()
+	c, ok := s.peers.contribs[origin]
+	if !ok {
+		return PeerSeq{}, nil, false
+	}
+	return c.pos, c.state, true
 }
 
 // PeerCounters returns the lock-free aggregate replication counters, the

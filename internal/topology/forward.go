@@ -75,7 +75,9 @@ type Forwarder struct {
 	client     *http.Client
 
 	mu    sync.Mutex
+	epoch uint64
 	seq   uint64
+	sync  func() error // pre-send durability hook, see SetSync
 	enc   []byte
 	stats ForwardStats
 }
@@ -90,7 +92,7 @@ func NewForwarder(downstream string, opts ForwarderOptions) (*Forwarder, error) 
 		return nil, fmt.Errorf("topology: forwarder needs an origin name")
 	}
 	if opts.Epoch == 0 {
-		opts.Epoch = uint64(wallClock().UnixNano())
+		opts.Epoch = BootEpoch()
 	}
 	if opts.MaxRetries <= 0 {
 		opts.MaxRetries = 10
@@ -102,11 +104,48 @@ func NewForwarder(downstream string, opts ForwarderOptions) (*Forwarder, error) 
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	return &Forwarder{downstream: downstream, opts: opts, client: client}, nil
+	return &Forwarder{downstream: downstream, opts: opts, client: client, epoch: opts.Epoch}, nil
 }
 
-// Epoch returns the forwarder's boot nonce.
-func (f *Forwarder) Epoch() uint64 { return f.opts.Epoch }
+// Epoch returns the epoch sequence numbers are currently stamped with:
+// the boot nonce, unless a recovered cursor replaced it.
+func (f *Forwarder) Epoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+// Cursor returns the forwarding position: the stamping epoch and the last
+// assigned sequence number. It is what a durable relay checkpoints.
+func (f *Forwarder) Cursor() (epoch, seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch, f.seq
+}
+
+// SetCursor overwrites the forwarding position. Recovery calls it —
+// before any batch is (re-)forwarded — so a restarted relay resumes its
+// persisted (epoch, seq) stream instead of minting a fresh epoch the
+// downstream duplicate guard cannot match retransmits against.
+func (f *Forwarder) SetCursor(epoch, seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epoch = epoch
+	f.seq = seq
+}
+
+// SetSync installs a durability hook run before each batch's first send
+// attempt — in a durable relay, the WAL sync that makes the records
+// backing the batch durable. Without it, a batched-fsync relay could
+// forward a batch whose WAL records die with a crash: replay would then
+// under-derive the sequence and a LATER batch would reuse this batch's
+// (epoch, seq) with different content, which the analyzer would wrongly
+// drop as a duplicate. Install before traffic; a nil hook is a no-op.
+func (f *Forwarder) SetSync(sync func() error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sync = sync
+}
 
 // Downstream returns the analyzer base URL this forwarder delivers to.
 func (f *Forwarder) Downstream() string { return f.downstream }
@@ -129,6 +168,20 @@ func (f *Forwarder) Deliver(batch []transport.Tuple) {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	if f.sync != nil {
+		if err := f.sync(); err != nil {
+			// The records backing this batch may not be durable; sending it
+			// anyway risks a later batch reusing its (epoch, seq) after a
+			// crash-replay under-derives the sequence. Refuse the batch the
+			// same way an exhausted retry budget would.
+			f.stats.Dropped++
+			f.stats.LastError = err.Error()
+			if f.opts.Logf != nil {
+				f.opts.Logf("topology: dropping batch: durability sync failed: %v", err)
+			}
+			return
+		}
+	}
 	f.seq++
 	f.enc = transport.AppendMagic(f.enc[:0])
 	e := transport.Envelope{}
@@ -173,7 +226,7 @@ func (f *Forwarder) sendLocked(seq uint64, body []byte, n int) (bool, error) {
 		}
 		req.Header.Set("Content-Type", transport.ContentTypeBinary)
 		req.Header.Set(OriginHeader, f.opts.Origin)
-		req.Header.Set(EpochHeader, strconv.FormatUint(f.opts.Epoch, 10))
+		req.Header.Set(EpochHeader, strconv.FormatUint(f.epoch, 10))
 		req.Header.Set(SeqHeader, strconv.FormatUint(seq, 10))
 		if f.opts.Token != "" {
 			req.Header.Set("Authorization", "Bearer "+f.opts.Token)

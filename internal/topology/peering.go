@@ -1,5 +1,6 @@
 // Analyzer peering: periodic anti-entropy pushes of each analyzer's LOCAL
-// model contribution to its sibling analyzers.
+// model contribution to its sibling analyzers, plus an optional pull-based
+// digest round that heals what the pushes missed.
 //
 // The exchange is state replacement, not delta shipping: every push
 // carries the full merged export of the sender's own shards (what the
@@ -10,13 +11,27 @@
 // idempotent and order-independent: applying the same update twice, or
 // applying updates out of order, converges to the same stored state with
 // no double counting and no floating-point subtraction anywhere.
+//
+// Pushes alone leave a gap: an analyzer partitioned away while its
+// siblings pushed converges only when the siblings' NEXT pushes happen to
+// arrive — and a sibling whose local state stopped changing skips pushes
+// entirely, so the partitioned node could stay behind forever. The digest
+// round closes it from the receiving side. On its own schedule, each
+// analyzer asks every peer for a digest — the per-origin (epoch, seq)
+// high-water vector of everything the peer can serve — compares it
+// against what it already holds, and fetches only the missing or newer
+// contributions. Because digests also list the peer's STORED third-party
+// contributions, healing is transitive: an analyzer that can reach only
+// one sibling still converges on the whole fleet's state through it.
 package topology
 
 import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"sync"
 	"time"
@@ -39,6 +54,21 @@ type PeerUpdate struct {
 	State *server.PersistedState `json:"state"`
 }
 
+// Digest is the body of GET /peer/digest: the per-origin (epoch, seq)
+// high-water vector of every contribution the serving analyzer can hand
+// out on /peer/contrib — its own live state plus the sibling
+// contributions it has stored.
+type Digest struct {
+	Entries []DigestEntry `json:"entries"`
+}
+
+// DigestEntry is one origin's advertised replication position.
+type DigestEntry struct {
+	Origin string `json:"origin"`
+	Epoch  uint64 `json:"epoch"`
+	Seq    uint64 `json:"seq"`
+}
+
 // SyncStatus is one peer's outbound anti-entropy health, reported on
 // /healthz and the stats routes of the pushing node.
 type SyncStatus struct {
@@ -50,6 +80,11 @@ type SyncStatus struct {
 	// LastSyncUnixNano is when the last successful push completed
 	// (0 = never). Readers derive peer-merge lag from it.
 	LastSyncUnixNano int64 `json:"last_sync_unix_nano"`
+
+	// Digest-round (pull) health, all zero when pulls are disabled.
+	Pulls      int64 `json:"pulls,omitempty"`       // completed digest rounds against this peer
+	PullErrors int64 `json:"pull_errors,omitempty"` // digest rounds that failed (fetch or apply)
+	Fetched    int64 `json:"fetched,omitempty"`     // contributions fetched and applied via digest rounds
 }
 
 // PeeringOptions configures an analyzer's outbound anti-entropy loop.
@@ -73,12 +108,38 @@ type PeeringOptions struct {
 	// accounting). Required.
 	Export func() *server.PersistedState
 	// LocalVersion returns a counter that changes whenever local state
-	// changes; unchanged versions skip the push. Nil pushes every cycle.
+	// changes; unchanged versions skip the push. It doubles as the push
+	// sequence number: a push is stamped with the version captured BEFORE
+	// the export, so the advertised seq is a floor on the exported content
+	// and matches what the receiver's digest later reports for this
+	// origin. Nil pushes every cycle under a private counter — fine for
+	// push-only fleets, but the digest round requires it (the /peer/digest
+	// self entry is stamped from the same counter, and mixed stamping
+	// would let a digest under-report a pushed position and mask a
+	// missing fetch).
 	LocalVersion func() uint64
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
 	// Logf receives push failures. Nil discards them.
 	Logf func(format string, args ...any)
+
+	// The digest round (pull-based anti-entropy). Zero DigestInterval
+	// disables it and the remaining fields are ignored.
+
+	// DigestInterval is the pull period. Each round asks every peer for
+	// its digest and fetches only the contributions this node is missing,
+	// so a partitioned analyzer converges on its own schedule even if no
+	// peer ever pushes to it again.
+	DigestInterval time.Duration
+	// Local returns the per-origin positions this node already holds (its
+	// stored sibling contributions; its own origin is never fetched, so
+	// listing it is optional). Required when DigestInterval > 0.
+	Local func() []DigestEntry
+	// Apply stores one fetched contribution, with the same
+	// replace-if-newer semantics as an inbound push (wire it to
+	// server.MergePeerState). false means the update was already covered.
+	// Required when DigestInterval > 0.
+	Apply func(PeerUpdate) (bool, error)
 }
 
 // Peering runs the outbound anti-entropy loop of one analyzer.
@@ -109,8 +170,11 @@ func NewPeering(opts PeeringOptions) (*Peering, error) {
 	if opts.Export == nil {
 		return nil, fmt.Errorf("topology: peering needs an Export func")
 	}
+	if opts.DigestInterval > 0 && (opts.Local == nil || opts.Apply == nil) {
+		return nil, fmt.Errorf("topology: the digest round needs Local and Apply funcs")
+	}
 	if opts.Epoch == 0 {
-		opts.Epoch = uint64(wallClock().UnixNano())
+		opts.Epoch = BootEpoch()
 	}
 	if opts.Interval <= 0 {
 		opts.Interval = 2 * time.Second
@@ -134,18 +198,35 @@ func NewPeering(opts PeeringOptions) (*Peering, error) {
 	return p, nil
 }
 
-// Start launches the periodic push loop. Stop it with Close.
+// Epoch returns the boot nonce qualifying this peering's push sequence
+// numbers. A node serving its own contribution on /peer/contrib must
+// advertise the same epoch, so a position learned from a push and one
+// learned from a digest compare as the same stream.
+func (p *Peering) Epoch() uint64 { return p.opts.Epoch }
+
+// Start launches the periodic loop: pushes every Interval, and — when the
+// digest round is enabled — pulls every DigestInterval. One goroutine
+// drives both, so a push cycle and a pull round never interleave. Stop it
+// with Close.
 func (p *Peering) Start() {
 	go func() {
 		defer close(p.done)
-		t := time.NewTicker(p.opts.Interval)
-		defer t.Stop()
+		push := time.NewTicker(p.opts.Interval)
+		defer push.Stop()
+		var pull <-chan time.Time
+		if p.opts.DigestInterval > 0 {
+			t := time.NewTicker(p.opts.DigestInterval)
+			defer t.Stop()
+			pull = t.C
+		}
 		for {
 			select {
 			case <-p.stop:
 				return
-			case <-t.C:
+			case <-push.C:
 				p.Sync()
+			case <-pull:
+				p.DigestSync()
 			}
 		}
 	}()
@@ -184,14 +265,24 @@ func (p *Peering) Sync() {
 		if state == nil {
 			// One export serves every peer this cycle; the receiving side
 			// keys staleness on (epoch, seq), so all peers sharing one seq
-			// is exactly right.
+			// is exactly right. The stamp is the local version captured
+			// ABOVE, before the export: the exported content is at least
+			// that version (a concurrent ingest can only add), so the
+			// receiver's stored position is a floor and the worst a race
+			// costs is one redundant re-push — never a missed update. The
+			// digest round's /peer/digest self entry reads the same
+			// counter, so pushed and pulled positions agree.
 			state = p.opts.Export()
 			// Local bookkeeping like relay duplicate-guard positions stays
 			// local: a peer stores this update as OUR contribution and must
 			// not inherit our dedup state.
 			state.Relays = nil
-			p.seq++
-			seq = p.seq
+			if p.opts.LocalVersion != nil {
+				seq = version
+			} else {
+				p.seq++
+				seq = p.seq
+			}
 		}
 		if err := p.push(peer, seq, state); err != nil {
 			st.Errors++
@@ -235,6 +326,107 @@ func (p *Peering) push(peer string, seq uint64, state *server.PersistedState) er
 	// contribution at least this new, which is all anti-entropy wants.
 	_, err = decodePeerAck(resp)
 	return err
+}
+
+// DigestSync runs one pull round: fetch every peer's digest, diff it
+// against the positions this node already holds, and fetch + apply only
+// the missing or newer contributions. Safe to call concurrently with the
+// background loop and with Sync (rounds serialize on the internal mutex);
+// deterministic tests drive it manually.
+func (p *Peering) DigestSync() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.opts.Local == nil || p.opts.Apply == nil {
+		return
+	}
+	// One holdings snapshot serves the whole round; applied fetches update
+	// it so a contribution available from several peers is fetched once.
+	held := make(map[string]server.PeerSeq)
+	for _, e := range p.opts.Local() {
+		held[e.Origin] = server.PeerSeq{Epoch: e.Epoch, Seq: e.Seq}
+	}
+	for _, peer := range p.opts.Peers {
+		st := p.states[peer]
+		var digest Digest
+		if err := p.getJSON(peer+"/peer/digest", &digest); err != nil {
+			st.PullErrors++
+			st.LastError = err.Error()
+			if p.opts.Logf != nil {
+				p.opts.Logf("topology: peer digest from %s: %v", peer, err)
+			}
+			continue
+		}
+		failed := false
+		for _, e := range digest.Entries {
+			if e.Origin == p.opts.Origin {
+				// Never fetch our own contribution back: local state is
+				// authoritative for it, and a peer's stored copy is at best
+				// an older echo.
+				continue
+			}
+			if pos, ok := held[e.Origin]; ok && pos.Covers(e.Epoch, e.Seq) {
+				continue
+			}
+			upd, err := p.fetchContrib(peer, e.Origin)
+			if err == nil && upd.Origin != e.Origin {
+				err = fmt.Errorf("topology: peer %s served origin %q for a %q contribution fetch", peer, upd.Origin, e.Origin)
+			}
+			if err == nil {
+				var applied bool
+				applied, err = p.opts.Apply(upd)
+				if err == nil {
+					if applied {
+						st.Fetched++
+					}
+					// Covered either way: an applied=false means local state
+					// moved past the digest mid-round, which is just as held.
+					held[e.Origin] = server.PeerSeq{Epoch: upd.Epoch, Seq: upd.Seq}
+				}
+			}
+			if err != nil {
+				failed = true
+				st.LastError = err.Error()
+				if p.opts.Logf != nil {
+					p.opts.Logf("topology: peer contrib %q from %s: %v", e.Origin, peer, err)
+				}
+			}
+		}
+		if failed {
+			st.PullErrors++
+		} else {
+			st.Pulls++
+		}
+	}
+}
+
+// fetchContrib retrieves one origin's contribution from peer as the same
+// PeerUpdate shape a push carries, so Apply and the inbound merge route
+// share semantics exactly.
+func (p *Peering) fetchContrib(peer, origin string) (PeerUpdate, error) {
+	var upd PeerUpdate
+	err := p.getJSON(peer+"/peer/contrib?origin="+url.QueryEscape(origin), &upd)
+	return upd, err
+}
+
+// getJSON is an authenticated GET + JSON decode against a peer route.
+func (p *Peering) getJSON(u string, v any) error {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return fmt.Errorf("topology: building digest request: %w", err)
+	}
+	if p.opts.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+p.opts.Token)
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%s: status %d: %s", u, resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // Status returns the per-peer outbound sync status, sorted by target URL.

@@ -33,8 +33,8 @@ type announcement struct {
 }
 
 // DefaultTTL is how long an announced node stays on the board without a
-// fresh heartbeat. Heartbeats at TTL/3 (what StartHeartbeat sends) survive
-// two consecutive losses.
+// fresh heartbeat. Heartbeats at TTL/3 (what Heartbeat sends once
+// registered) survive two consecutive losses.
 const DefaultTTL = 30 * time.Second
 
 // NewRegistry returns a board seeded with the given static document
@@ -73,7 +73,9 @@ func (r *Registry) Register(n Node) error {
 }
 
 // Document returns the board's current view: static nodes plus every
-// announcement younger than the TTL, expired entries dropped.
+// announcement younger than the TTL, expired entries dropped. Announced
+// nodes carry the board's last-heard timestamp so consumers can judge
+// staleness without trusting the announcing node's clock.
 func (r *Registry) Document() *Document {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -84,7 +86,9 @@ func (r *Registry) Document() *Document {
 			delete(r.live, name)
 			continue
 		}
-		d.Nodes = append(d.Nodes, a.node)
+		n := a.node
+		n.HeartbeatUnixNano = a.at.UnixNano()
+		d.Nodes = append(d.Nodes, n)
 	}
 	// Map order would otherwise leak into the served document: two
 	// fetches of the same board state must be byte-identical, and
@@ -162,37 +166,4 @@ func RegisterNode(boardURL string, n Node) error {
 		return fmt.Errorf("topology: board refused registration (%d): %s", resp.StatusCode, msg)
 	}
 	return nil
-}
-
-// StartHeartbeat announces n on the board now and re-announces it every
-// ttl/3 until the returned stop function is called. Registration failures
-// are retried on the next beat — the board is availability infrastructure,
-// so a hiccup must not kill the node.
-func StartHeartbeat(boardURL string, n Node, ttl time.Duration, logf func(format string, args ...any)) (stop func()) {
-	if ttl <= 0 {
-		ttl = DefaultTTL
-	}
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
-	if err := RegisterNode(boardURL, n); err != nil {
-		logf("topology: initial board registration: %v", err)
-	}
-	done := make(chan struct{})
-	var once sync.Once
-	go func() {
-		t := time.NewTicker(ttl / 3)
-		defer t.Stop()
-		for {
-			select {
-			case <-done:
-				return
-			case <-t.C:
-				if err := RegisterNode(boardURL, n); err != nil {
-					logf("topology: board heartbeat: %v", err)
-				}
-			}
-		}
-	}()
-	return func() { once.Do(func() { close(done) }) }
 }

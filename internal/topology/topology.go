@@ -36,6 +36,16 @@ import (
 // registry carries its own injectable clock for TTL expiry.
 var wallClock = time.Now
 
+// BootEpoch mints a fresh boot nonce for an (epoch, seq) replication
+// stream: forwarder cursors, peering pushes, and the digest round all
+// qualify sequence numbers with one. Nodes that serve their own
+// contribution on /peer/contrib mint a single epoch per boot and share it
+// between the push loop and the pull surface, so a puller and a pushee
+// agree on what position they hold.
+func BootEpoch() uint64 {
+	return uint64(wallClock().UnixNano())
+}
+
 // Role names what a node does in the fleet.
 type Role string
 
@@ -84,6 +94,18 @@ type Node struct {
 	Role Role `json:"role"`
 	// URL is the node's base HTTP URL, e.g. "http://10.0.0.5:8080".
 	URL string `json:"url"`
+	// Degraded, announced by the node itself, marks it up but operating
+	// in a reduced mode (e.g. report admission bypassing a failing WAL).
+	// Discovery treats degraded nodes as a last resort: Alive filters
+	// them out while healthy candidates exist.
+	Degraded bool `json:"degraded,omitempty"`
+	// HeartbeatUnixNano is when the board last heard from this node. The
+	// board stamps it while serving a Document — announcing nodes never
+	// set it themselves — and it stays byte-identical between heartbeats,
+	// so repeated board fetches of unchanged state compare equal. Zero
+	// for static seed nodes, which are operator config and do not
+	// heartbeat.
+	HeartbeatUnixNano int64 `json:"heartbeat_unix_nano,omitempty"`
 }
 
 // Validate checks one node entry in isolation.
@@ -174,6 +196,32 @@ func (d *Document) withRole(r Role) []Node {
 	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Name < nodes[j].Name })
 	return nodes
+}
+
+// Alive filters nodes to the ones a failover should still consider:
+// not self-declared degraded, and — for board-announced nodes — with a
+// heartbeat younger than maxAge. Static seed nodes (heartbeat zero) have
+// no liveness signal and always pass the age check; they are config, and
+// dropping them would leave a static-only fleet with nothing to pick.
+// If the filter would empty a non-empty candidate list, the original
+// list is returned instead: a uniformly unhealthy fleet is still worth a
+// delivery attempt, and the retry path handles the failures.
+func Alive(nodes []Node, maxAge time.Duration, now time.Time) []Node {
+	var out []Node
+	cutoff := now.Add(-maxAge)
+	for _, n := range nodes {
+		if n.Degraded {
+			continue
+		}
+		if maxAge > 0 && n.HeartbeatUnixNano != 0 && time.Unix(0, n.HeartbeatUnixNano).Before(cutoff) {
+			continue
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nodes
+	}
+	return out
 }
 
 // Pick deterministically selects one node from nodes using seed: the nodes

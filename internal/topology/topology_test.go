@@ -218,7 +218,17 @@ func TestRegistryHTTPRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.Nodes) != 1 || doc.Nodes[0] != n {
+	if len(doc.Nodes) != 1 {
+		t.Fatalf("round-tripped board = %+v, want one node", doc.Nodes)
+	}
+	// The board stamps its own last-heard time on announced nodes; strip
+	// it before comparing the announced fields.
+	got := doc.Nodes[0]
+	if got.HeartbeatUnixNano == 0 {
+		t.Fatal("board did not stamp a heartbeat time on the announced node")
+	}
+	got.HeartbeatUnixNano = 0
+	if got != n {
 		t.Fatalf("round-tripped board = %+v, want [%+v]", doc.Nodes, n)
 	}
 
